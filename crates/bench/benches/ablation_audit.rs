@@ -1,0 +1,84 @@
+//! Ablation — decoding-error anatomy (paper Sec. III-F).
+//!
+//! Measures the error sources the paper enumerates: false-positive vs
+//! false-negative identification, how often false negatives land adjacent to
+//! the mode interval (top-2 adjacency), the PWL floor (oracle LAD vs exact),
+//! and the identification-induced error on top — on both synthetic clustered
+//! streams and real transformer QKV streams.
+
+use lad_bench::{pct, print_table, section};
+use lad_core::audit::audit_stream;
+use lad_core::decoder::LadConfig;
+use lad_math::pwl::PwlExp;
+use lad_math::Rng;
+use lad_model::backend::AttentionKind;
+use lad_model::config::ModelConfig;
+use lad_model::transformer::{Model, Session};
+
+fn clustered_stream(seed: u64, steps: usize, d: usize) -> lad_core::QkvStream {
+    let mut rng = Rng::new(seed);
+    let dirs: Vec<Vec<f32>> = (0..5).map(|_| rng.normal_vec(d, 1.0)).collect();
+    let mut q = rng.normal_vec(d, 1.0);
+    (0..steps)
+        .map(|i| {
+            for slot in q.iter_mut() {
+                *slot = 0.99 * *slot + 0.1 * rng.normal() as f32;
+            }
+            let mut k: Vec<f32> = dirs[i % 5]
+                .iter()
+                .map(|&x| x * (0.8 + 0.4 * rng.next_f32()))
+                .collect();
+            for slot in k.iter_mut() {
+                *slot += 0.03 * rng.normal() as f32;
+            }
+            (q.clone(), k, rng.normal_vec(d, 1.0))
+        })
+        .collect()
+}
+
+fn real_stream(steps: usize) -> lad_core::QkvStream {
+    let model = Model::random(ModelConfig::tiny("audit-probe", 2, 64, 4), 4242);
+    let mut session = Session::new(&model, &AttentionKind::Exact);
+    session.record_qkv();
+    let prompt: Vec<u32> = (0..32).map(|i| (i * 17 + 11) % 256).collect();
+    session.generate_greedy(&prompt, steps.saturating_sub(32));
+    session.qkv_streams().expect("recording enabled")[0].clone()
+}
+
+fn main() {
+    section("error anatomy (Sec. III-F): identification errors and the PWL floor");
+    let cfg = LadConfig::new(PwlExp::accurate_default());
+    let cases: Vec<(&str, lad_core::QkvStream)> = vec![
+        ("clustered synthetic", clustered_stream(3, 160, 16)),
+        ("transformer head 0", real_stream(96)),
+    ];
+    let mut rows = Vec::new();
+    for (name, stream) in &cases {
+        let report = audit_stream(&cfg, stream);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", report.false_negatives),
+            format!("{}", report.false_positives),
+            pct(report.false_negative_rate()),
+            pct(report.adjacent_fraction()),
+            format!("{:.4}", report.mean_pwl_error),
+            format!("{:.4}", report.identification_error()),
+        ]);
+    }
+    print_table(
+        &[
+            "stream",
+            "FN",
+            "FP",
+            "FN rate",
+            "FN adjacent",
+            "PWL floor",
+            "ident. error",
+        ],
+        &rows,
+    );
+    println!("\npaper: error positions ~1% on real checkpoints; false positives harmless;");
+    println!("false negatives usually land in the top-2 (adjacent) interval.");
+    println!("(random-weight transformers have weaker locality than trained ones, so");
+    println!("the FN rate here overstates the deployed case.)");
+}

@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks of the core kernels: the LAD decoding step vs
+//! the dense references, the intermediate-cache operations and the
+//! directional-center scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lad_core::cache::IntermediateCache;
+use lad_core::decoder::{LadAttention, LadConfig};
+use lad_core::kv::KvCache;
+use lad_core::reference;
+use lad_math::pwl::PwlExp;
+use lad_math::Rng;
+use std::hint::black_box;
+
+const DIM: usize = 64;
+
+fn prepared_head(n: usize) -> (LadAttention, Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut rng = Rng::new(1);
+    let mut head = LadAttention::new(DIM, LadConfig::new(PwlExp::accurate_default()));
+    for _ in 0..n {
+        let q = rng.normal_vec(DIM, 1.0);
+        let k = rng.normal_vec(DIM, 1.0);
+        let v = rng.normal_vec(DIM, 1.0);
+        head.step(&q, k, v);
+    }
+    (
+        head,
+        rng.normal_vec(DIM, 1.0),
+        rng.normal_vec(DIM, 1.0),
+        rng.normal_vec(DIM, 1.0),
+    )
+}
+
+fn prepared_kv(n: usize) -> (KvCache, Vec<f32>) {
+    let mut rng = Rng::new(1);
+    let mut kv = KvCache::new(DIM);
+    for _ in 0..n {
+        kv.push(rng.normal_vec(DIM, 1.0), rng.normal_vec(DIM, 1.0));
+    }
+    (kv, rng.normal_vec(DIM, 1.0))
+}
+
+fn bench_attention_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention_step");
+    for n in [128usize, 512] {
+        group.bench_with_input(BenchmarkId::new("lad", n), &n, |b, &n| {
+            let (head, q, k, v) = prepared_head(n);
+            b.iter_batched(
+                || (head.clone(), q.clone(), k.clone(), v.clone()),
+                |(mut head, q, k, v)| black_box(head.step(&q, k, v)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, &n| {
+            let (kv, q) = prepared_kv(n);
+            b.iter(|| black_box(reference::exact_attention(&q, &kv)));
+        });
+        group.bench_with_input(BenchmarkId::new("pwl_direct", n), &n, |b, &n| {
+            let (kv, q) = prepared_kv(n);
+            let pwl = PwlExp::accurate_default();
+            b.iter(|| black_box(reference::pwl_attention(&q, &kv, &pwl)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_ops(c: &mut Criterion) {
+    let mut rng = Rng::new(2);
+    let k = rng.normal_vec(128, 1.0);
+    let v = rng.normal_vec(128, 1.0);
+    let q = rng.normal_vec(128, 1.0);
+    c.bench_function("cache_insert_d128", |b| {
+        let mut cache = IntermediateCache::new(128);
+        b.iter(|| cache.insert(black_box(0.5), black_box(0.1), &k, &v));
+    });
+    c.bench_function("cache_evaluate_d128", |b| {
+        let mut cache = IntermediateCache::new(128);
+        cache.insert(0.5, 0.1, &k, &v);
+        b.iter(|| black_box(cache.evaluate(&q, 0.7)));
+    });
+}
+
+fn bench_pwl(c: &mut Criterion) {
+    let pwl = PwlExp::accurate_default();
+    c.bench_function("pwl_interval_of", |b| {
+        b.iter(|| black_box(pwl.interval_of(black_box(-3.7))));
+    });
+    c.bench_function("pwl_eval", |b| {
+        b.iter(|| black_box(pwl.eval(black_box(-3.7))));
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_attention_step, bench_cache_ops, bench_pwl
+}
+criterion_main!(kernels);

@@ -1,0 +1,35 @@
+//! Fig. 1 — proportion of end-to-end decoding latency spent in the attention
+//! layer, per model and KV-cache length, on the vLLM-GPU baseline.
+//!
+//! Paper reference points: ~42 % at KV length 2048, ~58 % for LLaMA2-7B at
+//! 4096, rising monotonically with length.
+
+use lad_accel::gpu::{gpu_step, GpuBaseline, GpuConfig};
+use lad_bench::{kv_lengths, paper_models, print_table, section};
+
+fn main() {
+    section("Fig.1: attention share of end-to-end decode latency (vLLM on A100)");
+    let gpu = GpuConfig::a100();
+    let batch = 8;
+    let lengths = kv_lengths();
+
+    let mut rows = Vec::new();
+    for model in paper_models() {
+        let mut row = vec![model.name.clone()];
+        for &n in &lengths {
+            if n > model.max_seq {
+                row.push("-".to_string());
+                continue;
+            }
+            let step = gpu_step(&gpu, GpuBaseline::Vllm, &model, n, batch, None);
+            let share = step.attn_seconds / (step.attn_seconds + step.linear_seconds);
+            row.push(format!("{:.0}%", share * 100.0));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["model"];
+    let labels: Vec<String> = lengths.iter().map(|n| format!("n={n}")).collect();
+    headers.extend(labels.iter().map(String::as_str));
+    print_table(&headers, &rows);
+    println!("\npaper: ~42% at 2048; 58% for LLaMA2-7B at 4096; monotone in n");
+}

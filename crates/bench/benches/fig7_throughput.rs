@@ -1,0 +1,84 @@
+//! Fig. 7 — decoding throughput of the baselines and LAD accelerators:
+//! (a) the attention layer, (b) the end-to-end model, over every model and
+//! KV-cache length, each at its throughput-optimal batch size.
+//!
+//! Paper reference points (geomean over test cases): attention speedup over
+//! vLLM-GPU of 5.8/6.2/6.2x (LAD-1.5/2.5/3.5) in group 1 and
+//! 7.1/10.0/10.7x in group 2; end-to-end 1.6/1.7/1.7x and 2.2/2.3/2.3x.
+
+use lad_accel::config::AccelConfig;
+use lad_accel::gpu::GpuBaseline;
+use lad_accel::perf::{evaluate_best_batch, Platform};
+use lad_bench::{geomean, print_table, ratio, section, sweep_points};
+
+fn main() {
+    let platforms: Vec<Platform> = vec![
+        Platform::Gpu(GpuBaseline::Vllm),
+        Platform::Gpu(GpuBaseline::Qserve),
+        Platform::Gpu(GpuBaseline::H2o),
+        Platform::Gpu(GpuBaseline::LadGpu),
+        Platform::Lad(AccelConfig::lad_1_5()),
+        Platform::Lad(AccelConfig::lad_2_5()),
+        Platform::Lad(AccelConfig::lad_3_5()),
+    ];
+    let points = sweep_points();
+
+    for (title, attn) in [("Fig.7(a): attention-layer", true), ("Fig.7(b): end-to-end", false)] {
+        section(&format!("{title} decoding throughput (tokens/s)"));
+        let mut rows = Vec::new();
+        // speedups[platform] -> (group1 ratios, group2 ratios)
+        let mut speedups: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); platforms.len()];
+        for point in &points {
+            let mut cells = vec![format!("{} n={}", point.model.name, point.n)];
+            let vllm = evaluate_best_batch(
+                &Platform::Gpu(GpuBaseline::Vllm),
+                &point.model,
+                point.n,
+                &point.stats,
+            );
+            let vllm_tput = if attn {
+                vllm.attn_tokens_per_s
+            } else {
+                vllm.e2e_tokens_per_s
+            };
+            for (i, platform) in platforms.iter().enumerate() {
+                if let Platform::Gpu(baseline) = platform {
+                    if !baseline.supports(&point.model) {
+                        cells.push("NA".to_string());
+                        continue;
+                    }
+                }
+                let r = evaluate_best_batch(platform, &point.model, point.n, &point.stats);
+                let tput = if attn {
+                    r.attn_tokens_per_s
+                } else {
+                    r.e2e_tokens_per_s
+                };
+                cells.push(format!("{tput:.0}"));
+                let bucket = if point.is_group2() {
+                    &mut speedups[i].1
+                } else {
+                    &mut speedups[i].0
+                };
+                bucket.push(tput / vllm_tput);
+            }
+            rows.push(cells);
+        }
+        let mut headers = vec!["test case".to_string()];
+        headers.extend(platforms.iter().map(|p| p.name()));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(&header_refs, &rows);
+
+        println!("\ngeomean speedup over vLLM-GPU:");
+        let mut summary = Vec::new();
+        for (platform, (g1, g2)) in platforms.iter().zip(&speedups) {
+            summary.push(vec![
+                platform.name(),
+                ratio(geomean(g1)),
+                ratio(geomean(g2)),
+            ]);
+        }
+        print_table(&["platform", "group 1 (512-2048)", "group 2 (2560-4096)"], &summary);
+    }
+    println!("\npaper: attention 5.8-6.2x (g1), 7.1-10.7x (g2); e2e 1.6-1.7x (g1), 2.2-2.3x (g2)");
+}

@@ -1,0 +1,97 @@
+//! Fig. 8 — (left) normalized HBM access breakdown of the attention layer:
+//! key centers / active positions / others, relative to the ideal
+//! accelerator's dense access; (right) end-to-end latency breakdown
+//! (attention vs the rest) for the ideal accelerator and LAD-1.5/2.5/3.5.
+//!
+//! Paper reference points: center and active proportions are small and
+//! shrink with KV length; LAD's latency is 0.78-0.79x of ideal in group 1
+//! and 0.52-0.56x in group 2; the ideal accelerator's attention share grows
+//! sharply with KV length while LAD's grows only mildly (+3 % for
+//! LLaMA2-13B on LAD-3.5 from 512 to 4096).
+
+use lad_accel::config::AccelConfig;
+use lad_accel::perf::{evaluate, Platform};
+use lad_accel::traffic::AttentionTraffic;
+use lad_bench::{pct, print_table, section, sweep_points};
+
+fn main() {
+    let configs = AccelConfig::paper_configs();
+    let points = sweep_points();
+    let batch = 8;
+
+    section("Fig.8 (left): attention HBM access normalized to the ideal accelerator");
+    let mut rows = Vec::new();
+    for point in &points {
+        let d = point.model.head_dim();
+        let dense = AttentionTraffic::dense_bytes(point.n, d);
+        let mut cells = vec![format!("{} n={}", point.model.name, point.n), "100% dense".to_string()];
+        for cfg in &configs {
+            let r = evaluate(&Platform::Lad(cfg.clone()), &point.model, point.n, &point.stats, batch);
+            let (c, a, o) = r.hbm_breakdown;
+            // Per-head-sample traffic relative to the dense access.
+            let total =
+                AttentionTraffic::from_stats(&point.stats, point.n, d, 17, 0.0).total_bytes();
+            let rel = total / dense;
+            cells.push(format!(
+                "{} (c {} / a {} / o {})",
+                pct(rel),
+                pct(c * rel),
+                pct(a * rel),
+                pct(o * rel)
+            ));
+        }
+        rows.push(cells);
+    }
+    let headers: Vec<String> = ["test case", "Ideal"]
+        .iter()
+        .map(|s| s.to_string())
+        .chain(configs.iter().map(|c| c.name.clone()))
+        .collect();
+    print_table(&headers.iter().map(String::as_str).collect::<Vec<_>>(), &rows);
+
+    section("Fig.8 (right): end-to-end latency breakdown (attention share, LAD vs ideal ratio)");
+    let mut rows = Vec::new();
+    let mut group_ratios: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); configs.len()];
+    for point in &points {
+        let ideal = evaluate(
+            &Platform::Ideal(configs[2].clone()),
+            &point.model,
+            point.n,
+            &point.stats,
+            batch,
+        );
+        let mut cells = vec![
+            format!("{} n={}", point.model.name, point.n),
+            format!("attn {}", pct(ideal.attn_seconds / ideal.e2e_seconds)),
+        ];
+        for (i, cfg) in configs.iter().enumerate() {
+            let lad = evaluate(&Platform::Lad(cfg.clone()), &point.model, point.n, &point.stats, batch);
+            let ratio = lad.e2e_seconds / ideal.e2e_seconds;
+            cells.push(format!(
+                "attn {} ({:.2}x ideal)",
+                pct(lad.attn_seconds / lad.e2e_seconds),
+                ratio
+            ));
+            let bucket = if point.is_group2() {
+                &mut group_ratios[i].1
+            } else {
+                &mut group_ratios[i].0
+            };
+            bucket.push(ratio);
+        }
+        rows.push(cells);
+    }
+    print_table(&headers.iter().map(String::as_str).collect::<Vec<_>>(), &rows);
+
+    println!("\nmean latency ratio vs ideal:");
+    let mut summary = Vec::new();
+    for (cfg, (g1, g2)) in configs.iter().zip(&group_ratios) {
+        summary.push(vec![
+            cfg.name.clone(),
+            format!("{:.2}x", lad_bench::geomean(g1)),
+            format!("{:.2}x", lad_bench::geomean(g2)),
+        ]);
+    }
+    print_table(&["config", "group 1", "group 2"], &summary);
+    println!("\npaper: 0.78-0.79x of ideal in group 1, 0.52-0.56x in group 2");
+}

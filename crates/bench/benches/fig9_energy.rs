@@ -1,0 +1,81 @@
+//! Fig. 9 — energy efficiency of baselines and LAD accelerators: (a) the
+//! attention layer, (b) the end-to-end model, as tokens per joule, plus the
+//! geomean improvement over vLLM-GPU.
+//!
+//! Paper reference points (geomean over test cases): attention energy
+//! efficiency 29.3/30.4/29.0x (LAD-1.5/2.5/3.5) in group 1 and
+//! 36.9/51.2/52.4x in group 2; end-to-end 10.9/10.6/10.0x and
+//! 14.4/14.2/13.4x.
+
+use lad_accel::config::AccelConfig;
+use lad_accel::gpu::GpuBaseline;
+use lad_accel::perf::{evaluate_best_batch, Platform};
+use lad_bench::{geomean, print_table, ratio, section, sweep_points};
+
+fn main() {
+    let platforms: Vec<Platform> = vec![
+        Platform::Gpu(GpuBaseline::Vllm),
+        Platform::Gpu(GpuBaseline::Qserve),
+        Platform::Gpu(GpuBaseline::H2o),
+        Platform::Lad(AccelConfig::lad_1_5()),
+        Platform::Lad(AccelConfig::lad_2_5()),
+        Platform::Lad(AccelConfig::lad_3_5()),
+    ];
+    let points = sweep_points();
+
+    for (title, attn) in [
+        ("Fig.9(a): attention-layer", true),
+        ("Fig.9(b): end-to-end", false),
+    ] {
+        section(&format!("{title} energy efficiency (tokens/J)"));
+        let mut rows = Vec::new();
+        let mut gains: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); platforms.len()];
+        for point in &points {
+            let vllm = evaluate_best_batch(
+                &Platform::Gpu(GpuBaseline::Vllm),
+                &point.model,
+                point.n,
+                &point.stats,
+            );
+            let vllm_eff = if attn {
+                vllm.batch as f64 / vllm.attn_energy_j
+            } else {
+                vllm.batch as f64 / vllm.e2e_energy_j
+            };
+            let mut cells = vec![format!("{} n={}", point.model.name, point.n)];
+            for (i, platform) in platforms.iter().enumerate() {
+                if let Platform::Gpu(baseline) = platform {
+                    if !baseline.supports(&point.model) {
+                        cells.push("NA".to_string());
+                        continue;
+                    }
+                }
+                let r = evaluate_best_batch(platform, &point.model, point.n, &point.stats);
+                let eff = if attn {
+                    r.batch as f64 / r.attn_energy_j
+                } else {
+                    r.batch as f64 / r.e2e_energy_j
+                };
+                cells.push(format!("{eff:.1}"));
+                let bucket = if point.is_group2() {
+                    &mut gains[i].1
+                } else {
+                    &mut gains[i].0
+                };
+                bucket.push(eff / vllm_eff);
+            }
+            rows.push(cells);
+        }
+        let mut headers = vec!["test case".to_string()];
+        headers.extend(platforms.iter().map(|p| p.name()));
+        print_table(&headers.iter().map(String::as_str).collect::<Vec<_>>(), &rows);
+
+        println!("\ngeomean energy-efficiency gain over vLLM-GPU:");
+        let mut summary = Vec::new();
+        for (platform, (g1, g2)) in platforms.iter().zip(&gains) {
+            summary.push(vec![platform.name(), ratio(geomean(g1)), ratio(geomean(g2))]);
+        }
+        print_table(&["platform", "group 1", "group 2"], &summary);
+    }
+    println!("\npaper: attention 29-30x (g1), 37-52x (g2); e2e 10-11x (g1), 13-14x (g2)");
+}

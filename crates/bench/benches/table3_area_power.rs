@@ -1,0 +1,59 @@
+//! Table III — area and power of one LAD tile, per module and per
+//! configuration.
+//!
+//! The model is seeded with the paper's synthesis anchors (TSMC 22 nm,
+//! 1 GHz) and interpolates SRAM in capacity; this bench regenerates the
+//! table and the paper's summary statistics.
+
+use lad_accel::asic::{compute_modules, sram_module, tile_total};
+use lad_accel::config::{AccelConfig, MIB};
+use lad_bench::{print_table, section};
+
+fn main() {
+    section("Table III: area and power of one LAD tile");
+    let mut rows = Vec::new();
+    for module in compute_modules() {
+        rows.push(vec![
+            module.name.clone(),
+            format!("{:.3}", module.area_mm2),
+            format!("{:.2}", module.dynamic_w * 1e3),
+            format!("{:.2}", module.static_w * 1e3),
+        ]);
+    }
+    for cfg in AccelConfig::paper_configs() {
+        let sram = sram_module(cfg.tile.sram_bytes);
+        rows.push(vec![
+            format!("SRAM in {} ({:.1} MB)", cfg.name, cfg.tile.sram_bytes as f64 / MIB as f64),
+            format!("{:.3}", sram.area_mm2),
+            format!("{:.2}", sram.dynamic_w * 1e3),
+            format!("{:.2}", sram.static_w * 1e3),
+        ]);
+    }
+    for cfg in AccelConfig::paper_configs() {
+        let total = tile_total(cfg.tile.sram_bytes);
+        rows.push(vec![
+            cfg.name.clone(),
+            format!("{:.3}", total.area_mm2),
+            format!("{:.2}", total.dynamic_w * 1e3),
+            format!("{:.2}", total.static_w * 1e3),
+        ]);
+    }
+    print_table(
+        &["module", "area (mm^2)", "dynamic (mW)", "static (mW)"],
+        &rows,
+    );
+
+    // The paper's headline split.
+    let modules = compute_modules();
+    let total_area: f64 = modules.iter().map(|m| m.area_mm2).sum();
+    let comp_area: f64 = modules
+        .iter()
+        .filter(|m| ["VPUs (x7)", "SFM"].contains(&m.name.as_str()))
+        .map(|m| m.area_mm2)
+        .sum();
+    println!(
+        "\nexcluding SRAM, computation modules take {:.1}% of area \
+         (paper: 82.7% counting VPUs+SFM)",
+        comp_area / total_area * 100.0
+    );
+}

@@ -1,0 +1,282 @@
+//! The six fixed-size intermediate caches `A`–`F` (paper Eq. 4–6).
+//!
+//! With PWL coefficients `(aᵢ*, bᵢ*)` of each position's mode interval, the
+//! mode-based part of the attention output is
+//!
+//! ```text
+//! numerator   = q·A − m·B + C      A = Σ aᵢ* kᵢᵀvᵢ   B = Σ aᵢ* vᵢ   C = Σ bᵢ* vᵢ
+//! denominator = q·D − m·E + F      D = Σ aᵢ* kᵢᵀ     E = Σ aᵢ*     F = Σ bᵢ*
+//! ```
+//!
+//! Total size `d² + 3d + 2` — *independent of the sequence length*, which is
+//! what makes LAD's KV-cache traffic sub-linear. When a position's mode
+//! changes, its contribution is corrected in place with the coefficient
+//! deltas `(α, β)` (Eq. 6), never requiring other positions' keys or values.
+
+use lad_math::Matrix;
+
+/// Mode-based intermediate caches of one attention head.
+///
+/// Internally kept in `f64` so that the exactness invariant (cached
+/// evaluation ≡ direct PWL attention) is tight; the hardware keeps them in
+/// fp16 SRAM with wide accumulators.
+///
+/// # Example
+///
+/// ```
+/// use lad_core::cache::IntermediateCache;
+///
+/// let mut cache = IntermediateCache::new(2);
+/// cache.insert(0.5, 0.1, &[1.0, 0.0], &[0.0, 2.0]);
+/// let (num, den) = cache.evaluate(&[1.0, 1.0], 0.0);
+/// // numerator = a*(q·k)·v + b*·v = 0.5·1·[0,2] + 0.1·[0,2] = [0, 1.2]
+/// assert!((num[1] - 1.2).abs() < 1e-9);
+/// // denominator = a*(q·k) + b* = 0.6
+/// assert!((den - 0.6).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntermediateCache {
+    dim: usize,
+    /// `A[r][c] = Σ aᵢ* kᵢ[r] vᵢ[c]` (row-major, d×d).
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+    d: Vec<f64>,
+    e: f64,
+    f: f64,
+}
+
+impl IntermediateCache {
+    /// Creates zeroed caches for head dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> IntermediateCache {
+        assert!(dim > 0, "IntermediateCache: dim must be positive");
+        IntermediateCache {
+            dim,
+            a: vec![0.0; dim * dim],
+            b: vec![0.0; dim],
+            c: vec![0.0; dim],
+            d: vec![0.0; dim],
+            e: 0.0,
+            f: 0.0,
+        }
+    }
+
+    /// Head dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Adds a position's contribution under mode coefficients `(a_star,
+    /// b_star)` (paper Eq. 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` or `value` length differs from `dim`.
+    pub fn insert(&mut self, a_star: f64, b_star: f64, key: &[f32], value: &[f32]) {
+        self.apply(a_star, b_star, key, value);
+    }
+
+    /// Corrects a position's contribution after a mode change using the
+    /// coefficient deltas `alpha = a_new − a_old`, `beta = b_new − b_old`
+    /// (paper Eq. 6). Identical arithmetic to [`IntermediateCache::insert`];
+    /// the distinct name mirrors the paper's two operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` or `value` length differs from `dim`.
+    pub fn delta_update(&mut self, alpha: f64, beta: f64, key: &[f32], value: &[f32]) {
+        self.apply(alpha, beta, key, value);
+    }
+
+    fn apply(&mut self, wa: f64, wb: f64, key: &[f32], value: &[f32]) {
+        assert_eq!(key.len(), self.dim, "cache: key dim mismatch");
+        assert_eq!(value.len(), self.dim, "cache: value dim mismatch");
+        for (r, &kr) in key.iter().enumerate() {
+            let factor = wa * f64::from(kr);
+            if factor != 0.0 {
+                let row = &mut self.a[r * self.dim..(r + 1) * self.dim];
+                for (slot, &vc) in row.iter_mut().zip(value) {
+                    *slot += factor * f64::from(vc);
+                }
+            }
+        }
+        for ((bb, cc), &vc) in self.b.iter_mut().zip(&mut self.c).zip(value) {
+            *bb += wa * f64::from(vc);
+            *cc += wb * f64::from(vc);
+        }
+        for (dd, &kr) in self.d.iter_mut().zip(key) {
+            *dd += wa * f64::from(kr);
+        }
+        self.e += wa;
+        self.f += wb;
+    }
+
+    /// Evaluates the mode-based numerator and denominator (the cache terms of
+    /// paper Eq. 4) for a scaled query and running maximum `m`:
+    /// `(q·A − m·B + C, q·D − m·E + F)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_scaled.len() != dim`.
+    pub fn evaluate(&self, q_scaled: &[f32], m: f64) -> (Vec<f64>, f64) {
+        assert_eq!(q_scaled.len(), self.dim, "cache: query dim mismatch");
+        let mut num = vec![0.0f64; self.dim];
+        for (r, &qr) in q_scaled.iter().enumerate() {
+            let qr = f64::from(qr);
+            if qr != 0.0 {
+                let row = &self.a[r * self.dim..(r + 1) * self.dim];
+                for (slot, &arc) in num.iter_mut().zip(row) {
+                    *slot += qr * arc;
+                }
+            }
+        }
+        for ((slot, &bb), &cc) in num.iter_mut().zip(&self.b).zip(&self.c) {
+            *slot += cc - m * bb;
+        }
+        let mut den = self.f - m * self.e;
+        for (&qr, &dd) in q_scaled.iter().zip(&self.d) {
+            den += f64::from(qr) * dd;
+        }
+        (num, den)
+    }
+
+    /// The `A` cache as a matrix (for diagnostics and tests).
+    pub fn a_matrix(&self) -> Matrix {
+        Matrix::from_flat(
+            self.dim,
+            self.dim,
+            self.a.iter().map(|&v| v as f32).collect(),
+        )
+    }
+
+    /// The `B`, `C`, `D` vector caches and `E`, `F` scalars.
+    pub fn small_caches(&self) -> (&[f64], &[f64], &[f64], f64, f64) {
+        (&self.b, &self.c, &self.d, self.e, self.f)
+    }
+
+    /// Byte size of the caches under fp16 storage: `(d² + 3d + 2) · 2`
+    /// (paper Sec. III-B).
+    pub fn fp16_bytes(&self) -> usize {
+        (self.dim * self.dim + 3 * self.dim + 2) * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Recomputes the caches from scratch and compares with the maintained
+    /// ones — the fundamental consistency invariant.
+    fn rebuild(
+        dim: usize,
+        entries: &[(f64, f64, Vec<f32>, Vec<f32>)],
+    ) -> IntermediateCache {
+        let mut cache = IntermediateCache::new(dim);
+        for (a, b, k, v) in entries {
+            cache.insert(*a, *b, k, v);
+        }
+        cache
+    }
+
+    #[test]
+    fn insert_matches_definition() {
+        let mut cache = IntermediateCache::new(2);
+        cache.insert(2.0, 3.0, &[1.0, -1.0], &[0.5, 4.0]);
+        let (b, c, d, e, f) = cache.small_caches();
+        assert_eq!(b, &[1.0, 8.0]); // a*·v
+        assert_eq!(c, &[1.5, 12.0]); // b*·v
+        assert_eq!(d, &[2.0, -2.0]); // a*·k
+        assert_eq!(e, 2.0);
+        assert_eq!(f, 3.0);
+        // A = a* kᵀ v
+        let a = cache.a_matrix();
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(0, 1), 8.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(1, 1), -8.0);
+    }
+
+    #[test]
+    fn evaluate_equals_direct_sum() {
+        // num must equal Σ (a*(q·k − m) + b*) v, den likewise without v.
+        let entries = vec![
+            (0.7, 0.05, vec![1.0f32, 2.0], vec![3.0f32, -1.0]),
+            (0.2, 0.30, vec![-1.0f32, 0.5], vec![0.0f32, 1.0]),
+            (0.0, 0.00, vec![5.0f32, 5.0], vec![9.0f32, 9.0]),
+        ];
+        let cache = rebuild(2, &entries);
+        let q = [0.5f32, -1.5];
+        let m = 0.8;
+        let (num, den) = cache.evaluate(&q, m);
+        let mut exp_num = [0.0f64; 2];
+        let mut exp_den = 0.0f64;
+        for (a, b, k, v) in &entries {
+            let s: f64 = q
+                .iter()
+                .zip(k)
+                .map(|(x, y)| f64::from(*x) * f64::from(*y))
+                .sum();
+            let w = a * (s - m) + b;
+            exp_den += w;
+            for (slot, &vc) in exp_num.iter_mut().zip(v) {
+                *slot += w * f64::from(vc);
+            }
+        }
+        assert!((den - exp_den).abs() < 1e-9);
+        for (got, want) in num.iter().zip(&exp_num) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn delta_update_equals_reinsertion() {
+        // Inserting with old coefficients then delta-updating must equal
+        // inserting with the new coefficients directly.
+        let k = vec![1.0f32, -2.0, 0.5];
+        let v = vec![0.25f32, 4.0, -1.0];
+        let (a_old, b_old) = (0.3, 0.02);
+        let (a_new, b_new) = (0.55, 0.11);
+
+        let mut updated = IntermediateCache::new(3);
+        updated.insert(a_old, b_old, &k, &v);
+        updated.delta_update(a_new - a_old, b_new - b_old, &k, &v);
+
+        let mut direct = IntermediateCache::new(3);
+        direct.insert(a_new, b_new, &k, &v);
+
+        let q = [1.0f32, 1.0, 1.0];
+        let (nu, du) = updated.evaluate(&q, 0.3);
+        let (nd, dd) = direct.evaluate(&q, 0.3);
+        assert!((du - dd).abs() < 1e-12);
+        for (x, y) in nu.iter().zip(&nd) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_coefficient_interval_contributes_nothing() {
+        let mut cache = IntermediateCache::new(2);
+        cache.insert(0.0, 0.0, &[7.0, 7.0], &[7.0, 7.0]);
+        let (num, den) = cache.evaluate(&[1.0, 1.0], 0.0);
+        assert_eq!(den, 0.0);
+        assert_eq!(num, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fp16_bytes_formula() {
+        assert_eq!(
+            IntermediateCache::new(128).fp16_bytes(),
+            (128 * 128 + 3 * 128 + 2) * 2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be positive")]
+    fn zero_dim_rejected() {
+        IntermediateCache::new(0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Dynamic key directional center extraction (paper Alg. 1, Sec. III-D).
+//!
+//! Keys whose directions are (anti-)collinear — `|cos| > threshold` — share a
+//! **directional center**: the earlier key they align with. A position's
+//! attention score can then be approximated as
+//! `q·kᵢᵀ ≈ (q·k_cid[i]ᵀ) · dnorm[i]` where
+//! `dnorm[i] = ±‖kᵢ‖ / ‖k_cid[i]‖`, so active-position identification only
+//! touches the (few) center keys instead of the whole key cache.
+//!
+//! Centers are selected *from* the keys, so no extra vector storage is needed
+//! — only the scalar arrays `cid`, `norm`, `dnorm` (part of the hardware's
+//! `G` tensor).
+
+use lad_math::vector;
+
+/// The paper's empirical collinearity threshold.
+pub const DEFAULT_COLLINEARITY_THRESHOLD: f64 = 0.98;
+
+/// Book-keeping for directional centers over a growing key sequence.
+///
+/// # Example
+///
+/// ```
+/// use lad_core::centers::CenterBook;
+///
+/// let mut book = CenterBook::new(0.98);
+/// let keys = vec![vec![1.0, 0.0], vec![2.0, 0.0], vec![0.0, 1.0]];
+/// book.add_key(&keys[..1]); // key 0 becomes a center
+/// book.add_key(&keys[..2]); // key 1 is collinear with key 0
+/// book.add_key(&keys[..3]); // key 2 is orthogonal -> a new center
+/// assert_eq!(book.centers(), &[0, 2]);
+/// assert_eq!(book.cid(1), 0);
+/// assert!((book.dnorm(1) - 2.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CenterBook {
+    threshold: f64,
+    cid: Vec<usize>,
+    norm: Vec<f64>,
+    dnorm: Vec<f64>,
+    centers: Vec<usize>,
+}
+
+impl CenterBook {
+    /// Creates an empty book with the given collinearity threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < threshold <= 1`.
+    pub fn new(threshold: f64) -> CenterBook {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "CenterBook: threshold must be in (0, 1]"
+        );
+        CenterBook {
+            threshold,
+            cid: Vec::new(),
+            norm: Vec::new(),
+            dnorm: Vec::new(),
+            centers: Vec::new(),
+        }
+    }
+
+    /// Number of keys registered.
+    pub fn len(&self) -> usize {
+        self.cid.len()
+    }
+
+    /// `true` when no keys are registered.
+    pub fn is_empty(&self) -> bool {
+        self.cid.is_empty()
+    }
+
+    /// Positions currently serving as directional centers, ascending.
+    pub fn centers(&self) -> &[usize] {
+        &self.centers
+    }
+
+    /// Center id of `position` (`cid[i] == i` when the key is its own center).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn cid(&self, position: usize) -> usize {
+        self.cid[position]
+    }
+
+    /// L2 norm recorded for `position`'s key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn norm(&self, position: usize) -> f64 {
+        self.norm[position]
+    }
+
+    /// Signed norm ratio `±‖kᵢ‖/‖k_cid[i]‖` (negative when anti-collinear).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn dnorm(&self, position: usize) -> f64 {
+        self.dnorm[position]
+    }
+
+    /// Registers the newest key (paper Alg. 1). `keys` is the full key cache
+    /// with the new key last; only keys at center positions are read,
+    /// mirroring the EAS.5 sub-task's memory traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() != self.len() + 1`.
+    pub fn add_key(&mut self, keys: &[Vec<f32>]) {
+        assert_eq!(
+            keys.len(),
+            self.len() + 1,
+            "add_key: keys must contain exactly one unregistered key"
+        );
+        let n = self.len();
+        let new_key = &keys[n];
+        let new_norm = f64::from(vector::norm(new_key));
+        self.norm.push(new_norm);
+
+        let mut max_cos = 0.0f64;
+        let mut max_pos = 0usize;
+        if new_norm > 0.0 {
+            for &c in &self.centers {
+                let center_norm = self.norm[c];
+                if center_norm == 0.0 {
+                    continue;
+                }
+                let cos = f64::from(vector::dot(new_key, &keys[c])) / (new_norm * center_norm);
+                if cos.abs() > max_cos.abs() {
+                    max_cos = cos;
+                    max_pos = c;
+                }
+            }
+        }
+
+        if max_cos > self.threshold {
+            self.cid.push(max_pos);
+            self.dnorm.push(new_norm / self.norm[max_pos]);
+        } else if max_cos < -self.threshold {
+            self.cid.push(max_pos);
+            self.dnorm.push(-new_norm / self.norm[max_pos]);
+        } else {
+            self.cid.push(n);
+            self.dnorm.push(1.0);
+            self.centers.push(n);
+        }
+    }
+
+    /// Approximates all `n` attention scores from the `q·k_c` dot products of
+    /// the centers alone: `s[i] ≈ center_scores[cid[i]] · dnorm[i]`.
+    ///
+    /// `center_scores` maps center *position* to its exact score; typically
+    /// produced by [`CenterBook::score_centers`].
+    pub fn approx_scores(&self, center_scores: &impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..self.len())
+            .map(|i| center_scores(self.cid[i]) * self.dnorm[i])
+            .collect()
+    }
+
+    /// Computes the exact scores of the center keys only:
+    /// `q_scaled · k_c` for each center `c`. This is EAS.1's traffic — the
+    /// only key reads the identification pass needs.
+    pub fn score_centers(&self, q_scaled: &[f32], keys: &[Vec<f32>]) -> Vec<(usize, f64)> {
+        self.centers
+            .iter()
+            .map(|&c| (c, f64::from(vector::dot(q_scaled, &keys[c]))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(book: &mut CenterBook, keys: &[Vec<f32>]) {
+        for i in 0..keys.len() {
+            if i >= book.len() {
+                book.add_key(&keys[..=i]);
+            }
+        }
+    }
+
+    #[test]
+    fn first_key_is_its_own_center() {
+        let mut book = CenterBook::new(0.98);
+        book.add_key(&[vec![3.0, 4.0]]);
+        assert_eq!(book.centers(), &[0]);
+        assert_eq!(book.cid(0), 0);
+        assert_eq!(book.dnorm(0), 1.0);
+        assert!((book.norm(0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_key_maps_to_center() {
+        let mut book = CenterBook::new(0.98);
+        feed(&mut book, &[vec![1.0, 0.0], vec![4.0, 0.0]]);
+        assert_eq!(book.centers(), &[0]);
+        assert_eq!(book.cid(1), 0);
+        assert!((book.dnorm(1) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anti_collinear_key_gets_negative_dnorm() {
+        let mut book = CenterBook::new(0.98);
+        feed(&mut book, &[vec![1.0, 0.0], vec![-2.0, 0.0]]);
+        assert_eq!(book.cid(1), 0);
+        assert!((book.dnorm(1) + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orthogonal_key_becomes_new_center() {
+        let mut book = CenterBook::new(0.98);
+        feed(&mut book, &[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.7, 0.7]]);
+        // 45-degree key (cos ~0.707 to both) is below threshold -> center.
+        assert_eq!(book.centers(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn threshold_controls_grouping() {
+        // cos between (1,0) and (1, 0.1) is ~0.995: grouped at 0.98 but
+        // separate at 0.999.
+        let keys = vec![vec![1.0, 0.0], vec![1.0, 0.1]];
+        let mut loose = CenterBook::new(0.98);
+        feed(&mut loose, &keys);
+        assert_eq!(loose.centers().len(), 1);
+        let mut tight = CenterBook::new(0.999);
+        feed(&mut tight, &keys);
+        assert_eq!(tight.centers().len(), 2);
+    }
+
+    #[test]
+    fn zero_key_becomes_center_not_member() {
+        let mut book = CenterBook::new(0.98);
+        feed(&mut book, &[vec![1.0, 0.0], vec![0.0, 0.0]]);
+        // A zero key has no direction; it must not alias another center.
+        assert_eq!(book.cid(1), 1);
+        assert_eq!(book.centers(), &[0, 1]);
+    }
+
+    #[test]
+    fn approx_scores_reconstruct_collinear_exactly() {
+        let mut book = CenterBook::new(0.98);
+        let keys = vec![vec![2.0, 0.0], vec![6.0, 0.0], vec![-1.0, 0.0]];
+        feed(&mut book, &keys);
+        let q = vec![1.5f32, 0.0];
+        let centers = book.score_centers(&q, &keys);
+        let lookup = |c: usize| {
+            centers
+                .iter()
+                .find(|(pos, _)| *pos == c)
+                .map(|(_, s)| *s)
+                .unwrap()
+        };
+        let approx = book.approx_scores(&lookup);
+        // Perfectly collinear keys reconstruct exactly.
+        assert!((approx[0] - 3.0).abs() < 1e-6);
+        assert!((approx[1] - 9.0).abs() < 1e-6);
+        assert!((approx[2] + 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_centers_touches_only_centers() {
+        let mut book = CenterBook::new(0.98);
+        let keys = vec![vec![1.0, 0.0], vec![2.0, 0.0], vec![0.0, 3.0]];
+        feed(&mut book, &keys);
+        let scored = book.score_centers(&[1.0, 1.0], &keys);
+        let positions: Vec<usize> = scored.iter().map(|(p, _)| *p).collect();
+        assert_eq!(positions, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one unregistered key")]
+    fn add_key_requires_incremental_feed() {
+        let mut book = CenterBook::new(0.98);
+        book.add_key(&[vec![1.0], vec![2.0]]);
+    }
+}

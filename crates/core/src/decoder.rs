@@ -1,0 +1,599 @@
+//! The LAD attention decoder — the paper's core contribution (Sec. III-E,
+//! Fig. 3).
+//!
+//! One [`LadAttention`] instance holds the full state of one attention head
+//! across decoding steps: the KV cache, the directional centers, the
+//! per-position mode counters and the six intermediate caches. Each
+//! [`LadAttention::step`] performs the five stages of the LAD attention
+//! algorithm:
+//!
+//! 1. **Active position identification** — approximate scores from the
+//!    directional centers (Alg. 1), exact scores for large-mode positions
+//!    (Sec. III-F) and for the latest window.
+//! 2. **Mode-based computation** — numerator/denominator from the
+//!    intermediate caches, *no KV access*.
+//! 3. **Correction** — exact scores for the (few) active positions; their
+//!    keys/values are the only per-step KV-cache reads.
+//! 4. **Window terms** — the latest positions, not yet in the caches, are
+//!    weighted directly.
+//! 5. **Maintenance** — counters, mode updates (Eq. 6) and aging the oldest
+//!    window position into the caches (Eq. 5).
+//!
+//! With [`Identification::Oracle`] the output equals the direct PWL attention
+//! of [`crate::reference::pwl_attention`] exactly (up to accumulation order) —
+//! the invariant the property tests pin down. With
+//! [`Identification::Approximate`] the only error source is interval
+//! misidentification, exactly as the paper argues.
+
+use std::collections::HashSet;
+
+use crate::cache::IntermediateCache;
+use crate::centers::{CenterBook, DEFAULT_COLLINEARITY_THRESHOLD};
+use crate::kv::KvCache;
+use crate::modes::ModeTracker;
+use crate::stats::StepStats;
+use lad_math::pwl::PwlExp;
+use lad_math::vector;
+
+/// The paper's latest-position exclusion window ("we exclude the latest 16
+/// positions from intermediate caches", Sec. III-E).
+pub const DEFAULT_WINDOW: usize = 16;
+
+/// How attention-score intervals are identified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Identification {
+    /// Directional-center approximation (Alg. 1) — the real LAD behaviour.
+    Approximate,
+    /// Exact scores for every position — no misidentification. Used to
+    /// validate the exactness invariant; unrealistically expensive on
+    /// hardware.
+    Oracle,
+}
+
+/// Configuration of a LAD attention head.
+#[derive(Debug, Clone)]
+pub struct LadConfig {
+    /// The interval partition and PWL coefficients.
+    pub pwl: PwlExp,
+    /// Latest positions excluded from the intermediate caches.
+    pub window: usize,
+    /// `|cos|` threshold for directional-center grouping (Alg. 1).
+    pub collinearity_threshold: f64,
+    /// Score positions whose mode is `>= large_mode_min_index` exactly
+    /// (Sec. III-F: intervals near 0 are short, so approximating scores there
+    /// easily misidentifies).
+    pub exact_large_modes: bool,
+    /// Threshold index for "larger modes"; defaults to the top two intervals.
+    pub large_mode_min_index: usize,
+    /// Identification strategy.
+    pub identification: Identification,
+    /// When `true`, each step also runs oracle identification to fill the
+    /// `false_negatives` / `false_positives` diagnostics (costly).
+    pub diagnostics: bool,
+}
+
+impl LadConfig {
+    /// Paper-default configuration on the given partition.
+    pub fn new(pwl: PwlExp) -> LadConfig {
+        let large = pwl.num_intervals().saturating_sub(2);
+        LadConfig {
+            pwl,
+            window: DEFAULT_WINDOW,
+            collinearity_threshold: DEFAULT_COLLINEARITY_THRESHOLD,
+            exact_large_modes: true,
+            large_mode_min_index: large,
+            identification: Identification::Approximate,
+            diagnostics: false,
+        }
+    }
+
+    /// Oracle-identification configuration (for validation).
+    pub fn oracle(pwl: PwlExp) -> LadConfig {
+        LadConfig {
+            identification: Identification::Oracle,
+            ..LadConfig::new(pwl)
+        }
+    }
+}
+
+impl Default for LadConfig {
+    fn default() -> LadConfig {
+        LadConfig::new(PwlExp::accurate_default())
+    }
+}
+
+/// Result of one decoding step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutput {
+    /// The attention output vector (length `d`).
+    pub output: Vec<f32>,
+    /// Instrumentation for the accelerator model.
+    pub stats: StepStats,
+}
+
+/// Full LAD decoding state of one attention head.
+///
+/// # Example
+///
+/// ```
+/// use lad_core::decoder::{LadAttention, LadConfig};
+/// use lad_math::pwl::PwlExp;
+///
+/// let mut head = LadAttention::new(8, LadConfig::new(PwlExp::accurate_default()));
+/// let out = head.step(&[0.1; 8], vec![0.2; 8], vec![0.3; 8]);
+/// assert_eq!(out.output.len(), 8);
+/// assert_eq!(head.kv().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LadAttention {
+    cfg: LadConfig,
+    kv: KvCache,
+    tracker: ModeTracker,
+    centers: CenterBook,
+    cache: IntermediateCache,
+    /// Mode under which each position currently sits in the intermediate
+    /// caches; `None` while still inside the latest window.
+    cached_mode: Vec<Option<usize>>,
+    prev_active: HashSet<usize>,
+}
+
+impl LadAttention {
+    /// Creates a head with dimension `dim` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, cfg: LadConfig) -> LadAttention {
+        let intervals = cfg.pwl.num_intervals();
+        let threshold = cfg.collinearity_threshold;
+        LadAttention {
+            kv: KvCache::new(dim),
+            tracker: ModeTracker::new(intervals),
+            centers: CenterBook::new(threshold),
+            cache: IntermediateCache::new(dim),
+            cached_mode: Vec::new(),
+            prev_active: HashSet::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &LadConfig {
+        &self.cfg
+    }
+
+    /// Read access to the KV cache.
+    pub fn kv(&self) -> &KvCache {
+        &self.kv
+    }
+
+    /// Read access to the mode tracker.
+    pub fn tracker(&self) -> &ModeTracker {
+        &self.tracker
+    }
+
+    /// Read access to the directional centers.
+    pub fn centers(&self) -> &CenterBook {
+        &self.centers
+    }
+
+    /// Read access to the intermediate caches.
+    pub fn intermediate_cache(&self) -> &IntermediateCache {
+        &self.cache
+    }
+
+    /// The interval under which `position`'s contribution currently sits in
+    /// the intermediate caches (`None` while inside the latest window).
+    pub fn cached_interval(&self, position: usize) -> Option<usize> {
+        self.cached_mode.get(position).copied().flatten()
+    }
+
+    /// Whether `position` was identified active (and therefore corrected)
+    /// during the most recent step.
+    pub fn was_corrected_last_step(&self, position: usize) -> bool {
+        self.prev_active.contains(&position)
+    }
+
+    /// Executes one decoding step: appends `(key, value)` to the KV cache and
+    /// computes the attention output for `query`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector length differs from the head dimension.
+    pub fn step(&mut self, query: &[f32], key: Vec<f32>, value: Vec<f32>) -> StepOutput {
+        let d = self.kv.dim();
+        assert_eq!(query.len(), d, "step: query dim mismatch");
+
+        // -- Append and register the new position.
+        self.kv.push(key, value);
+        self.tracker.push_position();
+        self.cached_mode.push(None);
+        self.centers.add_key(self.kv.keys());
+        let n = self.kv.len();
+
+        let q_scaled = crate::reference::scale_query(query);
+
+        // -- Stage 1-2: attention scores for identification.
+        let mut scores = vec![0.0f64; n];
+        let mut exact = vec![false; n]; // which scores are exact
+        let mut large_mode_exact = 0usize;
+
+        match self.cfg.identification {
+            Identification::Oracle => {
+                for i in 0..n {
+                    scores[i] = f64::from(vector::dot(&q_scaled, self.kv.key(i)));
+                    exact[i] = true;
+                }
+            }
+            Identification::Approximate => {
+                // EAS.1: exact scores of directional centers only.
+                let center_scores = self.centers.score_centers(&q_scaled, self.kv.keys());
+                let mut by_pos = vec![0.0f64; n];
+                for &(c, s) in &center_scores {
+                    by_pos[c] = s;
+                    scores[c] = s;
+                    exact[c] = true;
+                }
+                // EAS.2: rescale via dnorm.
+                for i in 0..n {
+                    if !exact[i] {
+                        scores[i] = by_pos[self.centers.cid(i)] * self.centers.dnorm(i);
+                    }
+                }
+                // EAS.3: exact scores for large-mode cached positions.
+                if self.cfg.exact_large_modes {
+                    for i in 0..n {
+                        if !exact[i]
+                            && self.cached_mode[i].is_some()
+                            && self.tracker.mode(i) >= self.cfg.large_mode_min_index
+                        {
+                            scores[i] = f64::from(vector::dot(&q_scaled, self.kv.key(i)));
+                            exact[i] = true;
+                            large_mode_exact += 1;
+                        }
+                    }
+                }
+                // Window positions are in the active FIFO by default — the MD
+                // module computes their exact scores.
+                for i in 0..n {
+                    if !exact[i] && self.cached_mode[i].is_none() {
+                        scores[i] = f64::from(vector::dot(&q_scaled, self.kv.key(i)));
+                        exact[i] = true;
+                    }
+                }
+            }
+        }
+
+        let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        // -- APID: identify active cached positions.
+        let mut active: Vec<usize> = Vec::new();
+        for (i, &score) in scores.iter().enumerate() {
+            if self.cached_mode[i].is_some() {
+                let mode = self.tracker.mode(i);
+                let (lo, hi) = self.cfg.pwl.interval_bounds(mode);
+                let shifted = score - m;
+                if shifted < lo || shifted > hi {
+                    active.push(i);
+                }
+            }
+        }
+
+        // -- AC.1/AC.2: mode-based numerator and denominator from the caches.
+        let (mut num, mut den) = self.cache.evaluate(&q_scaled, m);
+
+        // -- MD + AC.3: correction computations for active positions.
+        let mut mode_updates = 0usize;
+        let mut new_active = 0usize;
+        let mut next_active: HashSet<usize> = HashSet::with_capacity(active.len());
+        let mut corrected: HashSet<usize> = HashSet::with_capacity(active.len());
+        for &j in &active {
+            // The MD module computes the *accurate* score for active
+            // positions (reads the key from the KV cache).
+            let s_exact = if exact[j] {
+                scores[j]
+            } else {
+                f64::from(vector::dot(&q_scaled, self.kv.key(j)))
+            };
+            let shifted = s_exact - m;
+            let id = self.cfg.pwl.interval_of(shifted);
+            let cached = self.cached_mode[j].expect("active positions are cached");
+            let (a_id, b_id) = self.cfg.pwl.coeffs(id);
+            let (a_mode, b_mode) = self.cfg.pwl.coeffs(cached);
+            let alpha = a_id - a_mode;
+            let beta = b_id - b_mode;
+            // Correction factor; zero for false positives (id == cached).
+            let cf = alpha * shifted + beta;
+            if cf != 0.0 {
+                for (slot, &vc) in num.iter_mut().zip(self.kv.value(j)) {
+                    *slot += cf * f64::from(vc);
+                }
+                den += cf;
+            }
+            corrected.insert(j);
+            if !self.prev_active.contains(&j) {
+                new_active += 1;
+            }
+            next_active.insert(j);
+            // Counter maintenance for active positions uses the true interval.
+            let changed = self.tracker.record(j, id);
+            if changed {
+                self.cache
+                    .delta_update(alpha, beta, self.kv.key(j), self.kv.value(j));
+                self.cached_mode[j] = Some(id);
+                mode_updates += 1;
+            }
+        }
+
+        // -- Step 5: window positions (not yet cached) computed directly.
+        let mut window_count = 0usize;
+        for (i, &score) in scores.iter().enumerate() {
+            if self.cached_mode[i].is_none() {
+                window_count += 1;
+                let shifted = score - m;
+                let id = self.cfg.pwl.interval_of(shifted);
+                let (a, b) = self.cfg.pwl.coeffs(id);
+                let w = a * shifted + b;
+                if w != 0.0 {
+                    for (slot, &vc) in num.iter_mut().zip(self.kv.value(i)) {
+                        *slot += w * f64::from(vc);
+                    }
+                    den += w;
+                }
+                self.tracker.record(i, id);
+            } else if !corrected.contains(&i) {
+                // Non-active cached position: APID increments its mode
+                // counter without knowing the true interval.
+                self.tracker.record_mode_hit(i);
+            }
+        }
+
+        let output: Vec<f32> = num.iter().map(|&x| (x / den) as f32).collect();
+
+        // -- Diagnostics: oracle comparison of the active set.
+        let (false_negatives, false_positives) = if self.cfg.diagnostics
+            && self.cfg.identification == Identification::Approximate
+        {
+            self.identification_errors(&q_scaled, m, &next_active)
+        } else {
+            (0, 0)
+        };
+
+        // -- Aging: the oldest window position joins the caches (Eq. 5).
+        if n > self.cfg.window {
+            let aged = n - 1 - self.cfg.window;
+            if self.cached_mode[aged].is_none() {
+                let mode = self.tracker.mode(aged);
+                let (a, b) = self.cfg.pwl.coeffs(mode);
+                self.cache
+                    .insert(a, b, self.kv.key(aged), self.kv.value(aged));
+                self.cached_mode[aged] = Some(mode);
+            }
+        }
+
+        self.prev_active = next_active;
+
+        StepOutput {
+            output,
+            stats: StepStats {
+                n,
+                centers: self.centers.centers().len(),
+                large_mode_exact,
+                active: active.len(),
+                window: window_count,
+                mode_updates,
+                new_active,
+                false_negatives,
+                false_positives,
+            },
+        }
+    }
+
+    /// Compares the identified active set against oracle identification.
+    fn identification_errors(
+        &self,
+        q_scaled: &[f32],
+        m: f64,
+        identified: &HashSet<usize>,
+    ) -> (usize, usize) {
+        let mut false_negatives = 0;
+        let mut false_positives = 0;
+        for i in 0..self.kv.len() {
+            let Some(cached) = self.cached_mode[i] else {
+                continue;
+            };
+            // We compare against the *cached* mode: a position is truly
+            // active when its exact-score interval differs from the interval
+            // its cache contribution assumes.
+            let s = f64::from(vector::dot(q_scaled, self.kv.key(i)));
+            let truly_active = self.cfg.pwl.interval_of(s - m) != cached;
+            match (truly_active, identified.contains(&i)) {
+                (true, false) => false_negatives += 1,
+                (false, true) => false_positives += 1,
+                _ => {}
+            }
+        }
+        (false_negatives, false_positives)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use lad_math::Rng;
+
+    fn run_head(
+        cfg: LadConfig,
+        n_steps: usize,
+        d: usize,
+        seed: u64,
+    ) -> (Vec<Vec<f32>>, Vec<StepStats>, LadAttention) {
+        let mut rng = Rng::new(seed);
+        let mut head = LadAttention::new(d, cfg);
+        let mut outs = Vec::new();
+        let mut stats = Vec::new();
+        for _ in 0..n_steps {
+            let q = rng.normal_vec(d, 1.0);
+            let k = rng.normal_vec(d, 1.0);
+            let v = rng.normal_vec(d, 1.0);
+            let out = head.step(&q, k, v);
+            outs.push(out.output);
+            stats.push(out.stats);
+        }
+        (outs, stats, head)
+    }
+
+    #[test]
+    fn first_step_returns_the_value() {
+        let mut head = LadAttention::new(4, LadConfig::default());
+        let out = head.step(&[1.0; 4], vec![0.5; 4], vec![1.0, 2.0, 3.0, 4.0]);
+        // One position: softmax weight 1 -> output == value.
+        for (got, want) in out.output.iter().zip([1.0, 2.0, 3.0, 4.0]) {
+            assert!((got - want).abs() < 1e-5);
+        }
+        assert_eq!(out.stats.n, 1);
+        assert_eq!(out.stats.window, 1);
+        assert_eq!(out.stats.active, 0);
+    }
+
+    #[test]
+    fn oracle_matches_direct_pwl_attention() {
+        // The core exactness invariant: with oracle identification the LAD
+        // cached computation reproduces direct PWL attention (Eq.3 == Eq.4).
+        let d = 16;
+        let pwl = PwlExp::accurate_default();
+        let mut rng = Rng::new(77);
+        let mut head = LadAttention::new(d, LadConfig::oracle(pwl.clone()));
+        let mut shadow = KvCache::new(d);
+        for step in 0..120 {
+            let q = rng.normal_vec(d, 1.0);
+            let k = rng.normal_vec(d, 1.0);
+            let v = rng.normal_vec(d, 1.0);
+            shadow.push(k.clone(), v.clone());
+            let lad = head.step(&q, k, v).output;
+            let direct = reference::pwl_attention(&q, &shadow, &pwl);
+            let rel = vector::relative_l2(&lad, &direct);
+            assert!(rel < 1e-4, "step {step}: relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn approximate_tracks_exact_attention() {
+        // End-to-end accuracy: approximate identification stays close to the
+        // exact softmax attention on random streams.
+        let d = 16;
+        let (outs, _, head) = run_head(LadConfig::default(), 100, d, 78);
+        let mut rng = Rng::new(78);
+        let mut shadow = KvCache::new(d);
+        let mut worst = 0.0f32;
+        for out in &outs {
+            let q = rng.normal_vec(d, 1.0);
+            let k = rng.normal_vec(d, 1.0);
+            let v = rng.normal_vec(d, 1.0);
+            shadow.push(k, v);
+            let exact = reference::exact_attention(&q, &shadow);
+            worst = worst.max(vector::relative_l2(out, &exact));
+        }
+        assert_eq!(head.kv().len(), 100);
+        assert!(worst < 0.15, "worst relative error {worst}");
+    }
+
+    #[test]
+    fn stats_shape_is_sane() {
+        let (_, stats, _) = run_head(LadConfig::default(), 80, 8, 79);
+        let last = stats.last().unwrap();
+        assert_eq!(last.n, 80);
+        // Window covers the latest positions (W + the one about to age).
+        assert_eq!(last.window, DEFAULT_WINDOW + 1);
+        // Active positions are a subset of cached ones.
+        assert!(last.active <= last.n - last.window);
+        // Before the window fills, nothing is cached or active.
+        assert_eq!(stats[5].active, 0);
+        assert_eq!(stats[5].window, 6);
+    }
+
+    #[test]
+    fn cached_mode_matches_tracker_after_updates() {
+        // Internal consistency: every cached position's cache contribution
+        // must be under its tracker mode at step boundaries.
+        let (_, _, head) = run_head(LadConfig::default(), 120, 8, 80);
+        for (i, cached) in head.cached_mode.iter().enumerate() {
+            if let Some(mode) = cached {
+                assert_eq!(
+                    *mode,
+                    head.tracker.mode(i),
+                    "position {i} cache/tracker divergence"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_reports_no_identification_errors() {
+        let pwl = PwlExp::accurate_default();
+        let mut cfg = LadConfig::oracle(pwl);
+        cfg.diagnostics = true;
+        let (_, stats, _) = run_head(cfg, 60, 8, 81);
+        for s in &stats {
+            assert_eq!(s.false_negatives, 0);
+            assert_eq!(s.false_positives, 0);
+        }
+    }
+
+    #[test]
+    fn diagnostics_bound_misidentification() {
+        let cfg = LadConfig {
+            diagnostics: true,
+            ..LadConfig::default()
+        };
+        let (_, stats, _) = run_head(cfg, 150, 16, 82);
+        let total_cached: usize = stats.iter().map(|s| s.n.saturating_sub(s.window)).sum();
+        let total_fn: usize = stats.iter().map(|s| s.false_negatives).sum();
+        // Paper Sec. III-F: error positions are limited to ~1%. Random keys
+        // are much harder than real LLM keys, so allow some slack.
+        let rate = total_fn as f64 / total_cached.max(1) as f64;
+        assert!(rate < 0.10, "false negative rate {rate}");
+    }
+
+    #[test]
+    fn window_config_controls_cache_admission() {
+        let cfg = LadConfig {
+            window: 4,
+            ..LadConfig::default()
+        };
+        let (_, stats, head) = run_head(cfg, 30, 8, 83);
+        assert_eq!(stats.last().unwrap().window, 5);
+        // After the step's aging, positions 0..=n-1-window are cached.
+        let cached = head.cached_mode.iter().filter(|m| m.is_some()).count();
+        assert_eq!(cached, 30 - 4);
+    }
+
+    #[test]
+    fn centers_grow_sublinearly_on_clustered_keys() {
+        // Keys drawn from a few directions produce few centers.
+        let d = 8;
+        let mut rng = Rng::new(84);
+        let dirs: Vec<Vec<f32>> = (0..4).map(|_| rng.normal_vec(d, 1.0)).collect();
+        let mut head = LadAttention::new(d, LadConfig::default());
+        for i in 0..60 {
+            let base = &dirs[i % 4];
+            let k: Vec<f32> = base.iter().map(|&x| x * (1.0 + 0.1 * (i as f32))).collect();
+            let q = rng.normal_vec(d, 1.0);
+            let v = rng.normal_vec(d, 1.0);
+            head.step(&q, k, v);
+        }
+        assert!(
+            head.centers().centers().len() <= 8,
+            "got {} centers",
+            head.centers().centers().len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "query dim mismatch")]
+    fn wrong_query_dim_panics() {
+        let mut head = LadAttention::new(4, LadConfig::default());
+        head.step(&[1.0; 3], vec![0.0; 4], vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-head key-value cache (paper Eq. 1).
+//!
+//! Stores every key and value of the decoding history, exactly like the KV
+//! cache an LLM keeps in HBM. The LAD decoder reads from it sparsely; the
+//! reference attentions read it densely.
+
+/// The KV cache of a single attention head: `n` keys and values of dimension
+/// `d`, appended one pair per decoding step.
+///
+/// # Example
+///
+/// ```
+/// use lad_core::kv::KvCache;
+///
+/// let mut kv = KvCache::new(4);
+/// kv.push(vec![1.0, 0.0, 0.0, 0.0], vec![0.5; 4]);
+/// assert_eq!(kv.len(), 1);
+/// assert_eq!(kv.key(0)[0], 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvCache {
+    dim: usize,
+    keys: Vec<Vec<f32>>,
+    values: Vec<Vec<f32>>,
+}
+
+impl KvCache {
+    /// Creates an empty cache for head dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> KvCache {
+        assert!(dim > 0, "KvCache: dim must be positive");
+        KvCache {
+            dim,
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Head dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of cached positions `n`.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when no positions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Appends a new key/value pair (paper Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vector's length differs from `dim`.
+    pub fn push(&mut self, key: Vec<f32>, value: Vec<f32>) {
+        assert_eq!(key.len(), self.dim, "KvCache::push: key dim mismatch");
+        assert_eq!(value.len(), self.dim, "KvCache::push: value dim mismatch");
+        self.keys.push(key);
+        self.values.push(value);
+    }
+
+    /// Key at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn key(&self, position: usize) -> &[f32] {
+        &self.keys[position]
+    }
+
+    /// Value at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn value(&self, position: usize) -> &[f32] {
+        &self.values[position]
+    }
+
+    /// All keys, oldest first.
+    pub fn keys(&self) -> &[Vec<f32>] {
+        &self.keys
+    }
+
+    /// All values, oldest first.
+    pub fn values(&self) -> &[Vec<f32>] {
+        &self.values
+    }
+
+    /// Size in bytes of the cache under fp16 storage (`2 · n · d · 2` bytes —
+    /// the quantity the paper's memory-access analysis is about).
+    pub fn fp16_bytes(&self) -> usize {
+        2 * self.len() * self.dim * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut kv = KvCache::new(2);
+        assert!(kv.is_empty());
+        kv.push(vec![1.0, 2.0], vec![3.0, 4.0]);
+        kv.push(vec![5.0, 6.0], vec![7.0, 8.0]);
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.key(1), &[5.0, 6.0]);
+        assert_eq!(kv.value(0), &[3.0, 4.0]);
+        assert_eq!(kv.keys().len(), 2);
+    }
+
+    #[test]
+    fn fp16_bytes_formula() {
+        let mut kv = KvCache::new(128);
+        for _ in 0..10 {
+            kv.push(vec![0.0; 128], vec![0.0; 128]);
+        }
+        // 2 tensors * 10 positions * 128 dims * 2 bytes
+        assert_eq!(kv.fp16_bytes(), 2 * 10 * 128 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn wrong_dim_panics() {
+        KvCache::new(3).push(vec![1.0], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be positive")]
+    fn zero_dim_panics() {
+        KvCache::new(0);
+    }
+}

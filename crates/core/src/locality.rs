@@ -1,0 +1,212 @@
+//! Numerical-locality analysis of attention scores (paper Sec. II-B, Fig. 2).
+//!
+//! Feeds on per-step score rows (already shifted by the running maximum) and
+//! records, for every position, how often its score falls into each interval
+//! of a partition. Produces the paper's Fig. 2 artefacts: the per-position
+//! interval heatmap (a) and the averaged top-1/top-2 interval probabilities
+//! (b).
+
+use lad_math::pwl::PwlExp;
+use lad_math::stats;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated locality measurements over a decode trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalityReport {
+    /// Mean (over positions) probability of the most frequent interval.
+    pub top1: f64,
+    /// Mean probability of the two most frequent intervals combined.
+    pub top2: f64,
+    /// Fraction of positions whose top-2 interval neighbours their top-1.
+    pub top2_adjacent: f64,
+    /// Number of positions with at least `min_history` observations.
+    pub positions: usize,
+}
+
+/// Observes shifted attention scores step by step and accumulates
+/// per-position interval counters.
+///
+/// # Example
+///
+/// ```
+/// use lad_core::locality::LocalityAnalyzer;
+/// use lad_math::pwl::PwlExp;
+///
+/// let mut analyzer = LocalityAnalyzer::new(PwlExp::paper_default());
+/// // Two steps over three positions, scores already shifted by the max.
+/// analyzer.observe_step(&[-0.5, -4.0, -11.0]);
+/// analyzer.observe_step(&[-0.6, -4.2, -10.5]);
+/// let report = analyzer.report(2);
+/// assert_eq!(report.positions, 3);
+/// assert_eq!(report.top1, 1.0); // every position stayed in its interval
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalityAnalyzer {
+    pwl: PwlExp,
+    counts: Vec<Vec<u64>>,
+    /// `history[i][t]` = interval of position `i` at its `t`-th observation
+    /// (kept only up to `heatmap_depth` steps for the Fig. 2(a) heatmap).
+    history: Vec<Vec<u8>>,
+    heatmap_depth: usize,
+}
+
+impl LocalityAnalyzer {
+    /// Creates an analyzer over the given partition, keeping the last
+    /// 10 observations per position for heatmaps (Fig. 2(a) shows 10 steps).
+    pub fn new(pwl: PwlExp) -> LocalityAnalyzer {
+        LocalityAnalyzer {
+            pwl,
+            counts: Vec::new(),
+            history: Vec::new(),
+            heatmap_depth: 10,
+        }
+    }
+
+    /// Number of tracked positions.
+    pub fn positions(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one decoding step's shifted scores (`sᵢ − m`), one entry per
+    /// position. The row may be longer than the previous one (sequence
+    /// growth); new positions are registered on first sight.
+    pub fn observe_step(&mut self, shifted_scores: &[f64]) {
+        let intervals = self.pwl.num_intervals();
+        while self.counts.len() < shifted_scores.len() {
+            self.counts.push(vec![0; intervals]);
+            self.history.push(Vec::new());
+        }
+        for (i, &s) in shifted_scores.iter().enumerate() {
+            let id = self.pwl.interval_of(s);
+            self.counts[i][id] += 1;
+            let h = &mut self.history[i];
+            if h.len() == self.heatmap_depth {
+                h.remove(0);
+            }
+            h.push(id as u8);
+        }
+    }
+
+    /// Per-position interval counters.
+    pub fn counts(&self, position: usize) -> &[u64] {
+        &self.counts[position]
+    }
+
+    /// The Fig. 2(a)-style heatmap: for up to `max_positions` positions, the
+    /// interval index at each of the last (≤10) steps.
+    pub fn heatmap(&self, max_positions: usize) -> Vec<Vec<u8>> {
+        self.history
+            .iter()
+            .take(max_positions).cloned()
+            .collect()
+    }
+
+    /// Aggregated report over positions with at least `min_history` total
+    /// observations (positions with too little history have no meaningful
+    /// mode — the same reason the decoder excludes the latest window).
+    pub fn report(&self, min_history: u64) -> LocalityReport {
+        let mut top1s = Vec::new();
+        let mut top2s = Vec::new();
+        let mut adjacent = 0usize;
+        for counters in &self.counts {
+            let total: u64 = counters.iter().sum();
+            if total < min_history {
+                continue;
+            }
+            let (t1, t2) = stats::top1_top2(counters);
+            top1s.push(t1);
+            top2s.push(t2);
+            // Find the two most frequent interval indices.
+            let mut order: Vec<usize> = (0..counters.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(counters[i]));
+            if counters[order[1]] > 0 && order[0].abs_diff(order[1]) == 1 {
+                adjacent += 1;
+            }
+        }
+        let positions = top1s.len();
+        LocalityReport {
+            top1: stats::mean(&top1s),
+            top2: stats::mean(&top2s),
+            top2_adjacent: if positions == 0 {
+                0.0
+            } else {
+                adjacent as f64 / positions as f64
+            },
+            positions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_locality_scores_one() {
+        let mut a = LocalityAnalyzer::new(PwlExp::paper_default());
+        for _ in 0..20 {
+            a.observe_step(&[-0.5, -5.0]);
+        }
+        let r = a.report(1);
+        assert_eq!(r.top1, 1.0);
+        assert_eq!(r.top2, 1.0);
+        assert_eq!(r.positions, 2);
+    }
+
+    #[test]
+    fn alternating_positions_have_half_top1() {
+        let mut a = LocalityAnalyzer::new(PwlExp::paper_default());
+        for t in 0..20 {
+            // Alternate between interval 4 ([-1,0]) and interval 3 ([-3,-1]).
+            let s = if t % 2 == 0 { -0.5 } else { -2.0 };
+            a.observe_step(&[s]);
+        }
+        let r = a.report(1);
+        assert!((r.top1 - 0.5).abs() < 1e-12);
+        assert_eq!(r.top2, 1.0);
+        // Intervals 3 and 4 are adjacent.
+        assert_eq!(r.top2_adjacent, 1.0);
+    }
+
+    #[test]
+    fn min_history_filters_young_positions() {
+        let mut a = LocalityAnalyzer::new(PwlExp::paper_default());
+        a.observe_step(&[-1.5]);
+        a.observe_step(&[-1.5, -2.0]); // position 1 has 1 observation
+        let r = a.report(2);
+        assert_eq!(r.positions, 1);
+    }
+
+    #[test]
+    fn heatmap_keeps_last_ten_steps() {
+        let mut a = LocalityAnalyzer::new(PwlExp::paper_default());
+        for t in 0..15 {
+            let s = if t < 12 { -0.5 } else { -7.0 };
+            a.observe_step(&[s]);
+        }
+        let hm = a.heatmap(5);
+        assert_eq!(hm.len(), 1);
+        assert_eq!(hm[0].len(), 10);
+        // Last 3 entries are interval 1 ([-10,-6]); earlier ones interval 4.
+        assert_eq!(hm[0][9], 1);
+        assert_eq!(hm[0][0], 4);
+    }
+
+    #[test]
+    fn growing_rows_register_new_positions() {
+        let mut a = LocalityAnalyzer::new(PwlExp::paper_default());
+        a.observe_step(&[-0.5]);
+        a.observe_step(&[-0.5, -3.5]);
+        a.observe_step(&[-0.5, -3.5, -8.0]);
+        assert_eq!(a.positions(), 3);
+        assert_eq!(a.counts(2)[1], 1);
+    }
+
+    #[test]
+    fn empty_report() {
+        let a = LocalityAnalyzer::new(PwlExp::paper_default());
+        let r = a.report(1);
+        assert_eq!(r.positions, 0);
+        assert_eq!(r.top1, 0.0);
+    }
+}

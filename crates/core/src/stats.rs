@@ -1,0 +1,168 @@
+//! Per-step instrumentation of the LAD decoder.
+//!
+//! The accelerator model consumes these statistics — they are the `|C|`,
+//! `|M|`, `|J|`, `|U|` and prefetch-hit quantities that drive the pipeline
+//! latency (paper Eq. 7) and the HBM traffic model.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics of a single LAD decoding step for one attention head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StepStats {
+    /// KV cache length `n` after the step's append.
+    pub n: usize,
+    /// Number of directional centers `|C|` read for identification.
+    pub centers: usize,
+    /// Number of large-mode positions `|M|` scored exactly (Sec. III-F).
+    pub large_mode_exact: usize,
+    /// Number of *cached* active positions `|J|` needing correction reads.
+    pub active: usize,
+    /// Number of latest-window positions processed outside the caches.
+    pub window: usize,
+    /// Number of mode updates `|U|` applied to the intermediate caches.
+    pub mode_updates: usize,
+    /// Active positions *not* active in the previous step — the prefetch
+    /// misses that must hit HBM during the attention period (Sec. IV-D).
+    pub new_active: usize,
+    /// Positions misidentified as non-active (only populated when the decoder
+    /// runs with diagnostics against the oracle; 0 otherwise).
+    pub false_negatives: usize,
+    /// Positions misidentified as active (harmless: corrections are 0).
+    pub false_positives: usize,
+}
+
+impl StepStats {
+    /// Positions whose keys/values were actually read from the KV cache this
+    /// step (corrections + window), the `2|J|d`-traffic driver.
+    pub fn kv_reads(&self) -> usize {
+        self.active + self.window
+    }
+
+    /// Prefetch hit ratio against the previous step's active set
+    /// (1.0 when nothing was active).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.active == 0 {
+            return 1.0;
+        }
+        1.0 - self.new_active as f64 / self.active as f64
+    }
+
+    /// Fraction of cached positions identified active.
+    pub fn active_fraction(&self) -> f64 {
+        let cached = self.n.saturating_sub(self.window);
+        if cached == 0 {
+            return 0.0;
+        }
+        self.active as f64 / cached as f64
+    }
+}
+
+/// Aggregate over many steps (and many heads) of [`StepStats`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsSummary {
+    /// Number of steps aggregated.
+    pub steps: usize,
+    /// Mean `|C|`.
+    pub mean_centers: f64,
+    /// Mean `|M|`.
+    pub mean_large_mode: f64,
+    /// Mean `|J|` (cached active positions).
+    pub mean_active: f64,
+    /// Mean `|U|`.
+    pub mean_mode_updates: f64,
+    /// Mean prefetch hit ratio.
+    pub mean_hit_ratio: f64,
+    /// Mean fraction of cached positions active.
+    pub mean_active_fraction: f64,
+    /// Mean misidentification counts.
+    pub mean_false_negatives: f64,
+}
+
+impl StatsSummary {
+    /// Aggregates a sequence of step statistics.
+    pub fn from_steps<'a>(steps: impl IntoIterator<Item = &'a StepStats>) -> StatsSummary {
+        let mut sum = StatsSummary::default();
+        for s in steps {
+            sum.steps += 1;
+            sum.mean_centers += s.centers as f64;
+            sum.mean_large_mode += s.large_mode_exact as f64;
+            sum.mean_active += s.active as f64;
+            sum.mean_mode_updates += s.mode_updates as f64;
+            sum.mean_hit_ratio += s.hit_ratio();
+            sum.mean_active_fraction += s.active_fraction();
+            sum.mean_false_negatives += s.false_negatives as f64;
+        }
+        if sum.steps > 0 {
+            let n = sum.steps as f64;
+            sum.mean_centers /= n;
+            sum.mean_large_mode /= n;
+            sum.mean_active /= n;
+            sum.mean_mode_updates /= n;
+            sum.mean_hit_ratio /= n;
+            sum.mean_active_fraction /= n;
+            sum.mean_false_negatives /= n;
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_reads_and_ratios() {
+        let s = StepStats {
+            n: 100,
+            centers: 5,
+            large_mode_exact: 3,
+            active: 10,
+            window: 17,
+            mode_updates: 2,
+            new_active: 2,
+            false_negatives: 0,
+            false_positives: 1,
+        };
+        assert_eq!(s.kv_reads(), 27);
+        assert!((s.hit_ratio() - 0.8).abs() < 1e-12);
+        assert!((s.active_fraction() - 10.0 / 83.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_ratio_with_no_active_is_one() {
+        let s = StepStats::default();
+        assert_eq!(s.hit_ratio(), 1.0);
+        assert_eq!(s.active_fraction(), 0.0);
+    }
+
+    #[test]
+    fn summary_averages() {
+        let a = StepStats {
+            n: 10,
+            active: 4,
+            new_active: 2,
+            window: 2,
+            centers: 2,
+            ..StepStats::default()
+        };
+        let b = StepStats {
+            n: 20,
+            active: 0,
+            window: 2,
+            centers: 4,
+            ..StepStats::default()
+        };
+        let sum = StatsSummary::from_steps([&a, &b]);
+        assert_eq!(sum.steps, 2);
+        assert!((sum.mean_centers - 3.0).abs() < 1e-12);
+        assert!((sum.mean_active - 2.0).abs() < 1e-12);
+        assert!((sum.mean_hit_ratio - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let sum = StatsSummary::from_steps(std::iter::empty());
+        assert_eq!(sum.steps, 0);
+        assert_eq!(sum.mean_active, 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! On-chip area and power model (paper Table III).
+//!
+//! The paper synthesised the tile at TSMC 22 nm / 1 GHz with Synopsys DC and
+//! modelled SRAM with CACTI; neither tool is available offline, so this
+//! module is seeded with the paper's own Table III per-module numbers and
+//! interpolates SRAM parameters linearly in capacity (CACTI is near-linear in
+//! this range). Regenerating Table III from this model is the
+//! `table3_area_power` bench.
+
+use crate::config::MIB;
+use serde::{Deserialize, Serialize};
+
+/// Area and power of one hardware module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModulePower {
+    /// Module name as it appears in Table III.
+    pub name: String,
+    /// Silicon area in mm².
+    pub area_mm2: f64,
+    /// Dynamic power in watts (at full activity).
+    pub dynamic_w: f64,
+    /// Static (leakage) power in watts.
+    pub static_w: f64,
+}
+
+impl ModulePower {
+    fn new(name: &str, area_mm2: f64, dynamic_mw: f64, static_mw: f64) -> ModulePower {
+        ModulePower {
+            name: name.to_string(),
+            area_mm2,
+            dynamic_w: dynamic_mw * 1e-3,
+            static_w: static_mw * 1e-3,
+        }
+    }
+}
+
+/// The fixed computation modules of one tile (Table III, upper sections).
+pub fn compute_modules() -> Vec<ModulePower> {
+    vec![
+        ModulePower::new("EAS module", 0.003, 1.37, 0.78),
+        ModulePower::new("APID module", 0.006, 2.31, 0.99),
+        ModulePower::new("MD module", 0.001, 1.06, 0.34),
+        ModulePower::new("AC module", 0.087, 92.20, 20.20),
+        ModulePower::new("VPUs (x7)", 0.398, 291.78, 77.60),
+        ModulePower::new("SFM", 0.069, 43.29, 16.90),
+    ]
+}
+
+/// SRAM parameters interpolated from the paper's CACTI anchors
+/// (1.5 / 2.5 / 3.5 MB).
+pub fn sram_module(sram_bytes: usize) -> ModulePower {
+    // Anchor points: (capacity MB, area mm², dynamic mW, static mW).
+    const ANCHORS: [(f64, f64, f64, f64); 3] = [
+        (1.5, 1.596, 733.33, 118.25),
+        (2.5, 2.231, 841.97, 193.58),
+        (3.5, 3.187, 1202.82, 276.55),
+    ];
+    let mb = sram_bytes as f64 / MIB as f64;
+    let interp = |f: fn(&(f64, f64, f64, f64)) -> f64| -> f64 {
+        if mb <= ANCHORS[0].0 {
+            // Scale below the smallest anchor proportionally.
+            f(&ANCHORS[0]) * mb / ANCHORS[0].0
+        } else if mb >= ANCHORS[2].0 {
+            // Extrapolate from the top segment.
+            let (x0, x1) = (ANCHORS[1].0, ANCHORS[2].0);
+            let (y0, y1) = (f(&ANCHORS[1]), f(&ANCHORS[2]));
+            y1 + (mb - x1) * (y1 - y0) / (x1 - x0)
+        } else {
+            let (lo, hi) = if mb <= ANCHORS[1].0 {
+                (ANCHORS[0], ANCHORS[1])
+            } else {
+                (ANCHORS[1], ANCHORS[2])
+            };
+            let t = (mb - lo.0) / (hi.0 - lo.0);
+            f(&lo) * (1.0 - t) + f(&hi) * t
+        }
+    };
+    ModulePower::new(
+        &format!("SRAM ({mb:.1} MB)"),
+        interp(|a| a.1),
+        interp(|a| a.2),
+        interp(|a| a.3),
+    )
+}
+
+/// Full per-module breakdown of one tile (compute modules + SRAM).
+pub fn tile_breakdown(sram_bytes: usize) -> Vec<ModulePower> {
+    let mut modules = compute_modules();
+    modules.push(sram_module(sram_bytes));
+    modules
+}
+
+/// Aggregate area/power of one tile.
+pub fn tile_total(sram_bytes: usize) -> ModulePower {
+    let breakdown = tile_breakdown(sram_bytes);
+    ModulePower {
+        name: "LAD tile".to_string(),
+        area_mm2: breakdown.iter().map(|m| m.area_mm2).sum(),
+        dynamic_w: breakdown.iter().map(|m| m.dynamic_w).sum(),
+        static_w: breakdown.iter().map(|m| m.static_w).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_reproduce_table_iii_tiles() {
+        // (sram MB, tile area, tile dynamic mW, tile static mW) from Table III.
+        for (mb, area, dyn_mw, stat_mw) in [
+            (1.5, 2.160, 1165.34, 235.06),
+            (2.5, 2.795, 1273.98, 310.39),
+            (3.5, 3.751, 1634.83, 393.36),
+        ] {
+            let total = tile_total((mb * MIB as f64) as usize);
+            assert!((total.area_mm2 - area).abs() < 0.01, "{mb} area");
+            assert!((total.dynamic_w * 1e3 - dyn_mw).abs() < 1.0, "{mb} dyn");
+            assert!((total.static_w * 1e3 - stat_mw).abs() < 1.0, "{mb} static");
+        }
+    }
+
+    #[test]
+    fn sram_dominates_tile_area() {
+        // Paper Sec. V-D: "The SRAM accounts for the majority of the on-chip
+        // area and power."
+        let total = tile_total(3 * MIB / 2);
+        let sram = sram_module(3 * MIB / 2);
+        assert!(sram.area_mm2 / total.area_mm2 > 0.5);
+        assert!(sram.dynamic_w / total.dynamic_w > 0.5);
+    }
+
+    #[test]
+    fn compute_modules_split_matches_paper() {
+        // Excluding SRAM, computation modules (VPUs+SFM+AC) take up ~82.7 %
+        // of the non-SRAM area.
+        let modules = compute_modules();
+        let total_area: f64 = modules.iter().map(|m| m.area_mm2).sum();
+        let compute_area: f64 = modules
+            .iter()
+            .filter(|m| ["VPUs (x7)", "SFM"].contains(&m.name.as_str()))
+            .map(|m| m.area_mm2)
+            .sum();
+        assert!((compute_area / total_area - 0.827).abs() < 0.01);
+    }
+
+    #[test]
+    fn interpolation_is_monotonic() {
+        let mut last_area = 0.0;
+        for mb in [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0] {
+            let sram = sram_module((mb * MIB as f64) as usize);
+            assert!(sram.area_mm2 > last_area, "{mb} MB");
+            last_area = sram.area_mm2;
+        }
+    }
+
+    #[test]
+    fn midpoint_interpolation() {
+        let sram = sram_module(2 * MIB);
+        // Halfway between the 1.5 and 2.5 MB anchors.
+        assert!((sram.area_mm2 - (1.596 + 2.231) / 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,145 @@
+//! Accelerator configuration (paper Sec. IV-A, V-A).
+//!
+//! A LAD accelerator integrates several **LAD tiles** sharing one HBM stack.
+//! Each tile carries the attention-pipeline modules (EAS/APID/MD/AC), 7 VPUs,
+//! an SFM and a private SRAM. The paper evaluates three configurations,
+//! LAD-1.5/2.5/3.5, differing only in per-tile SRAM capacity.
+
+use crate::hbm::HbmConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-tile microarchitecture parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TileConfig {
+    /// On-chip SRAM bytes.
+    pub sram_bytes: usize,
+    /// Number of vector processing units (7 in the paper).
+    pub vpus: usize,
+    /// Multipliers per VPU (the head dimension, 128).
+    pub vpu_width: usize,
+    /// Clock frequency in Hz (1 GHz).
+    pub clock_hz: f64,
+    /// EAS parallelism degree (positions/cycle).
+    pub eas_parallelism: usize,
+    /// APID parallelism degree.
+    pub apid_parallelism: usize,
+    /// MD parallelism degree.
+    pub md_parallelism: usize,
+    /// AC parallelism degree.
+    pub ac_parallelism: usize,
+}
+
+impl TileConfig {
+    /// The paper's tile with the given SRAM capacity in bytes.
+    pub fn paper(sram_bytes: usize) -> TileConfig {
+        TileConfig {
+            sram_bytes,
+            vpus: 7,
+            vpu_width: 128,
+            clock_hz: 1.0e9,
+            eas_parallelism: 2,
+            apid_parallelism: 12,
+            md_parallelism: 2,
+            ac_parallelism: 3,
+        }
+    }
+
+    /// Peak multiply-accumulate throughput of one tile (MAC/s).
+    pub fn peak_macs(&self) -> f64 {
+        (self.vpus * self.vpu_width) as f64 * self.clock_hz
+    }
+}
+
+/// A complete accelerator: several tiles on one HBM stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccelConfig {
+    /// Configuration name (for experiment tables).
+    pub name: String,
+    /// Number of LAD tiles (6 in the paper).
+    pub tiles: usize,
+    /// Per-tile parameters.
+    pub tile: TileConfig,
+    /// HBM stack.
+    pub hbm: HbmConfig,
+}
+
+/// One mebibyte.
+pub const MIB: usize = 1024 * 1024;
+
+impl AccelConfig {
+    /// LAD-1.5: six tiles with 1.5 MB SRAM each.
+    pub fn lad_1_5() -> AccelConfig {
+        AccelConfig::paper("LAD-1.5", 3 * MIB / 2)
+    }
+
+    /// LAD-2.5: six tiles with 2.5 MB SRAM each.
+    pub fn lad_2_5() -> AccelConfig {
+        AccelConfig::paper("LAD-2.5", 5 * MIB / 2)
+    }
+
+    /// LAD-3.5: six tiles with 3.5 MB SRAM each.
+    pub fn lad_3_5() -> AccelConfig {
+        AccelConfig::paper("LAD-3.5", 7 * MIB / 2)
+    }
+
+    /// The three paper configurations, small to large.
+    pub fn paper_configs() -> Vec<AccelConfig> {
+        vec![
+            AccelConfig::lad_1_5(),
+            AccelConfig::lad_2_5(),
+            AccelConfig::lad_3_5(),
+        ]
+    }
+
+    fn paper(name: &str, sram_bytes: usize) -> AccelConfig {
+        AccelConfig {
+            name: name.to_string(),
+            tiles: 6,
+            tile: TileConfig::paper(sram_bytes),
+            hbm: HbmConfig::paper(),
+        }
+    }
+
+    /// Aggregate peak MAC throughput across tiles.
+    pub fn peak_macs(&self) -> f64 {
+        self.tile.peak_macs() * self.tiles as f64
+    }
+
+    /// HBM bandwidth share of a single tile (bytes/s).
+    pub fn per_tile_bandwidth(&self) -> f64 {
+        self.hbm.total_bandwidth() / self.tiles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_differ_only_in_sram() {
+        let configs = AccelConfig::paper_configs();
+        assert_eq!(configs.len(), 3);
+        assert_eq!(configs[0].tile.sram_bytes, 3 * MIB / 2);
+        assert_eq!(configs[2].tile.sram_bytes, 7 * MIB / 2);
+        for c in &configs {
+            assert_eq!(c.tiles, 6);
+            assert_eq!(c.tile.vpus, 7);
+            assert_eq!(c.tile.apid_parallelism, 12);
+        }
+    }
+
+    #[test]
+    fn peak_throughput() {
+        let cfg = AccelConfig::lad_2_5();
+        // 6 tiles × 7 VPUs × 128 MACs × 1 GHz = 5.376 TMAC/s.
+        assert!((cfg.peak_macs() - 5.376e12).abs() < 1e9);
+        assert!((cfg.tile.peak_macs() - 896e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn bandwidth_share() {
+        let cfg = AccelConfig::lad_1_5();
+        let share = cfg.per_tile_bandwidth();
+        assert!((share * 6.0 - cfg.hbm.total_bandwidth()).abs() < 1.0);
+    }
+}

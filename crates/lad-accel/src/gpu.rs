@@ -1,0 +1,260 @@
+//! GPU roofline baselines (substitute for the A100 + vLLM/Qserve/H2O/Triton
+//! stack — see `DESIGN.md`).
+//!
+//! Decode-time attention is memory-bound: a bandwidth roofline with
+//! per-baseline traffic and efficiency factors reproduces the behaviour the
+//! paper's speedup ratios rest on. Linear layers are modelled as
+//! `max(weight-streaming, compute)` — memory-bound at realistic batch sizes.
+
+use crate::traffic::AttentionTraffic;
+use lad_model::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// GPU platform parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Platform name.
+    pub name: String,
+    /// Peak HBM bandwidth (bytes/s).
+    pub bandwidth: f64,
+    /// Peak fp16 tensor throughput (FLOP/s).
+    pub fp16_flops: f64,
+    /// Average board power during decode (W, nvidia-smi style).
+    pub power_w: f64,
+    /// Device memory capacity (bytes).
+    pub mem_bytes: f64,
+    /// Achieved fraction of peak bandwidth for streaming reads.
+    pub stream_efficiency: f64,
+    /// Achieved fraction of peak bandwidth for irregular gathers.
+    pub gather_efficiency: f64,
+    /// Fixed per-layer kernel overhead (s).
+    pub kernel_overhead_s: f64,
+}
+
+impl GpuConfig {
+    /// NVIDIA A100-40GB PCIe (paper Sec. V-A).
+    ///
+    /// `stream_efficiency` 0.65 reflects what vLLM decode kernels achieve of
+    /// the 1555 GB/s peak in practice (paged KV gathers, skinny GEMMs,
+    /// launch gaps) — the calibration that makes the end-to-end ratios land
+    /// in the paper's range.
+    pub fn a100() -> GpuConfig {
+        GpuConfig {
+            name: "A100-40GB".to_string(),
+            bandwidth: 1.555e12,
+            fp16_flops: 312e12,
+            power_w: 250.0,
+            mem_bytes: 40e9,
+            stream_efficiency: 0.65,
+            gather_efficiency: 0.15,
+            kernel_overhead_s: 5e-6,
+        }
+    }
+}
+
+/// The GPU software baselines of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GpuBaseline {
+    /// vLLM with paged KV-cache management (the primary baseline).
+    Vllm,
+    /// Qserve A16W16KV4: 4-bit KV cache, dequantisation overhead.
+    Qserve,
+    /// H2O: 10 % heavy + 10 % recent positions kept.
+    H2o,
+    /// The LAD algorithm in Triton kernels (irregular ops, no prefetch).
+    LadGpu,
+}
+
+impl GpuBaseline {
+    /// Whether the open-source implementation supports this model family
+    /// (paper: Qserve only LLaMA, H2O only OPT).
+    pub fn supports(&self, model: &ModelConfig) -> bool {
+        match self {
+            GpuBaseline::Qserve => model.name.starts_with("LLaMA"),
+            GpuBaseline::H2o => model.name.starts_with("OPT"),
+            _ => true,
+        }
+    }
+}
+
+/// Attention-layer time for one decode step of one layer (all heads, batch
+/// `batch`). For [`GpuBaseline::LadGpu`], pass the per-head LAD traffic
+/// profile.
+pub fn attention_seconds(
+    gpu: &GpuConfig,
+    baseline: GpuBaseline,
+    model: &ModelConfig,
+    n: usize,
+    batch: usize,
+    lad_traffic: Option<&AttentionTraffic>,
+) -> f64 {
+    let kv_bytes = model.layer_kv_bytes(n) as f64 * batch as f64;
+    match baseline {
+        GpuBaseline::Vllm => {
+            kv_bytes / (gpu.bandwidth * gpu.stream_efficiency) + gpu.kernel_overhead_s
+        }
+        GpuBaseline::Qserve => {
+            // KV4: a quarter of the bytes, dequantisation adds ~20 % time.
+            kv_bytes / 4.0 / (gpu.bandwidth * gpu.stream_efficiency) * 1.2
+                + 2.0 * gpu.kernel_overhead_s
+        }
+        GpuBaseline::H2o => {
+            // 20 % of positions kept, score bookkeeping adds ~30 %.
+            kv_bytes * 0.2 / (gpu.bandwidth * gpu.stream_efficiency) * 1.3
+                + 2.0 * gpu.kernel_overhead_s
+        }
+        GpuBaseline::LadGpu => {
+            let traffic = lad_traffic.expect("LadGpu needs a traffic profile");
+            let bytes = traffic.total_bytes() * (model.heads * batch) as f64;
+            // Irregular per-head access patterns gather poorly, and the
+            // multi-stage algorithm needs several kernel launches per layer.
+            bytes / (gpu.bandwidth * gpu.gather_efficiency) + 12.0 * gpu.kernel_overhead_s
+        }
+    }
+}
+
+/// Linear-layer time for one decode step of one layer (batch `batch`):
+/// weights stream once per batch; compute is `2 · batch · params` FLOPs.
+pub fn linear_seconds(gpu: &GpuConfig, model: &ModelConfig, batch: usize) -> f64 {
+    let weight_bytes = model.layer_weight_bytes() as f64;
+    let params = weight_bytes / 2.0;
+    let mem = weight_bytes / (gpu.bandwidth * gpu.stream_efficiency);
+    let compute = 2.0 * batch as f64 * params / (gpu.fp16_flops * 0.6);
+    mem.max(compute) + gpu.kernel_overhead_s
+}
+
+/// Maximum batch size fitting in device memory at sequence length `n`
+/// (weights + per-sample KV caches).
+pub fn max_batch(gpu: &GpuConfig, model: &ModelConfig, n: usize) -> usize {
+    let weights = model.param_count() as f64 * 2.0;
+    let kv_per_sample = (model.layers * model.layer_kv_bytes(n)) as f64;
+    let free = (gpu.mem_bytes * 0.9 - weights).max(0.0);
+    (free / kv_per_sample).floor() as usize
+}
+
+/// One decode step, end to end (all layers).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GpuStep {
+    /// Attention seconds across all layers.
+    pub attn_seconds: f64,
+    /// Linear seconds across all layers.
+    pub linear_seconds: f64,
+    /// End-to-end seconds (attention + linear + 5 % framework overhead).
+    pub e2e_seconds: f64,
+}
+
+/// Models one decode step on the GPU.
+pub fn gpu_step(
+    gpu: &GpuConfig,
+    baseline: GpuBaseline,
+    model: &ModelConfig,
+    n: usize,
+    batch: usize,
+    lad_traffic: Option<&AttentionTraffic>,
+) -> GpuStep {
+    let layers = model.layers as f64;
+    let attn = attention_seconds(gpu, baseline, model, n, batch, lad_traffic) * layers;
+    let linear = linear_seconds(gpu, model, batch) * layers;
+    GpuStep {
+        attn_seconds: attn,
+        linear_seconds: linear,
+        e2e_seconds: (attn + linear) * 1.05,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_core::stats::StatsSummary;
+
+    fn llama() -> ModelConfig {
+        ModelConfig::llama2_7b()
+    }
+
+    #[test]
+    fn attention_share_grows_with_kv_len() {
+        // Fig. 1: the attention proportion rises with sequence length and
+        // crosses ~50 % around 4096 for LLaMA2-7B.
+        let gpu = GpuConfig::a100();
+        let model = llama();
+        // Fixed batch across lengths, as the Fig. 1 measurement sweeps only
+        // the KV length.
+        let share = |n: usize| {
+            let step = gpu_step(&gpu, GpuBaseline::Vllm, &model, n, 8, None);
+            step.attn_seconds / (step.attn_seconds + step.linear_seconds)
+        };
+        assert!(share(4096) > share(2048));
+        assert!(share(2048) > share(1024));
+        assert!(share(4096) > 0.5, "share(4096) = {}", share(4096));
+        assert!((0.30..0.60).contains(&share(2048)), "share(2048) = {}", share(2048));
+    }
+
+    #[test]
+    fn qserve_and_h2o_cut_attention_time() {
+        let gpu = GpuConfig::a100();
+        let model = llama();
+        let v = attention_seconds(&gpu, GpuBaseline::Vllm, &model, 4096, 8, None);
+        let q = attention_seconds(&gpu, GpuBaseline::Qserve, &model, 4096, 8, None);
+        let h = attention_seconds(&gpu, GpuBaseline::H2o, &model, 4096, 8, None);
+        assert!(q < v && h < v);
+    }
+
+    #[test]
+    fn lad_gpu_only_wins_at_long_kv() {
+        // Paper: "LAD-GPU only shows slightly better performance than
+        // vLLM-GPU in especially long KV cache scenarios".
+        let gpu = GpuConfig::a100();
+        let model = llama();
+        let lad_time = |n: usize, active: f64, centers: f64| {
+            let stats = StatsSummary {
+                steps: 1,
+                mean_active: active,
+                mean_centers: centers,
+                mean_large_mode: centers * 0.3,
+                ..StatsSummary::default()
+            };
+            let traffic = AttentionTraffic::from_stats(&stats, n, 128, 17, 0.0);
+            attention_seconds(&gpu, GpuBaseline::LadGpu, &model, n, 8, Some(&traffic))
+        };
+        let vllm = |n: usize| attention_seconds(&gpu, GpuBaseline::Vllm, &model, n, 8, None);
+        // Short sequences: LAD's irregular ops lose.
+        assert!(lad_time(512, 30.0, 45.0) > vllm(512));
+        // Long sequences: the traffic reduction wins, modestly.
+        let ratio = vllm(4096) / lad_time(4096, 80.0, 128.0);
+        assert!(ratio > 1.0 && ratio < 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn linear_is_memory_bound_at_small_batch() {
+        let gpu = GpuConfig::a100();
+        let model = llama();
+        // Identical time for batch 1 and 8 -> weight streaming dominates.
+        let t1 = linear_seconds(&gpu, &model, 1);
+        let t8 = linear_seconds(&gpu, &model, 8);
+        assert!((t1 - t8).abs() / t1 < 0.01);
+        // Very large batch becomes compute-bound.
+        assert!(linear_seconds(&gpu, &model, 512) > t1 * 2.0);
+    }
+
+    #[test]
+    fn max_batch_shrinks_with_sequence_length() {
+        let gpu = GpuConfig::a100();
+        let model = llama();
+        let b512 = max_batch(&gpu, &model, 512);
+        let b4096 = max_batch(&gpu, &model, 4096);
+        assert!(b512 > b4096);
+        assert!(b4096 >= 4, "b4096 = {b4096}");
+        // 13B at 4096 barely fits any batch on 40 GB.
+        let b13 = max_batch(&gpu, &ModelConfig::llama2_13b(), 4096);
+        assert!(b13 <= 4, "b13 = {b13}");
+    }
+
+    #[test]
+    fn baseline_support_matrix() {
+        assert!(GpuBaseline::Qserve.supports(&ModelConfig::llama2_7b()));
+        assert!(!GpuBaseline::Qserve.supports(&ModelConfig::opt_2_7b()));
+        assert!(GpuBaseline::H2o.supports(&ModelConfig::opt_6_7b()));
+        assert!(!GpuBaseline::H2o.supports(&ModelConfig::llama2_13b()));
+        assert!(GpuBaseline::Vllm.supports(&ModelConfig::opt_2_7b()));
+    }
+}

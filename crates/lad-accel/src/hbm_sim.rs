@@ -1,0 +1,261 @@
+//! Event-level HBM channel simulation (the Ramulator-substitute's detailed
+//! tier — `DESIGN.md`).
+//!
+//! The analytic model in [`crate::hbm`] answers "how long does this many
+//! bytes take at peak"; this simulator answers "what bandwidth does this
+//! *access pattern* actually achieve": requests are split into bursts,
+//! address-interleaved across channels, and queued per channel with a fixed
+//! service time per burst plus a row-miss penalty when a burst targets a
+//! different row than its channel's open row. Scattered small reads (active
+//! positions) therefore achieve less of the peak than streaming reads
+//! (weights) — the effect behind LAD-GPU's gather inefficiency and the
+//! attention pipeline's stage-4 behaviour.
+
+use crate::hbm::HbmConfig;
+use serde::{Deserialize, Serialize};
+
+/// One memory request: a contiguous read/write of `bytes` at `address`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Byte address (determines channel interleaving and row locality).
+    pub address: u64,
+    /// Request size in bytes.
+    pub bytes: u32,
+}
+
+impl Request {
+    /// Convenience constructor.
+    pub fn new(address: u64, bytes: u32) -> Request {
+        Request { address, bytes }
+    }
+}
+
+/// Outcome of simulating a request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Wall-clock seconds to drain every channel queue.
+    pub seconds: f64,
+    /// Useful bytes moved.
+    pub useful_bytes: u64,
+    /// Bytes actually transferred (burst padding included).
+    pub transferred_bytes: u64,
+    /// Row-buffer hit fraction over all bursts.
+    pub row_hit_ratio: f64,
+    /// Achieved fraction of the stack's peak bandwidth.
+    pub bandwidth_utilization: f64,
+}
+
+/// Channel-level HBM simulator.
+#[derive(Debug, Clone)]
+pub struct HbmSim {
+    cfg: HbmConfig,
+    /// Open row per channel (None = precharged).
+    open_rows: Vec<Option<u64>>,
+    /// Busy-until time per channel (seconds).
+    busy_until: Vec<f64>,
+    /// Row-buffer size in bytes.
+    row_bytes: u64,
+    /// Extra service time for a row miss, as a multiple of the burst time.
+    row_miss_penalty: f64,
+}
+
+impl HbmSim {
+    /// Creates a simulator over an HBM configuration. Rows are 1 KiB; a row
+    /// miss costs two extra burst times (activate + precharge), a typical
+    /// HBM2 ratio at 64 B bursts.
+    pub fn new(cfg: HbmConfig) -> HbmSim {
+        let channels = cfg.channels();
+        HbmSim {
+            cfg,
+            open_rows: vec![None; channels],
+            busy_until: vec![0.0; channels],
+            row_bytes: 1024,
+            row_miss_penalty: 2.0,
+        }
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &HbmConfig {
+        &self.cfg
+    }
+
+    /// Resets all channel state.
+    pub fn reset(&mut self) {
+        self.open_rows.iter_mut().for_each(|r| *r = None);
+        self.busy_until.iter_mut().for_each(|t| *t = 0.0);
+    }
+
+    fn burst_seconds(&self) -> f64 {
+        self.cfg.burst_bytes as f64 / self.cfg.channel_bandwidth
+    }
+
+    /// Simulates a batch of requests issued at time 0 and returns the
+    /// outcome. Channel state (open rows) persists across calls;
+    /// [`HbmSim::reset`] clears it.
+    pub fn run(&mut self, requests: &[Request]) -> SimOutcome {
+        let burst = self.cfg.burst_bytes as u64;
+        let burst_s = self.burst_seconds();
+        let channels = self.cfg.channels() as u64;
+        let mut useful = 0u64;
+        let mut transferred = 0u64;
+        let mut hits = 0u64;
+        let mut bursts = 0u64;
+
+        let start = self.busy_until.iter().copied().fold(0.0f64, f64::max);
+        for req in requests {
+            useful += u64::from(req.bytes);
+            let first = req.address / burst;
+            let last = (req.address + u64::from(req.bytes).max(1) - 1) / burst;
+            for b in first..=last {
+                // Address mapping: 256 B chunks interleave across channels
+                // (column bits below the channel bits), so streams keep each
+                // channel inside one row for many bursts while scattered
+                // accesses land on random rows — the usual HBM2 layout.
+                let chunk = b / 4;
+                let ch = (chunk % channels) as usize;
+                let local_chunk = chunk / channels;
+                let row = local_chunk * 4 * burst / self.row_bytes;
+                let hit = self.open_rows[ch] == Some(row);
+                let service = if hit {
+                    burst_s
+                } else {
+                    burst_s * (1.0 + self.row_miss_penalty)
+                };
+                self.open_rows[ch] = Some(row);
+                self.busy_until[ch] = self.busy_until[ch].max(start) + service;
+                transferred += burst;
+                bursts += 1;
+                if hit {
+                    hits += 1;
+                }
+            }
+        }
+        let end = self.busy_until.iter().copied().fold(start, f64::max);
+        let seconds = end - start;
+        SimOutcome {
+            seconds,
+            useful_bytes: useful,
+            transferred_bytes: transferred,
+            row_hit_ratio: if bursts == 0 {
+                1.0
+            } else {
+                hits as f64 / bursts as f64
+            },
+            bandwidth_utilization: if seconds == 0.0 {
+                0.0
+            } else {
+                useful as f64 / seconds / self.cfg.total_bandwidth()
+            },
+        }
+    }
+
+    /// A streaming read of `bytes` starting at `address`.
+    pub fn stream(&mut self, address: u64, bytes: u64) -> SimOutcome {
+        self.run(&[Request::new(address, bytes as u32)])
+    }
+
+    /// A gather of `count` reads of `bytes` each at pseudo-random addresses
+    /// (seeded) — the active-position access pattern.
+    pub fn gather(&mut self, count: usize, bytes: u32, seed: u64) -> SimOutcome {
+        let mut rng = lad_math::Rng::new(seed);
+        let requests: Vec<Request> = (0..count)
+            .map(|_| Request::new(rng.next_below(1 << 30) * 64, bytes))
+            .collect();
+        self.run(&requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> HbmSim {
+        HbmSim::new(HbmConfig::paper())
+    }
+
+    #[test]
+    fn streaming_achieves_near_peak() {
+        let mut sim = sim();
+        let outcome = sim.stream(0, 64 * 1024 * 1024);
+        assert!(
+            outcome.bandwidth_utilization > 0.3,
+            "stream utilization {}",
+            outcome.bandwidth_utilization
+        );
+        // Streams enjoy high row-buffer locality.
+        assert!(outcome.row_hit_ratio > 0.9, "hits {}", outcome.row_hit_ratio);
+        assert_eq!(outcome.useful_bytes, 64 * 1024 * 1024);
+    }
+
+    #[test]
+    fn scattered_gathers_achieve_less() {
+        let mut s1 = sim();
+        let stream = s1.stream(0, 4 * 1024 * 1024);
+        let mut s2 = sim();
+        // Same useful volume in 64 B scattered pieces.
+        let gather = s2.gather(65536, 64, 9);
+        assert!(
+            gather.bandwidth_utilization < stream.bandwidth_utilization,
+            "gather {} vs stream {}",
+            gather.bandwidth_utilization,
+            stream.bandwidth_utilization
+        );
+        // Scattered accesses mostly miss the row buffers.
+        assert!(gather.row_hit_ratio < 0.2, "hits {}", gather.row_hit_ratio);
+    }
+
+    #[test]
+    fn padding_accounted_for_small_requests() {
+        let mut sim = sim();
+        let outcome = sim.run(&[Request::new(0, 16), Request::new(1024, 16)]);
+        assert_eq!(outcome.useful_bytes, 32);
+        assert_eq!(outcome.transferred_bytes, 128);
+    }
+
+    #[test]
+    fn requests_spanning_bursts_split() {
+        let mut sim = sim();
+        // 100 bytes starting at 32 spans bursts 0 and 1 and part of 2.
+        let outcome = sim.run(&[Request::new(32, 100)]);
+        assert_eq!(outcome.transferred_bytes, 192);
+    }
+
+    #[test]
+    fn channel_parallelism_speeds_up_streams() {
+        // A stream across all channels beats the same bytes forced onto one
+        // channel (requests 80 channels apart always map to channel 0).
+        let mut wide = sim();
+        let wide_out = wide.stream(0, 1024 * 1024);
+        let mut narrow = sim();
+        let stride = 80 * 256; // channels * chunk size
+        let requests: Vec<Request> = (0..16384u64)
+            .map(|i| Request::new(i * stride, 64))
+            .collect();
+        let narrow_out = narrow.run(&requests);
+        assert!(narrow_out.seconds > wide_out.seconds * 10.0);
+    }
+
+    #[test]
+    fn reset_clears_row_state() {
+        let mut sim = sim();
+        sim.stream(0, 4096);
+        sim.reset();
+        let outcome = sim.stream(0, 4096);
+        // First burst after reset misses its row again.
+        assert!(outcome.row_hit_ratio < 1.0);
+    }
+
+    #[test]
+    fn analytic_model_brackets_simulation() {
+        // The analytic peak-bandwidth estimate must lower-bound simulated
+        // time for streams (which add row misses), and the padded analytic
+        // estimate must not exceed the simulated gather time by much.
+        let hbm = HbmConfig::paper();
+        let mut s = sim();
+        let bytes = 8 * 1024 * 1024u64;
+        let stream = s.stream(0, bytes);
+        let analytic = bytes as f64 / hbm.total_bandwidth();
+        assert!(stream.seconds >= analytic);
+        assert!(stream.seconds < analytic * 2.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Attention Computation module (paper Sec. IV-B(5), Alg. 2).
+//!
+//! Owns a `(d+1)`-dimensional accumulator and a reduction module (element-
+//! wise sum of four `(d+1)`-vectors per cycle), fed by three computation
+//! components (parallelism 3). Eight sub-tasks:
+//!
+//! * **AC.1** — mode-based numerator `q·A − max_s·B + C` (3 columns/cycle);
+//! * **AC.2** — mode-based denominator `q·D − max_s·E + F`;
+//! * **AC.3** — correction factors `cf = α·s − max_s·α + β`, accumulating
+//!   `cf·V[j]` and `cf` (3 corrections/cycle);
+//! * **AC.4** — `output = numerator · (1/denominator)`;
+//! * **AC.5** — rank-1 updates of `A` per update-FIFO entry (column-wise);
+//! * **AC.6–AC.8** — `basic_update`s of `(B,E)`, `(C,F)` and `D`.
+//!
+//! Together these realise the `(d + |J| + |U|·d + 3|U|)/3` term of Eq. 7.
+
+use super::md::Correction;
+use super::vpu::Vpu;
+
+/// SRAM-resident intermediate caches of one head-sample, laid out as the AC
+/// module accesses them: `A` row-major with `a[k·d + c] = Σ a*·k[k]·v[c]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheSram {
+    dim: usize,
+    a: Vec<f32>,
+    b: Vec<f32>,
+    c: Vec<f32>,
+    d_vec: Vec<f32>,
+    e: f32,
+    f: f32,
+}
+
+impl CacheSram {
+    /// Zeroed caches for head dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> CacheSram {
+        assert!(dim > 0, "CacheSram: dim must be positive");
+        CacheSram {
+            dim,
+            a: vec![0.0; dim * dim],
+            b: vec![0.0; dim],
+            c: vec![0.0; dim],
+            d_vec: vec![0.0; dim],
+            e: 0.0,
+            f: 0.0,
+        }
+    }
+
+    /// Head dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Column `p` of `A` (the k-dimension varies), gathered for a VPU dot.
+    fn a_column(&self, p: usize) -> Vec<f32> {
+        (0..self.dim).map(|k| self.a[k * self.dim + p]).collect()
+    }
+
+    /// fp16 byte footprint: `(d² + 3d + 2) · 2`.
+    pub fn fp16_bytes(&self) -> usize {
+        (self.dim * self.dim + 3 * self.dim + 2) * 2
+    }
+}
+
+/// Result of one AC pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcResult {
+    /// The attention output vector.
+    pub output: Vec<f32>,
+    /// Denominator after corrections (diagnostic).
+    pub denominator: f32,
+    /// Module cycles.
+    pub cycles: u64,
+}
+
+/// The AC module: three computation components and the accumulator.
+#[derive(Debug, Clone)]
+pub struct AcModule {
+    components: [Vpu; 3],
+    acc: Vec<f32>,
+}
+
+impl AcModule {
+    /// Creates the module for head dimension `width`.
+    pub fn new(width: usize) -> AcModule {
+        AcModule {
+            components: [Vpu::new(width), Vpu::new(width), Vpu::new(width)],
+            acc: vec![0.0; width + 1],
+        }
+    }
+
+    /// Executes AC.1–AC.8 for one decoding step.
+    ///
+    /// `corrections` is the MD module's FIFO; `updates` indexes into it
+    /// (the update FIFO). `keys`/`values` is the KV cache.
+    // The argument list mirrors the hardware module's port list.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute(
+        &mut self,
+        q_scaled: &[f32],
+        max_score: f32,
+        sram: &mut CacheSram,
+        corrections: &[Correction],
+        updates: &[usize],
+        keys: &[Vec<f32>],
+        values: &[Vec<f32>],
+    ) -> AcResult {
+        let d = sram.dim();
+        assert_eq!(q_scaled.len(), d, "AC: query dim mismatch");
+        let mut cycles = 0u64;
+
+        // -- AC.1: mode-based numerator, three columns per cycle.
+        for p in 0..d {
+            let component = &mut self.components[p % 3];
+            component.load_vec1(q_scaled);
+            let qa = component.dot(&sram.a_column(p));
+            self.acc[p] = qa - max_score * sram.b[p] + sram.c[p];
+        }
+        cycles += (d as u64).div_ceil(3);
+
+        // -- AC.2: mode-based denominator.
+        self.components[0].load_vec1(q_scaled);
+        let qd = self.components[0].dot(&sram.d_vec);
+        self.acc[d] = qd - max_score * sram.e + sram.f;
+        cycles += 1;
+
+        // -- AC.3: corrections, three per cycle through the reduction module.
+        for chunk in corrections.chunks(3) {
+            for (m, corr) in chunk.iter().enumerate() {
+                let cf = corr.alpha_s - max_score * corr.alpha + corr.beta;
+                let component = &mut self.components[m];
+                component.load_vec1(&values[corr.position]);
+                let rv = component.scale(cf, &values[corr.position]);
+                // Reduction module: acc += rv, acc[d] += rs.
+                for (slot, v) in self.acc[..d].iter_mut().zip(&rv) {
+                    *slot += v;
+                }
+                self.acc[d] += cf;
+            }
+            cycles += 1;
+        }
+
+        // -- AC.4: output = numerator * (1 / denominator).
+        let denominator = self.acc[d];
+        let inv = 1.0 / denominator;
+        let output = self.components[0].scale(inv, &self.acc[..d]);
+        cycles += 1;
+
+        // -- AC.5: update A column-by-column for the update FIFO.
+        if !updates.is_empty() {
+            // Alg. 2's column loop: `r` indexes both V[u, r] and A[:, r].
+            #[allow(clippy::needless_range_loop)]
+            for r in 0..d {
+                for chunk in updates.chunks(3) {
+                    for (m, &u) in chunk.iter().enumerate() {
+                        let corr = &corrections[u];
+                        let factor = corr.alpha * values[corr.position][r];
+                        let component = &mut self.components[m];
+                        let rv = component.scale(factor, &keys[corr.position]);
+                        for (k, v) in rv.iter().enumerate() {
+                            sram.a[k * d + r] += v;
+                        }
+                    }
+                }
+            }
+            cycles += d as u64 * (updates.len() as u64).div_ceil(3);
+
+            // -- AC.6: basic_update(alpha, B, E, V).
+            for &u in updates {
+                let corr = &corrections[u];
+                for (slot, v) in sram.b.iter_mut().zip(&values[corr.position]) {
+                    *slot += corr.alpha * v;
+                }
+                sram.e += corr.alpha;
+            }
+            // -- AC.7: basic_update(beta, C, F, V).
+            for &u in updates {
+                let corr = &corrections[u];
+                for (slot, v) in sram.c.iter_mut().zip(&values[corr.position]) {
+                    *slot += corr.beta * v;
+                }
+                sram.f += corr.beta;
+            }
+            // -- AC.8: basic_update(alpha, D, NULL, K).
+            for &u in updates {
+                let corr = &corrections[u];
+                for (slot, k) in sram.d_vec.iter_mut().zip(&keys[corr.position]) {
+                    *slot += corr.alpha * k;
+                }
+            }
+            cycles += 3 * (updates.len() as u64).div_ceil(3);
+        }
+
+        AcResult {
+            output,
+            denominator,
+            cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_math::Rng;
+
+    fn correction(position: usize, score: f32, alpha: f32, beta: f32) -> Correction {
+        Correction {
+            position,
+            score,
+            alpha,
+            beta,
+            alpha_s: alpha * score,
+            interval: 0,
+        }
+    }
+
+    #[test]
+    fn empty_cache_single_window_position_returns_value() {
+        // One window position with mode-0 coefficients: the correction IS
+        // the full PWL weight, so output == value.
+        let d = 4;
+        let mut ac = AcModule::new(d);
+        let mut sram = CacheSram::new(d);
+        let keys = vec![vec![1.0; d]];
+        let values = vec![vec![2.0, -1.0, 0.5, 3.0]];
+        // cf = alpha*(s - m) + beta with alpha=0.6, beta=0.9, s=m -> cf=0.9.
+        let corr = correction(0, 0.0, 0.6, 0.9);
+        let result = ac.execute(&[0.5; 4], 0.0, &mut sram, &[corr], &[], &keys, &values);
+        for (got, want) in result.output.iter().zip(&values[0]) {
+            assert!((got - want).abs() < 1e-5, "{got} vs {want}");
+        }
+        assert!((result.denominator - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn update_fifo_inserts_into_caches() {
+        // An aged position (mode 0 -> id) must land in the caches exactly as
+        // Eq.5 prescribes: A = a·kᵀv, B = a·v, C = b·v, D = a·k, E = a, F = b.
+        let d = 2;
+        let mut ac = AcModule::new(d);
+        let mut sram = CacheSram::new(d);
+        let keys = vec![vec![1.0, -2.0]];
+        let values = vec![vec![0.5, 4.0]];
+        let corr = correction(0, 0.0, 0.3, 0.05);
+        ac.execute(&[0.0; 2], 0.0, &mut sram, &[corr], &[0], &keys, &values);
+        // A[k][c] = 0.3 * k[k] * v[c].
+        assert!((sram.a[0] - 0.3 * 1.0 * 0.5).abs() < 1e-6);
+        assert!((sram.a[1] - 0.3 * 1.0 * 4.0).abs() < 1e-6);
+        assert!((sram.a[2] - 0.3 * -2.0 * 0.5).abs() < 1e-6);
+        assert!((sram.a[3] - 0.3 * -2.0 * 4.0).abs() < 1e-6);
+        assert!((sram.b[1] - 1.2).abs() < 1e-6);
+        assert!((sram.c[0] - 0.025).abs() < 1e-6);
+        assert!((sram.d_vec[1] + 0.6).abs() < 1e-6);
+        assert!((sram.e - 0.3).abs() < 1e-6);
+        assert!((sram.f - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cached_evaluation_matches_direct_sum() {
+        // Build caches through updates, then check AC.1/AC.2 against the
+        // explicit weighted sum.
+        let d = 3;
+        let mut rng = Rng::new(5);
+        let keys: Vec<Vec<f32>> = (0..4).map(|_| rng.normal_vec(d, 1.0)).collect();
+        let values: Vec<Vec<f32>> = (0..4).map(|_| rng.normal_vec(d, 1.0)).collect();
+        let coeffs = [(0.4f32, 0.1f32), (0.2, 0.3), (0.7, 0.0), (0.1, 0.05)];
+
+        let mut ac = AcModule::new(d);
+        let mut sram = CacheSram::new(d);
+        for (i, &(a, b)) in coeffs.iter().enumerate() {
+            let corr = correction(i, 0.0, a, b);
+            ac.execute(&[0.0; 3], 0.0, &mut sram, &[corr], &[0], &keys, &values);
+        }
+
+        let q = [0.3f32, -0.5, 0.8];
+        let m = 0.25f32;
+        let result = ac.execute(&q, m, &mut sram, &[], &[], &keys, &values);
+        // Expected: sum over positions of (a(q·k − m) + b)·v / denominator.
+        let mut num = [0.0f32; 3];
+        let mut den = 0.0f32;
+        for (i, &(a, b)) in coeffs.iter().enumerate() {
+            let s: f32 = q.iter().zip(&keys[i]).map(|(x, y)| x * y).sum();
+            let w = a * (s - m) + b;
+            den += w;
+            for (slot, v) in num.iter_mut().zip(&values[i]) {
+                *slot += w * v;
+            }
+        }
+        assert!((result.denominator - den).abs() < 1e-4);
+        for (got, want) in result.output.iter().zip(num.iter().map(|x| x / den)) {
+            assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn cycle_model_matches_eq7_term() {
+        let d = 12;
+        let mut ac = AcModule::new(d);
+        let mut sram = CacheSram::new(d);
+        let mut rng = Rng::new(6);
+        let keys: Vec<Vec<f32>> = (0..9).map(|_| rng.normal_vec(d, 1.0)).collect();
+        let values: Vec<Vec<f32>> = (0..9).map(|_| rng.normal_vec(d, 1.0)).collect();
+        let corrections: Vec<Correction> = (0..9)
+            .map(|i| correction(i, 0.1, 0.2, 0.05))
+            .collect();
+        let updates = vec![0usize, 3, 7];
+        let result = ac.execute(
+            &vec![0.1; d],
+            0.0,
+            &mut sram,
+            &corrections,
+            &updates,
+            &keys,
+            &values,
+        );
+        // d/3 + 1 + |J|/3 + 1 + d*ceil(|U|/3) + 3*ceil(|U|/3)
+        let expected = (12u64.div_ceil(3)) + 1 + (9u64.div_ceil(3)) + 1 + 12 + 3;
+        assert_eq!(result.cycles, expected);
+    }
+
+    #[test]
+    fn zero_corrections_pure_cache_path() {
+        let d = 2;
+        let mut ac = AcModule::new(d);
+        let mut sram = CacheSram::new(d);
+        let keys = vec![vec![1.0, 0.0]];
+        let values = vec![vec![5.0, -5.0]];
+        ac.execute(
+            &[0.0; 2],
+            0.0,
+            &mut sram,
+            &[correction(0, 0.0, 0.5, 0.5)],
+            &[0],
+            &keys,
+            &values,
+        );
+        // Pure cache evaluation with no corrections.
+        let result = ac.execute(&[2.0, 0.0], 0.0, &mut sram, &[], &[], &keys, &values);
+        // w = 0.5*(q·k) + 0.5 = 1.5 -> output = v.
+        assert!((result.denominator - 1.5).abs() < 1e-5);
+        assert!((result.output[0] - 5.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,163 @@
+//! Active Position Identification module (paper Sec. IV-B(3)).
+//!
+//! Two pre-populated lookup tables hold the lower and upper bounds of every
+//! interval. For each position the module looks up its mode interval's
+//! bounds, compares `s[i] − max_s` against them and, on a miss, appends the
+//! position to the active-position FIFO; on a hit it increments the mode's
+//! counter. Positions not yet admitted to the intermediate caches (the
+//! latest window) are in the FIFO by default with mode 0. Identification
+//! parallelism is 12 positions per cycle sharing one LUT pair — the `n/12`
+//! term of Eq. 7.
+
+use super::g_tensor::GTensor;
+use lad_math::pwl::PwlExp;
+use lad_math::F16;
+
+/// Result of one identification pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApidResult {
+    /// The active-position FIFO, position order (cached misses + the whole
+    /// uncached window).
+    pub active: Vec<usize>,
+    /// Module cycles (`ceil(n / 12)`).
+    pub cycles: u64,
+}
+
+/// The APID module with its interval-bound LUTs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApidModule {
+    lower: Vec<F16>,
+    upper: Vec<F16>,
+    parallelism: u64,
+}
+
+impl ApidModule {
+    /// Builds the LUTs from a partition. Parallelism degree 12 per the
+    /// paper.
+    pub fn new(pwl: &PwlExp) -> ApidModule {
+        let mut lower = Vec::with_capacity(pwl.num_intervals());
+        let mut upper = Vec::with_capacity(pwl.num_intervals());
+        for i in 0..pwl.num_intervals() {
+            let (lo, hi) = pwl.interval_bounds(i);
+            lower.push(if lo.is_finite() {
+                F16::from_f32(lo as f32)
+            } else {
+                F16::NEG_INFINITY
+            });
+            upper.push(F16::from_f32(hi as f32));
+        }
+        ApidModule {
+            lower,
+            upper,
+            parallelism: 12,
+        }
+    }
+
+    /// Number of intervals in the LUTs.
+    pub fn intervals(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Identifies active positions. Positions `>= cached_upto` are the
+    /// uncached window: active by default, no counter bump here (the MD
+    /// module counts them with their true interval).
+    pub fn identify(
+        &self,
+        scores: &[f32],
+        max_score: f32,
+        g: &mut GTensor,
+        cached_upto: usize,
+    ) -> ApidResult {
+        let n = scores.len();
+        assert_eq!(g.len(), n, "APID: G tensor must cover every position");
+        let mut active = Vec::new();
+        for (i, &s) in scores.iter().enumerate() {
+            if i >= cached_upto {
+                active.push(i);
+                continue;
+            }
+            let mode = g.mode(i);
+            let shifted = s - max_score;
+            let lo = self.lower[mode].to_f32();
+            let hi = self.upper[mode].to_f32();
+            if shifted < lo || shifted > hi {
+                active.push(i);
+            } else {
+                g.bump_counter(i, mode);
+            }
+        }
+        ApidResult {
+            active,
+            cycles: (n as u64).div_ceil(self.parallelism),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> GTensor {
+        let mut g = GTensor::new(5);
+        for _ in 0..n {
+            g.push(1.0, 0, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn window_positions_are_default_active() {
+        let pwl = PwlExp::paper_default();
+        let apid = ApidModule::new(&pwl);
+        let mut g = setup(5);
+        // Scores all deep in interval 0 == mode, cached_upto = 3.
+        let result = apid.identify(&[-20.0; 5], 0.0, &mut g, 3);
+        assert_eq!(result.active, vec![3, 4]);
+    }
+
+    #[test]
+    fn mode_miss_marks_active_and_hit_bumps_counter() {
+        let pwl = PwlExp::paper_default();
+        let apid = ApidModule::new(&pwl);
+        let mut g = setup(2);
+        g.set_mode(0, 4); // [-1, 0]
+        g.set_mode(1, 4);
+        // Position 0 inside its mode, position 1 far outside.
+        let result = apid.identify(&[-0.5, -7.0], 0.0, &mut g, 2);
+        assert_eq!(result.active, vec![1]);
+        assert_eq!(g.counter(0, 4), 1);
+        assert_eq!(g.counter(1, 4), 0);
+    }
+
+    #[test]
+    fn cycles_are_n_over_12() {
+        let pwl = PwlExp::paper_default();
+        let apid = ApidModule::new(&pwl);
+        let mut g = setup(100);
+        let result = apid.identify(&vec![-20.0; 100], 0.0, &mut g, 100);
+        assert_eq!(result.cycles, 9);
+        assert_eq!(apid.intervals(), 5);
+    }
+
+    #[test]
+    fn unbounded_interval_lower_bound_is_neg_infinity() {
+        let pwl = PwlExp::paper_default();
+        let apid = ApidModule::new(&pwl);
+        let mut g = setup(1);
+        // Mode 0 covers (-inf, -10]: any very negative score is a hit.
+        let result = apid.identify(&[-1.0e4], 0.0, &mut g, 1);
+        assert!(result.active.is_empty());
+        assert_eq!(g.counter(0, 0), 1);
+    }
+
+    #[test]
+    fn boundary_scores_are_hits() {
+        let pwl = PwlExp::paper_default();
+        let apid = ApidModule::new(&pwl);
+        let mut g = setup(1);
+        g.set_mode(0, 3); // [-3, -1]
+        // Exactly on the bound: inclusive check, not active.
+        let result = apid.identify(&[-3.0], 0.0, &mut g, 1);
+        assert!(result.active.is_empty());
+    }
+}

@@ -1,0 +1,276 @@
+//! Efficient Attention Score module (paper Sec. IV-B(2)).
+//!
+//! Five sub-tasks per decoding step:
+//!
+//! * **EAS.1** — dot products between the query and the directional-center
+//!   keys (one center per cycle per VPU lane).
+//! * **EAS.2** — rescaling `s[i] ← s[cid[i]] · dnorm[i]` for all positions
+//!   (128 positions per cycle — scalar multiplies, not VPU work).
+//! * **EAS.3** — accurate scores for the large-mode set `M` (Sec. III-F),
+//!   overwriting the approximations.
+//! * **EAS.4** — the L2 norm of the newest key.
+//! * **EAS.5** — cosine similarities between the newest key and every center,
+//!   then the center-updater's combinational decision (Alg. 1 lines 10–17).
+//!
+//! The module has parallelism degree 2 (two VPUs, two positions per cycle);
+//! its cycle count realises the `(2|C| + n/128 + |M|)/2` term of Eq. 7.
+//! The running maximum score is tracked across EAS.1–EAS.3.
+
+use super::g_tensor::GTensor;
+use super::vpu::Vpu;
+
+/// Output of one EAS pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EasResult {
+    /// Per-position attention scores (centers and `M` exact, rest
+    /// approximated through `cid`/`dnorm`).
+    pub scores: Vec<f32>,
+    /// Which scores are exact.
+    pub exact: Vec<bool>,
+    /// Maximum score identified during EAS.1–EAS.3.
+    pub max_score: f32,
+    /// Module cycles for this pass (Eq. 7 EAS term).
+    pub cycles: u64,
+    /// Keys streamed from HBM (centers + large-mode positions).
+    pub keys_read: usize,
+}
+
+/// The EAS module: two VPU lanes plus the center-updater registers.
+#[derive(Debug, Clone)]
+pub struct EasModule {
+    lanes: [Vpu; 2],
+    collinearity_threshold: f32,
+}
+
+impl EasModule {
+    /// Creates the module for head dimension `width` with the Alg. 1
+    /// collinearity threshold.
+    pub fn new(width: usize, collinearity_threshold: f64) -> EasModule {
+        EasModule {
+            lanes: [Vpu::new(width), Vpu::new(width)],
+            collinearity_threshold: collinearity_threshold as f32,
+        }
+    }
+
+    /// Executes EAS.1–EAS.5 for one decoding step.
+    ///
+    /// `keys` is the full key cache with the newest key last; `g` holds
+    /// bookkeeping for all *previous* keys and is extended with the newest
+    /// one (EAS.4/5). `centers` is the ordered center-position list, extended
+    /// when the new key founds a center. `large_modes` lists the positions
+    /// whose scores must be exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.len() + 1 != keys.len()`.
+    pub fn execute(
+        &mut self,
+        q_scaled: &[f32],
+        keys: &[Vec<f32>],
+        g: &mut GTensor,
+        centers: &mut Vec<usize>,
+        large_modes: &[usize],
+    ) -> EasResult {
+        assert_eq!(
+            g.len() + 1,
+            keys.len(),
+            "EAS: exactly one unregistered key expected"
+        );
+        let n = keys.len();
+        let new_idx = n - 1;
+        for lane in &mut self.lanes {
+            lane.reset_cycles();
+        }
+
+        // -- EAS.4: L2 norm of the newest key (lane 0).
+        self.lanes[0].load_vec1(&keys[new_idx]);
+        let norm_sq = self.lanes[0].dot(&keys[new_idx]);
+        let new_norm = norm_sq.sqrt();
+
+        // -- EAS.5: cosine against every center; two per cycle.
+        let mut max_cos = 0.0f32;
+        let mut max_pos = 0usize;
+        if new_norm > 0.0 {
+            for (i, &c) in centers.iter().enumerate() {
+                let lane = &mut self.lanes[i % 2];
+                lane.load_vec1(&keys[new_idx]);
+                let dot = lane.dot(&keys[c]);
+                let center_norm = g.norm(c);
+                if center_norm == 0.0 {
+                    continue;
+                }
+                let cos = dot / (new_norm * center_norm);
+                if cos.abs() > max_cos.abs() {
+                    max_cos = cos;
+                    max_pos = c;
+                }
+            }
+        }
+        // Center-updater combinational logic (Alg. 1 lines 10-17).
+        if max_cos > self.collinearity_threshold {
+            g.push(new_norm, max_pos, new_norm / g.norm(max_pos));
+        } else if max_cos < -self.collinearity_threshold {
+            g.push(new_norm, max_pos, -new_norm / g.norm(max_pos));
+        } else {
+            g.push(new_norm, new_idx, 1.0);
+            centers.push(new_idx);
+        }
+
+        // -- EAS.1: exact scores of the centers, two per cycle.
+        let mut center_score = vec![0.0f32; n];
+        let mut scores = vec![0.0f32; n];
+        let mut exact = vec![false; n];
+        let mut max_score = f32::NEG_INFINITY;
+        for (i, &c) in centers.iter().enumerate() {
+            let lane = &mut self.lanes[i % 2];
+            lane.load_vec1(q_scaled);
+            let s = lane.dot(&keys[c]);
+            center_score[c] = s;
+            scores[c] = s;
+            exact[c] = true;
+            max_score = max_score.max(s);
+        }
+
+        // -- EAS.2: rescale every non-center position via cid/dnorm.
+        for i in 0..n {
+            if !exact[i] {
+                scores[i] = center_score[g.cid(i)] * g.dnorm(i);
+                max_score = max_score.max(scores[i]);
+            }
+        }
+
+        // -- EAS.3: accurate scores for the large-mode set.
+        let mut keys_read = centers.len();
+        for &m in large_modes {
+            if !exact[m] {
+                let lane = &mut self.lanes[keys_read % 2];
+                lane.load_vec1(q_scaled);
+                scores[m] = lane.dot(&keys[m]);
+                exact[m] = true;
+                max_score = max_score.max(scores[m]);
+                keys_read += 1;
+            }
+        }
+
+        // Cycle model: VPU lanes did EAS.1 + EAS.3 + EAS.4/5; EAS.2 is
+        // 128 scalar rescales per cycle, divided over the 2-lane datapath.
+        let vpu_cycles = self.lanes.iter().map(Vpu::cycles).max().unwrap_or(0);
+        let rescale_cycles = (n as u64).div_ceil(128).div_ceil(2);
+        EasResult {
+            scores,
+            exact,
+            max_score,
+            cycles: vpu_cycles + rescale_cycles,
+            keys_read,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_math::Rng;
+
+    fn setup(keys: &[Vec<f32>], threshold: f64) -> (EasModule, GTensor, Vec<usize>) {
+        let d = keys[0].len();
+        let mut eas = EasModule::new(d, threshold);
+        let mut g = GTensor::new(16);
+        let mut centers = Vec::new();
+        // Register all but the last key by running EAS with a dummy query.
+        let q = vec![0.0; d];
+        for i in 0..keys.len() - 1 {
+            eas.execute(&q, &keys[..=i], &mut g, &mut centers, &[]);
+        }
+        (eas, g, centers)
+    }
+
+    #[test]
+    fn collinear_keys_share_centers() {
+        let keys = vec![
+            vec![1.0, 0.0],
+            vec![3.0, 0.0],
+            vec![0.0, 2.0],
+            vec![-2.0, 0.0],
+        ];
+        let (mut eas, mut g, mut centers) = setup(&keys, 0.98);
+        eas.execute(&[1.0, 0.0], &keys, &mut g, &mut centers, &[]);
+        assert_eq!(centers, vec![0, 2]);
+        assert_eq!(g.cid(1), 0);
+        assert!((g.dnorm(1) - 3.0).abs() < 1e-3);
+        // Anti-collinear key 3: negative dnorm.
+        assert!((g.dnorm(3) + 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn scores_reconstruct_exactly_for_collinear_keys() {
+        let keys = vec![vec![2.0, 0.0], vec![4.0, 0.0], vec![-1.0, 0.0]];
+        let (mut eas, mut g, mut centers) = setup(&keys, 0.98);
+        let result = eas.execute(&[0.5, 0.0], &keys, &mut g, &mut centers, &[]);
+        assert!((result.scores[0] - 1.0).abs() < 1e-3);
+        assert!((result.scores[1] - 2.0).abs() < 1e-2);
+        assert!((result.scores[2] + 0.5).abs() < 1e-2);
+        assert!((result.max_score - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn large_mode_positions_get_exact_scores() {
+        // An almost-collinear pair: approx score differs from exact; listing
+        // the position in M must force exactness.
+        let keys = vec![vec![1.0, 0.0], vec![1.0, 0.15], vec![0.0, 1.0]];
+        let q = vec![0.0f32, 1.0];
+        let (mut eas, mut g, mut centers) = setup(&keys, 0.95);
+        // key 1 cos to key 0 = 1/sqrt(1.0225) ~ 0.989 > 0.95 -> grouped.
+        let approx = eas.execute(&q, &keys, &mut g, &mut centers, &[]);
+        assert!(!approx.exact[1]);
+        assert!((approx.scores[1] - 0.0).abs() < 1e-3, "approx misses the y component");
+
+        let (mut eas, mut g, mut centers) = setup(&keys, 0.95);
+        let exact = eas.execute(&q, &keys, &mut g, &mut centers, &[1]);
+        assert!(exact.exact[1]);
+        assert!((exact.scores[1] - 0.15).abs() < 1e-3);
+        assert_eq!(exact.keys_read, centers.len() + 1);
+    }
+
+    #[test]
+    fn cycle_count_tracks_eq7_shape() {
+        let mut rng = Rng::new(8);
+        let d = 16;
+        let keys: Vec<Vec<f32>> = (0..65).map(|_| rng.normal_vec(d, 1.0)).collect();
+        let (mut eas, mut g, mut centers) = setup(&keys, 0.98);
+        let before = centers.len() as u64;
+        let result = eas.execute(&rng.normal_vec(d, 1.0), &keys, &mut g, &mut centers, &[]);
+        // EAS.1 (~|C|/2) + EAS.5 (~|C|/2) + EAS.4 + rescale.
+        let expected_min = before; // 2|C|/2
+        assert!(
+            result.cycles >= expected_min && result.cycles <= expected_min + 4,
+            "cycles {} vs |C| {}",
+            result.cycles,
+            before
+        );
+    }
+
+    #[test]
+    fn new_key_registered_in_g() {
+        let keys = vec![vec![1.0, 1.0]];
+        let mut eas = EasModule::new(2, 0.98);
+        let mut g = GTensor::new(16);
+        let mut centers = Vec::new();
+        eas.execute(&[1.0, 0.0], &keys, &mut g, &mut centers, &[]);
+        assert_eq!(g.len(), 1);
+        assert!((g.norm(0) - 2.0f32.sqrt()).abs() < 1e-3);
+        assert_eq!(centers, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one unregistered key")]
+    fn requires_incremental_registration() {
+        let keys = vec![vec![1.0], vec![2.0]];
+        EasModule::new(1, 0.98).execute(
+            &[1.0],
+            &keys,
+            &mut GTensor::new(4),
+            &mut Vec::new(),
+            &[],
+        );
+    }
+}

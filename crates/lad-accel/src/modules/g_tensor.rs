@@ -1,0 +1,187 @@
+//! The `G` tensor (paper Sec. IV-C).
+//!
+//! All small per-position bookkeeping is coalesced into a tensor of shape
+//! `n × 4` with 16-bit elements: `norm` (fp16), `dnorm` (fp16), `cid`
+//! (uint16) and `mode:cnt` packed as `uint4:uint12`. Stage 1 of the
+//! attention pipeline streams it from HBM; this model stores the same fields
+//! with the same precision limits so storage-induced quantisation is
+//! faithful.
+
+use lad_math::F16;
+
+/// Maximum value of the packed `uint12` counter.
+pub const CNT_MAX: u16 = 0x0FFF;
+
+/// Maximum value of the packed `uint4` mode.
+pub const MODE_MAX: u8 = 0x0F;
+
+/// One position's packed record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct GRow {
+    norm: F16,
+    dnorm: F16,
+    cid: u16,
+    /// `mode << 12 | cnt[mode]`-style packing is modelled by keeping the full
+    /// counter array in a side table (hardware keeps per-interval counters in
+    /// SRAM; the G tensor carries the mode's counter only).
+    mode: u8,
+}
+
+/// The coalesced per-position bookkeeping tensor plus the per-interval
+/// counter table the MD module reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GTensor {
+    intervals: usize,
+    rows: Vec<GRow>,
+    counters: Vec<Vec<u16>>,
+}
+
+impl GTensor {
+    /// Creates an empty tensor for a partition with `intervals` intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals` is 0 or exceeds the `uint4` mode field.
+    pub fn new(intervals: usize) -> GTensor {
+        assert!(
+            intervals > 0 && intervals <= MODE_MAX as usize + 1,
+            "GTensor: intervals must fit the uint4 mode field"
+        );
+        GTensor {
+            intervals,
+            rows: Vec::new(),
+            counters: Vec::new(),
+        }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no positions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Registers a new position with the given key norm, center id and
+    /// signed norm ratio; mode defaults to 0 (paper Sec. IV-B(3)).
+    pub fn push(&mut self, norm: f32, cid: usize, dnorm: f32) {
+        self.rows.push(GRow {
+            norm: F16::from_f32(norm),
+            dnorm: F16::from_f32(dnorm),
+            cid: cid as u16,
+            mode: 0,
+        });
+        self.counters.push(vec![0; self.intervals]);
+    }
+
+    /// fp16-rounded key norm of `position`.
+    pub fn norm(&self, position: usize) -> f32 {
+        self.rows[position].norm.to_f32()
+    }
+
+    /// fp16-rounded signed norm ratio of `position`.
+    pub fn dnorm(&self, position: usize) -> f32 {
+        self.rows[position].dnorm.to_f32()
+    }
+
+    /// Center id of `position`.
+    pub fn cid(&self, position: usize) -> usize {
+        self.rows[position].cid as usize
+    }
+
+    /// Mode interval of `position`.
+    pub fn mode(&self, position: usize) -> usize {
+        self.rows[position].mode as usize
+    }
+
+    /// Counter of `interval` at `position`.
+    pub fn counter(&self, position: usize, interval: usize) -> u16 {
+        self.counters[position][interval]
+    }
+
+    /// Increments `interval`'s counter (uint12 saturation) and returns the
+    /// new value.
+    pub fn bump_counter(&mut self, position: usize, interval: usize) -> u16 {
+        let slot = &mut self.counters[position][interval];
+        if *slot < CNT_MAX {
+            *slot += 1;
+        }
+        *slot
+    }
+
+    /// Overwrites the mode field (the MD module's update-mode signal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` exceeds the interval count.
+    pub fn set_mode(&mut self, position: usize, mode: usize) {
+        assert!(mode < self.intervals, "set_mode: interval out of range");
+        self.rows[position].mode = mode as u8;
+    }
+
+    /// HBM footprint in bytes: `n × 4` 16-bit fields.
+    pub fn hbm_bytes(&self) -> usize {
+        self.rows.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_field_access() {
+        let mut g = GTensor::new(16);
+        g.push(3.0, 0, 1.0);
+        g.push(1.5, 0, -0.5);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.norm(0), 3.0);
+        assert_eq!(g.dnorm(1), -0.5);
+        assert_eq!(g.cid(1), 0);
+        assert_eq!(g.mode(0), 0);
+    }
+
+    #[test]
+    fn norms_are_fp16_quantised() {
+        let mut g = GTensor::new(16);
+        let exact = 1.0f32 / 3.0;
+        g.push(exact, 0, exact);
+        assert_eq!(g.norm(0), F16::from_f32(exact).to_f32());
+        assert_ne!(g.norm(0), exact);
+    }
+
+    #[test]
+    fn counters_saturate_at_uint12() {
+        let mut g = GTensor::new(4);
+        g.push(1.0, 0, 1.0);
+        for _ in 0..5000 {
+            g.bump_counter(0, 2);
+        }
+        assert_eq!(g.counter(0, 2), CNT_MAX);
+    }
+
+    #[test]
+    fn mode_updates() {
+        let mut g = GTensor::new(16);
+        g.push(1.0, 0, 1.0);
+        g.set_mode(0, 13);
+        assert_eq!(g.mode(0), 13);
+    }
+
+    #[test]
+    fn hbm_bytes_is_8n() {
+        let mut g = GTensor::new(16);
+        for _ in 0..100 {
+            g.push(1.0, 0, 1.0);
+        }
+        assert_eq!(g.hbm_bytes(), 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "uint4")]
+    fn too_many_intervals_rejected() {
+        GTensor::new(17);
+    }
+}

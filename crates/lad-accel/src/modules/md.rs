@@ -1,0 +1,266 @@
+//! Mode Discrepancy module (paper Sec. IV-B(4)).
+//!
+//! For every position in the active FIFO, the module computes the *accurate*
+//! attention score `s[j] = <q, K[j,:]>` (reading the key from the KV cache),
+//! converts `s[j] − max_s` to an interval index with a comparator array over
+//! the interval lower bounds, increments the matching counter, and raises
+//! the update-mode signal when the incremented counter exceeds the mode's.
+//! Coefficient LUTs (2·I fp16 entries) produce `α = a[id] − a[mode]`,
+//! `β = b[id] − b[mode]` and `α·s` for the AC module.
+//!
+//! The update-mode signal is ignored for the uncached window positions
+//! except the earliest one (the position ageing into the caches this step)
+//! — that one is forced into the update FIFO so AC adds its key/value to
+//! the intermediate caches. Parallelism degree 2 (two VPUs), the `|J|/2`
+//! term of Eq. 7.
+
+use super::g_tensor::GTensor;
+use super::vpu::Vpu;
+use lad_math::pwl::PwlExp;
+use lad_math::F16;
+
+/// One active position's correction record (MD → AC).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correction {
+    /// Position index in the KV cache.
+    pub position: usize,
+    /// Accurate score `<q, k_j>`.
+    pub score: f32,
+    /// `a[id] − a[mode]`.
+    pub alpha: f32,
+    /// `b[id] − b[mode]`.
+    pub beta: f32,
+    /// Pre-multiplied `α · s` (the `_α` operand of AC.3).
+    pub alpha_s: f32,
+    /// The interval the score actually fell in.
+    pub interval: usize,
+}
+
+/// Result of one MD pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdResult {
+    /// Correction records for every active position, FIFO order.
+    pub corrections: Vec<Correction>,
+    /// The update FIFO: corrections (by index into `corrections`) whose
+    /// positions' cache contributions must be rewritten by AC.5–AC.8.
+    pub updates: Vec<usize>,
+    /// Module cycles (`ceil(|J| / 2)`).
+    pub cycles: u64,
+    /// Keys read from the KV cache.
+    pub keys_read: usize,
+}
+
+/// The MD module with its comparator array and coefficient LUTs.
+#[derive(Debug, Clone)]
+pub struct MdModule {
+    lower: Vec<f32>,
+    coeff_a: Vec<F16>,
+    coeff_b: Vec<F16>,
+    lanes: [Vpu; 2],
+}
+
+impl MdModule {
+    /// Builds the LUTs from a partition for head dimension `width`.
+    pub fn new(pwl: &PwlExp, width: usize) -> MdModule {
+        let mut lower = Vec::new();
+        let mut coeff_a = Vec::new();
+        let mut coeff_b = Vec::new();
+        for i in 0..pwl.num_intervals() {
+            let (lo, _) = pwl.interval_bounds(i);
+            lower.push(if lo.is_finite() {
+                lo as f32
+            } else {
+                f32::NEG_INFINITY
+            });
+            let (a, b) = pwl.coeffs(i);
+            coeff_a.push(F16::from_f32(a as f32));
+            coeff_b.push(F16::from_f32(b as f32));
+        }
+        MdModule {
+            lower,
+            coeff_a,
+            coeff_b,
+            lanes: [Vpu::new(width), Vpu::new(width)],
+        }
+    }
+
+    /// The comparator array: index of the interval with the largest lower
+    /// bound not exceeding `shifted`.
+    pub fn interval_of(&self, shifted: f32) -> usize {
+        let mut id = 0usize;
+        for (i, &lo) in self.lower.iter().enumerate() {
+            if lo <= shifted {
+                id = i;
+            }
+        }
+        id
+    }
+
+    /// Processes the active FIFO.
+    ///
+    /// `aged_position` is the earliest window position crossing into the
+    /// caches this step (`None` before the window fills); its update-mode
+    /// signal is forced. Window positions are those `>= cached_upto`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn process(
+        &mut self,
+        q_scaled: &[f32],
+        keys: &[Vec<f32>],
+        active: &[usize],
+        max_score: f32,
+        g: &mut GTensor,
+        cached_upto: usize,
+        aged_position: Option<usize>,
+    ) -> MdResult {
+        for lane in &mut self.lanes {
+            lane.reset_cycles();
+        }
+        let mut corrections = Vec::with_capacity(active.len());
+        let mut updates = Vec::new();
+        for (idx, &j) in active.iter().enumerate() {
+            let lane = &mut self.lanes[idx % 2];
+            lane.load_vec1(q_scaled);
+            let score = lane.dot(&keys[j]);
+            let shifted = score - max_score;
+            let id = self.interval_of(shifted);
+            let mode = g.mode(j);
+            let a_id = self.coeff_a[id].to_f32();
+            let b_id = self.coeff_b[id].to_f32();
+            let alpha = a_id - self.coeff_a[mode].to_f32();
+            let beta = b_id - self.coeff_b[mode].to_f32();
+            corrections.push(Correction {
+                position: j,
+                score,
+                alpha,
+                beta,
+                alpha_s: alpha * score,
+                interval: id,
+            });
+
+            let count = g.bump_counter(j, id);
+            let is_window = j >= cached_upto;
+            let is_aged = aged_position == Some(j);
+            let exceeds_mode = id != mode && count > g.counter(j, mode);
+            // Update-mode signal: ignored inside the window except for the
+            // ageing position, which is forced into the update FIFO.
+            if (!is_window && exceeds_mode) || is_aged {
+                g.set_mode(j, id);
+                updates.push(idx);
+            }
+        }
+        MdResult {
+            cycles: (active.len() as u64).div_ceil(2),
+            keys_read: active.len(),
+            corrections,
+            updates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module() -> MdModule {
+        MdModule::new(&PwlExp::paper_default(), 2)
+    }
+
+    fn g_with(n: usize, modes: &[usize]) -> GTensor {
+        let mut g = GTensor::new(5);
+        for i in 0..n {
+            g.push(1.0, 0, 1.0);
+            if i < modes.len() {
+                g.set_mode(i, modes[i]);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn comparator_array_matches_partition() {
+        let md = module();
+        let pwl = PwlExp::paper_default();
+        for shifted in [-50.0f32, -10.0, -7.95, -5.34, -2.0, -0.5, 0.0] {
+            assert_eq!(
+                md.interval_of(shifted),
+                pwl.interval_of(f64::from(shifted)),
+                "shifted {shifted}"
+            );
+        }
+    }
+
+    #[test]
+    fn false_positive_yields_zero_coefficients() {
+        let mut md = module();
+        // Score falls inside the mode interval (mode 1 = [-10,-6]).
+        let keys = vec![vec![-8.0f32, 0.0]];
+        let mut g = g_with(1, &[1]);
+        let result = md.process(&[1.0, 0.0], &keys, &[0], 0.0, &mut g, 1, None);
+        let c = result.corrections[0];
+        assert_eq!(c.interval, 1);
+        assert_eq!(c.alpha, 0.0);
+        assert_eq!(c.beta, 0.0);
+        assert!(result.updates.is_empty());
+    }
+
+    #[test]
+    fn mode_change_requires_counter_majority() {
+        let mut md = module();
+        let keys = vec![vec![-2.0f32, 0.0]]; // interval 3
+        let mut g = g_with(1, &[1]);
+        // Mode 1 has 3 prior hits.
+        for _ in 0..3 {
+            g.bump_counter(0, 1);
+        }
+        // Three misses into interval 3: only the 4th record exceeds.
+        for expected_updates in [0usize, 0, 0, 1] {
+            let result = md.process(&[1.0, 0.0], &keys, &[0], 0.0, &mut g, 1, None);
+            assert_eq!(result.updates.len(), expected_updates);
+        }
+        assert_eq!(g.mode(0), 3);
+    }
+
+    #[test]
+    fn window_updates_ignored_except_aged() {
+        let mut md = module();
+        let keys = vec![vec![-2.0f32, 0.0], vec![-2.0, 0.0]];
+        let mut g = g_with(2, &[0, 0]);
+        // Both positions are in the window (cached_upto = 0); position 0 is
+        // ageing in.
+        let result = md.process(&[1.0, 0.0], &keys, &[0, 1], 0.0, &mut g, 0, Some(0));
+        assert_eq!(result.updates, vec![0]);
+        // The aged position's mode became its actual interval; the other
+        // window position keeps default mode 0.
+        assert_eq!(g.mode(0), 3);
+        assert_eq!(g.mode(1), 0);
+        // Both got their true-interval counters bumped.
+        assert_eq!(g.counter(0, 3), 1);
+        assert_eq!(g.counter(1, 3), 1);
+    }
+
+    #[test]
+    fn alpha_beta_are_coefficient_differences() {
+        let mut md = module();
+        let pwl = PwlExp::paper_default();
+        let keys = vec![vec![-5.34f32, 0.0]]; // interval 2 (paper Fig.3 step 4)
+        let mut g = g_with(1, &[3]);
+        let result = md.process(&[1.0, 0.0], &keys, &[0], 0.0, &mut g, 1, None);
+        let c = result.corrections[0];
+        let (a2, b2) = pwl.coeffs(2);
+        let (a3, b3) = pwl.coeffs(3);
+        assert!((f64::from(c.alpha) - (a2 - a3)).abs() < 1e-3);
+        assert!((f64::from(c.beta) - (b2 - b3)).abs() < 1e-3);
+        assert!((c.alpha_s - c.alpha * c.score).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cycles_are_half_the_fifo() {
+        let mut md = module();
+        let keys: Vec<Vec<f32>> = (0..9).map(|_| vec![-2.0, 0.0]).collect();
+        let mut g = g_with(9, &[]);
+        let active: Vec<usize> = (0..9).collect();
+        let result = md.process(&[1.0, 0.0], &keys, &active, 0.0, &mut g, 9, None);
+        assert_eq!(result.cycles, 5);
+        assert_eq!(result.keys_read, 9);
+    }
+}

@@ -1,0 +1,34 @@
+//! Functional cycle-level models of the LAD tile's hardware modules
+//! (paper Sec. IV-B, Fig. 4/5, Alg. 2).
+//!
+//! The paper implements the tile in Verilog and functionally verifies the
+//! RTL; offline, this module tree is the substitute: each hardware block is
+//! modelled at the register-transfer level of *behaviour* — same dataflow,
+//! same per-cycle parallelism, same lookup tables and FIFOs — with cycle
+//! counting that reproduces the Eq. 7 latency terms. A [`tile::TileEngine`]
+//! chains EAS → APID → MD → AC for a complete decoding step, and the test
+//! suite verifies it against the golden algorithmic model in [`lad_core`].
+//!
+//! | block | paper | role |
+//! |---|---|---|
+//! | [`g_tensor`] | Sec. IV-C | the coalesced `norm/dnorm/cid/mode/cnt` tensor |
+//! | [`vpu`] | Fig. 5(b) | vector processing unit (DP / EM / S ops) |
+//! | [`sfm`] | Sec. IV-B(6) | special function module (LayerNorm, RoPE) |
+//! | [`eas`] | Sec. IV-B(2) | attention scores + center updates (EAS.1–5) |
+//! | [`apid`] | Sec. IV-B(3) | active-position identification, bound LUTs |
+//! | [`md`] | Sec. IV-B(4) | accurate scores, interval comparators, α/β |
+//! | [`ac`] | Sec. IV-B(5), Alg. 2 | attention computation + cache updates |
+//! | [`tile`] | Sec. IV-C | the full per-step pipeline |
+
+pub mod ac;
+pub mod apid;
+pub mod eas;
+pub mod g_tensor;
+pub mod md;
+pub mod sfm;
+pub mod tile;
+pub mod vpu;
+
+pub use g_tensor::GTensor;
+pub use tile::{TileEngine, TileStepResult};
+pub use vpu::Vpu;

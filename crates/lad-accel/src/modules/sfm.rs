@@ -1,0 +1,195 @@
+//! Special Function Module (paper Sec. IV-B(6)).
+//!
+//! `d` adders plus special scalar components (reciprocal / square root via
+//! Taylor expansion, Sec. V-A). Handles the operators outside linear and
+//! attention layers: LayerNorm delegates the vector scaling to a VPU and
+//! keeps the scalar `γ/√V[X]` and the `X − E[X]` / `+β` element-wise adds;
+//! RoPE delegates the two element-wise multiplies to VPUs and adds the
+//! results.
+
+use super::vpu::Vpu;
+
+/// Result of an SFM operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SfmResult {
+    /// Output vector.
+    pub output: Vec<f32>,
+    /// Cycles spent in the SFM and its delegated VPU ops.
+    pub cycles: u64,
+}
+
+/// The SFM: `d` adders and scalar special-function units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SfmModule {
+    width: usize,
+}
+
+impl SfmModule {
+    /// Creates an SFM with `width` adders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> SfmModule {
+        assert!(width > 0, "SfmModule: width must be positive");
+        SfmModule { width }
+    }
+
+    /// Reciprocal square root via a two-term Taylor refinement around a
+    /// table seed — the paper's Takagi-style scalar unit. Accurate to ~1e-6
+    /// relative over the normalisation range.
+    pub fn rsqrt(&self, x: f32) -> f32 {
+        assert!(x > 0.0, "rsqrt: input must be positive");
+        // Table seed: exponent halving via bit manipulation.
+        let seed = f32::from_bits(0x5f37_59df_u32.wrapping_sub(x.to_bits() >> 1));
+        // Two Newton refinements (each a Taylor step of 1/sqrt).
+        let mut y = seed;
+        for _ in 0..2 {
+            y *= 1.5 - 0.5 * x * y * y;
+        }
+        y
+    }
+
+    /// LayerNorm-(γ, β): the SFM computes `E[X]`, `X − E[X]` and the scalar
+    /// `γ/√(V[X]+eps)`; the vector scaling runs on the delegated VPU; the
+    /// SFM adds `β`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if vector widths mismatch.
+    pub fn layer_norm(
+        &self,
+        x: &[f32],
+        gamma: f32,
+        beta: f32,
+        vpu: &mut Vpu,
+    ) -> SfmResult {
+        assert_eq!(x.len(), self.width, "layer_norm: width mismatch");
+        let n = x.len() as f32;
+        // Adder tree: mean (1 cycle).
+        let mean = x.iter().sum::<f32>() / n;
+        // Element-wise subtract (1 cycle on the d adders).
+        let centered: Vec<f32> = x.iter().map(|v| v - mean).collect();
+        // Variance via VPU dot (1 cycle) + scalar ops (2 cycles).
+        vpu.load_vec1(&centered);
+        let var = vpu.dot(&centered) / n;
+        let scale = gamma * self.rsqrt(var + 1e-5);
+        // Vector scaling on the VPU (1 cycle), then +β on the adders (1).
+        let scaled = vpu.scale(scale, &centered);
+        let output: Vec<f32> = scaled.iter().map(|v| v + beta).collect();
+        SfmResult { output, cycles: 6 }
+    }
+
+    /// RoPE: element-wise multiplies with the `cos` and rotated-`sin`
+    /// vectors on VPUs, summed on the SFM adders.
+    ///
+    /// The rotation uses the pair convention of [`lad_model::layers::rope`]:
+    /// consecutive pairs `(x[2i], x[2i+1])` rotate by `position · θᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the SFM width or is odd.
+    pub fn rope(&self, x: &[f32], position: usize, base: f32, vpu: &mut Vpu) -> SfmResult {
+        assert_eq!(x.len(), self.width, "rope: width mismatch");
+        assert!(x.len().is_multiple_of(2), "rope: width must be even");
+        let d = x.len();
+        let mut cos_vec = vec![0.0f32; d];
+        let mut sin_vec = vec![0.0f32; d];
+        let mut swapped = vec![0.0f32; d];
+        for i in 0..d / 2 {
+            let theta = (position as f32) * base.powf(-2.0 * i as f32 / d as f32);
+            let (sin, cos) = theta.sin_cos();
+            cos_vec[2 * i] = cos;
+            cos_vec[2 * i + 1] = cos;
+            sin_vec[2 * i] = -sin;
+            sin_vec[2 * i + 1] = sin;
+            swapped[2 * i] = x[2 * i + 1];
+            swapped[2 * i + 1] = x[2 * i];
+        }
+        // Two element-wise multiplies on the VPU (2 cycles).
+        vpu.load_vec1(x);
+        let term_cos = vpu.elementwise(&cos_vec);
+        vpu.load_vec1(&swapped);
+        let term_sin = vpu.elementwise(&sin_vec);
+        // Sum on the SFM adders (1 cycle).
+        let output: Vec<f32> = term_cos
+            .iter()
+            .zip(&term_sin)
+            .map(|(a, b)| a + b)
+            .collect();
+        SfmResult { output, cycles: 3 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_math::Rng;
+    use lad_model::layers::{rope as golden_rope, LayerNorm, ROPE_BASE};
+
+    #[test]
+    fn rsqrt_is_accurate() {
+        let sfm = SfmModule::new(4);
+        for x in [0.01f32, 0.5, 1.0, 3.7, 100.0, 1e4] {
+            let got = sfm.rsqrt(x);
+            let want = 1.0 / x.sqrt();
+            assert!(
+                ((got - want) / want).abs() < 1e-4,
+                "x={x}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn layer_norm_matches_golden_model() {
+        let d = 8;
+        let sfm = SfmModule::new(d);
+        let mut vpu = Vpu::new(d);
+        let golden = LayerNorm::new(d);
+        let mut rng = Rng::new(3);
+        for _ in 0..20 {
+            let x = rng.normal_vec(d, 2.0);
+            let hw = sfm.layer_norm(&x, 1.0, 0.0, &mut vpu);
+            let sw = golden.forward(&x);
+            for (a, b) in hw.output.iter().zip(&sw) {
+                assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            }
+            assert_eq!(hw.cycles, 6);
+        }
+    }
+
+    #[test]
+    fn layer_norm_applies_gamma_beta() {
+        let d = 4;
+        let sfm = SfmModule::new(d);
+        let mut vpu = Vpu::new(d);
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let plain = sfm.layer_norm(&x, 1.0, 0.0, &mut vpu).output;
+        let scaled = sfm.layer_norm(&x, 2.0, 0.5, &mut vpu).output;
+        for (p, s) in plain.iter().zip(&scaled) {
+            assert!((s - (2.0 * p + 0.5)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rope_matches_golden_model() {
+        let d = 8;
+        let sfm = SfmModule::new(d);
+        let mut vpu = Vpu::new(d);
+        let mut rng = Rng::new(4);
+        for pos in [0usize, 1, 17, 100] {
+            let x = rng.normal_vec(d, 1.0);
+            let hw = sfm.rope(&x, pos, ROPE_BASE, &mut vpu);
+            let sw = golden_rope(&x, pos, ROPE_BASE);
+            for (a, b) in hw.output.iter().zip(&sw) {
+                assert!((a - b).abs() < 1e-4, "pos {pos}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rsqrt_rejects_nonpositive() {
+        SfmModule::new(2).rsqrt(0.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! The complete per-step LAD attention pipeline of one tile
+//! (paper Sec. IV-C): EAS → APID → MD → AC over one head-sample, with the
+//! `G` tensor, directional centers and SRAM-resident intermediate caches as
+//! persistent state.
+//!
+//! This is the functional-verification artefact: the engine is wired from
+//! the hardware module models and must reproduce the golden algorithmic
+//! model ([`lad_core::decoder::LadAttention`]) and track exact attention.
+
+use super::ac::{AcModule, CacheSram};
+use super::apid::ApidModule;
+use super::eas::EasModule;
+use super::g_tensor::GTensor;
+use super::md::MdModule;
+use lad_math::pwl::PwlExp;
+
+/// Result of one tile step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileStepResult {
+    /// The attention output.
+    pub output: Vec<f32>,
+    /// KV length after the append.
+    pub n: usize,
+    /// Cached positions that missed their mode interval (`|J|` without the
+    /// window).
+    pub active: usize,
+    /// Update-FIFO length (mode changes + the ageing position).
+    pub updates: usize,
+    /// Keys/values streamed for identification and corrections.
+    pub keys_read: usize,
+    /// Per-stage cycles: (EAS, APID, MD, AC).
+    pub stage_cycles: (u64, u64, u64, u64),
+}
+
+impl TileStepResult {
+    /// The pipeline's compute bottleneck this step (max stage latency).
+    pub fn bottleneck_cycles(&self) -> u64 {
+        let (a, b, c, d) = self.stage_cycles;
+        a.max(b).max(c).max(d)
+    }
+}
+
+/// Per-head LAD attention state machine built from the hardware modules.
+#[derive(Debug, Clone)]
+pub struct TileEngine {
+    pwl: PwlExp,
+    dim: usize,
+    window: usize,
+    large_mode_min: usize,
+    eas: EasModule,
+    apid: ApidModule,
+    md: MdModule,
+    ac: AcModule,
+    g: GTensor,
+    centers: Vec<usize>,
+    cached_upto: usize,
+    sram: CacheSram,
+    keys: Vec<Vec<f32>>,
+    values: Vec<Vec<f32>>,
+}
+
+impl TileEngine {
+    /// Creates an engine for head dimension `dim` with the paper-default
+    /// policies (window 16, |cos| threshold 0.98, exact scores for the top
+    /// two intervals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or the partition exceeds 16 intervals (the
+    /// `uint4` mode field).
+    pub fn new(dim: usize, pwl: PwlExp) -> TileEngine {
+        TileEngine::with_policies(dim, pwl, 16, 0.98)
+    }
+
+    /// Creates an engine with explicit window size and collinearity
+    /// threshold.
+    pub fn with_policies(
+        dim: usize,
+        pwl: PwlExp,
+        window: usize,
+        collinearity_threshold: f64,
+    ) -> TileEngine {
+        assert!(dim > 0, "TileEngine: dim must be positive");
+        let intervals = pwl.num_intervals();
+        TileEngine {
+            eas: EasModule::new(dim, collinearity_threshold),
+            apid: ApidModule::new(&pwl),
+            md: MdModule::new(&pwl, dim),
+            ac: AcModule::new(dim),
+            g: GTensor::new(intervals),
+            centers: Vec::new(),
+            cached_upto: 0,
+            sram: CacheSram::new(dim),
+            keys: Vec::new(),
+            values: Vec::new(),
+            large_mode_min: intervals.saturating_sub(2),
+            pwl,
+            dim,
+            window,
+        }
+    }
+
+    /// Current KV length.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` before the first step.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The directional-center positions.
+    pub fn centers(&self) -> &[usize] {
+        &self.centers
+    }
+
+    /// The `G` tensor (diagnostics).
+    pub fn g_tensor(&self) -> &GTensor {
+        &self.g
+    }
+
+    /// The interval partition in use.
+    pub fn partition(&self) -> &PwlExp {
+        &self.pwl
+    }
+
+    /// Executes one decoding step through the hardware pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector's length differs from the head dimension.
+    pub fn step(&mut self, query: &[f32], key: Vec<f32>, value: Vec<f32>) -> TileStepResult {
+        assert_eq!(query.len(), self.dim, "tile: query dim mismatch");
+        assert_eq!(key.len(), self.dim, "tile: key dim mismatch");
+        assert_eq!(value.len(), self.dim, "tile: value dim mismatch");
+        self.keys.push(key);
+        self.values.push(value);
+        let n = self.keys.len();
+        let scale = 1.0 / (self.dim as f32).sqrt();
+        let q_scaled: Vec<f32> = query.iter().map(|&x| x * scale).collect();
+
+        // Large-mode set M: cached positions in the top intervals.
+        let large_modes: Vec<usize> = (0..self.cached_upto)
+            .filter(|&i| self.g.mode(i) >= self.large_mode_min)
+            .collect();
+
+        // -- Stage 2: EAS (scores + center update; registers the new key).
+        let eas = self.eas.execute(
+            &q_scaled,
+            &self.keys,
+            &mut self.g,
+            &mut self.centers,
+            &large_modes,
+        );
+
+        // -- Stage 3: APID.
+        let apid = self
+            .apid
+            .identify(&eas.scores, eas.max_score, &mut self.g, self.cached_upto);
+        let cached_active = apid
+            .active
+            .iter()
+            .filter(|&&j| j < self.cached_upto)
+            .count();
+
+        // The position ageing into the caches this step.
+        let aged = (n > self.cached_upto + self.window).then_some(self.cached_upto);
+
+        // -- Stage 5: MD.
+        let md = self.md.process(
+            &q_scaled,
+            &self.keys,
+            &apid.active,
+            eas.max_score,
+            &mut self.g,
+            self.cached_upto,
+            aged,
+        );
+
+        // -- Stage 6: AC.
+        let ac = self.ac.execute(
+            &q_scaled,
+            eas.max_score,
+            &mut self.sram,
+            &md.corrections,
+            &md.updates,
+            &self.keys,
+            &self.values,
+        );
+
+        if aged.is_some() {
+            self.cached_upto += 1;
+        }
+
+        TileStepResult {
+            output: ac.output,
+            n,
+            active: cached_active,
+            updates: md.updates.len(),
+            keys_read: eas.keys_read + md.keys_read,
+            stage_cycles: (eas.cycles, apid.cycles, md.cycles, ac.cycles),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_core::decoder::{LadAttention, LadConfig};
+    use lad_core::kv::KvCache;
+    use lad_core::reference;
+    use lad_math::{vector, Rng};
+
+    /// Clustered key stream with smoothly-evolving queries, the regime LAD
+    /// targets.
+    fn stream(seed: u64, steps: usize, d: usize) -> Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> {
+        let mut rng = Rng::new(seed);
+        let dirs: Vec<Vec<f32>> = (0..5).map(|_| rng.normal_vec(d, 1.0)).collect();
+        let mut q = rng.normal_vec(d, 1.0);
+        (0..steps)
+            .map(|i| {
+                for slot in q.iter_mut() {
+                    *slot = 0.99 * *slot + 0.1 * rng.normal() as f32;
+                }
+                let mut k: Vec<f32> = dirs[i % 5]
+                    .iter()
+                    .map(|&x| x * (0.8 + 0.4 * rng.next_f32()))
+                    .collect();
+                for slot in k.iter_mut() {
+                    *slot += 0.03 * rng.normal() as f32;
+                }
+                (q.clone(), k, rng.normal_vec(d, 1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_step_returns_the_value() {
+        let mut tile = TileEngine::new(4, PwlExp::accurate_default());
+        let result = tile.step(&[1.0; 4], vec![0.5; 4], vec![1.0, 2.0, 3.0, 4.0]);
+        for (got, want) in result.output.iter().zip([1.0, 2.0, 3.0, 4.0]) {
+            assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+        }
+        assert_eq!(result.n, 1);
+        assert_eq!(result.active, 0);
+    }
+
+    #[test]
+    fn tracks_exact_attention() {
+        let d = 16;
+        let mut tile = TileEngine::new(d, PwlExp::accurate_default());
+        let mut shadow = KvCache::new(d);
+        let mut worst = 0.0f32;
+        for (q, k, v) in stream(11, 120, d) {
+            shadow.push(k.clone(), v.clone());
+            let result = tile.step(&q, k, v);
+            let exact = reference::exact_attention(&q, &shadow);
+            worst = worst.max(vector::relative_l2(&result.output, &exact));
+        }
+        assert!(worst < 0.12, "worst relative error {worst}");
+    }
+
+    #[test]
+    fn matches_golden_algorithmic_model() {
+        // The hardware pipeline and the lad-core decoder implement the same
+        // algorithm; outputs must agree closely on the same stream.
+        let d = 16;
+        let pwl = PwlExp::accurate_default();
+        let mut tile = TileEngine::new(d, pwl.clone());
+        let mut golden = LadAttention::new(d, LadConfig::new(pwl));
+        let mut agree = 0usize;
+        let steps = stream(12, 100, d);
+        let total = steps.len();
+        for (q, k, v) in steps {
+            let hw = tile.step(&q, k.clone(), v.clone());
+            let sw = golden.step(&q, k, v);
+            if vector::relative_l2(&hw.output, &sw.output) < 0.05 {
+                agree += 1;
+            }
+        }
+        // fp ordering and m-definition differences cause occasional small
+        // divergences; the vast majority of steps must agree tightly.
+        assert!(agree * 10 >= total * 9, "only {agree}/{total} steps agree");
+    }
+
+    #[test]
+    fn kv_reads_become_sublinear() {
+        let d = 16;
+        let mut tile = TileEngine::new(d, PwlExp::accurate_default());
+        let mut last = None;
+        for (q, k, v) in stream(13, 150, d) {
+            last = Some(tile.step(&q, k, v));
+        }
+        let last = last.unwrap();
+        assert_eq!(last.n, 150);
+        assert!(
+            last.keys_read < last.n,
+            "read {} keys at n={}",
+            last.keys_read,
+            last.n
+        );
+    }
+
+    #[test]
+    fn stage_cycles_follow_eq7_terms() {
+        let d = 16;
+        let mut tile = TileEngine::new(d, PwlExp::accurate_default());
+        let mut result = None;
+        for (q, k, v) in stream(14, 130, d) {
+            result = Some(tile.step(&q, k, v));
+        }
+        let result = result.unwrap();
+        let (eas, apid, md, ac) = result.stage_cycles;
+        // APID processes n positions 12 at a time.
+        assert_eq!(apid, (result.n as u64).div_ceil(12));
+        // MD handles the active FIFO (cached actives + the 17 window
+        // positions), two per cycle.
+        let fifo = result.active as u64 + 17;
+        assert_eq!(md, fifo.div_ceil(2));
+        // EAS cycles scale with the center count.
+        assert!(eas as usize >= tile.centers().len());
+        // AC covers at least the mode-based numerator columns.
+        assert!(ac >= (d as u64).div_ceil(3));
+        assert!(result.bottleneck_cycles() >= md);
+    }
+
+    #[test]
+    fn cache_admission_follows_window() {
+        let d = 8;
+        let mut tile = TileEngine::with_policies(d, PwlExp::accurate_default(), 4, 0.98);
+        for (i, (q, k, v)) in stream(15, 20, d).into_iter().enumerate() {
+            let result = tile.step(&q, k, v);
+            let n = i + 1;
+            if n <= 5 {
+                assert_eq!(result.active, 0, "nothing cached before the window fills");
+            }
+        }
+        // cached_upto advanced to n - window.
+        assert_eq!(tile.cached_upto, 20 - 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn dim_checked() {
+        TileEngine::new(4, PwlExp::accurate_default()).step(&[1.0; 3], vec![0.0; 4], vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Vector processing unit (paper Fig. 5(b)).
+//!
+//! A VPU carries `d` multipliers and an adder tree. Its first vector operand
+//! is latched into `d` registers (reducing SRAM reads across a vector-matrix
+//! product); the multiplexers then select between register-sourced (`DP`,
+//! `EM`) and broadcast-scalar (`S`) operation. Every operation consumes one
+//! cycle, which the unit counts.
+
+/// Functional VPU model with cycle accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vpu {
+    width: usize,
+    regs: Vec<f32>,
+    cycles: u64,
+}
+
+impl Vpu {
+    /// Creates a VPU with `width` multipliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Vpu {
+        assert!(width > 0, "Vpu: width must be positive");
+        Vpu {
+            width,
+            regs: vec![0.0; width],
+            cycles: 0,
+        }
+    }
+
+    /// Number of multipliers.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Resets the cycle counter (start of a new period).
+    pub fn reset_cycles(&mut self) {
+        self.cycles = 0;
+    }
+
+    /// Latches `i_vec1` into the operand registers (free: overlaps the
+    /// preceding op's write-back in hardware).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != width`.
+    pub fn load_vec1(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.width, "Vpu::load_vec1: width mismatch");
+        self.regs.copy_from_slice(v);
+    }
+
+    /// `DP`: dot product of the latched registers with `i_vec2`, through the
+    /// adder tree to `o_scal`. One cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i_vec2.len() != width`.
+    pub fn dot(&mut self, i_vec2: &[f32]) -> f32 {
+        assert_eq!(i_vec2.len(), self.width, "Vpu::dot: width mismatch");
+        self.cycles += 1;
+        self.regs.iter().zip(i_vec2).map(|(a, b)| a * b).sum()
+    }
+
+    /// `EM`: element-wise product of the latched registers with `i_vec2`,
+    /// out through `o_vec`. One cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i_vec2.len() != width`.
+    pub fn elementwise(&mut self, i_vec2: &[f32]) -> Vec<f32> {
+        assert_eq!(i_vec2.len(), self.width, "Vpu::elementwise: width mismatch");
+        self.cycles += 1;
+        self.regs.iter().zip(i_vec2).map(|(a, b)| a * b).collect()
+    }
+
+    /// `S`: broadcast `i_scal` to all multipliers and scale `i_vec2`. One
+    /// cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i_vec2.len() != width`.
+    pub fn scale(&mut self, i_scal: f32, i_vec2: &[f32]) -> Vec<f32> {
+        assert_eq!(i_vec2.len(), self.width, "Vpu::scale: width mismatch");
+        self.cycles += 1;
+        i_vec2.iter().map(|v| v * i_scal).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product_via_registers() {
+        let mut vpu = Vpu::new(4);
+        vpu.load_vec1(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(vpu.dot(&[1.0, 1.0, 1.0, 1.0]), 10.0);
+        // Registers persist across ops (the whole point of latching).
+        assert_eq!(vpu.dot(&[0.0, 0.0, 0.0, 2.0]), 8.0);
+        assert_eq!(vpu.cycles(), 2);
+    }
+
+    #[test]
+    fn elementwise_and_scale() {
+        let mut vpu = Vpu::new(3);
+        vpu.load_vec1(&[2.0, -1.0, 0.5]);
+        assert_eq!(vpu.elementwise(&[3.0, 3.0, 4.0]), vec![6.0, -3.0, 2.0]);
+        // Scale ignores the registers entirely (mux port 1).
+        assert_eq!(vpu.scale(0.5, &[2.0, 4.0, 8.0]), vec![1.0, 2.0, 4.0]);
+        assert_eq!(vpu.cycles(), 2);
+    }
+
+    #[test]
+    fn cycle_counter_resets() {
+        let mut vpu = Vpu::new(2);
+        vpu.load_vec1(&[1.0, 1.0]);
+        vpu.dot(&[1.0, 1.0]);
+        vpu.reset_cycles();
+        assert_eq!(vpu.cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_checked() {
+        Vpu::new(4).dot(&[1.0; 3]);
+    }
+}

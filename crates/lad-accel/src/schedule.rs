@@ -1,0 +1,256 @@
+//! End-to-end scheduling simulation (paper Sec. IV-D, Fig. 6).
+//!
+//! QKV-projection and attention periods interleave: every compute-bound QKV
+//! period prefetches the upcoming attention period's predictable KV reads
+//! (previous step's active positions + the latest window), and the attention
+//! pipeline pauses at period boundaries with its in-flight head-samples
+//! retained in SRAM (so the pipeline fill is paid once per layer, not per
+//! pause). This module builds the explicit per-period timeline of one decode
+//! step — the event-level counterpart of the analytic model in
+//! [`crate::perf`], which the tests cross-validate against it.
+
+use crate::config::AccelConfig;
+use crate::pipeline::{self, AttentionPeriod};
+use lad_core::stats::StatsSummary;
+use lad_model::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// What a scheduled period does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeriodKind {
+    /// QKV projections (compute-bound; hosts prefetch traffic).
+    Qkv,
+    /// The attention pipeline.
+    Attention,
+    /// Output projection + MLP + SFM operators.
+    Rest,
+}
+
+/// One scheduled period of the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Period {
+    /// Period kind.
+    pub kind: PeriodKind,
+    /// Layer index.
+    pub layer: usize,
+    /// Start time (s) within the decode step.
+    pub start: f64,
+    /// End time (s).
+    pub end: f64,
+    /// HBM bytes moved during the period (weights, KV, prefetch).
+    pub hbm_bytes: f64,
+}
+
+impl Period {
+    /// Period duration in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The simulated timeline of one decode step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// All periods in execution order.
+    pub periods: Vec<Period>,
+    /// End-to-end seconds.
+    pub total_seconds: f64,
+    /// Seconds spent in attention periods.
+    pub attention_seconds: f64,
+    /// Seconds spent in linear (QKV + rest) periods.
+    pub linear_seconds: f64,
+    /// Total HBM bytes of the step.
+    pub hbm_bytes: f64,
+    /// Bytes prefetched under QKV periods.
+    pub prefetch_bytes: f64,
+}
+
+impl Timeline {
+    /// Attention share of the end-to-end latency.
+    pub fn attention_share(&self) -> f64 {
+        self.attention_seconds / self.total_seconds
+    }
+
+    /// Checks the timeline is gapless and ordered (diagnostic invariant).
+    pub fn is_contiguous(&self) -> bool {
+        let mut cursor = 0.0f64;
+        for p in &self.periods {
+            if (p.start - cursor).abs() > 1e-12 || p.end < p.start {
+                return false;
+            }
+            cursor = p.end;
+        }
+        (cursor - self.total_seconds).abs() < 1e-9
+    }
+}
+
+fn linear_period_seconds(cfg: &AccelConfig, weight_bytes: f64, batch: usize) -> f64 {
+    let mem = weight_bytes / cfg.hbm.total_bandwidth();
+    let compute = batch as f64 * (weight_bytes / 2.0) / cfg.peak_macs();
+    mem.max(compute)
+}
+
+/// Simulates one decode step of `model` at KV length `n` and batch size
+/// `batch` on a LAD accelerator, producing the per-period timeline.
+pub fn simulate_step(
+    cfg: &AccelConfig,
+    model: &ModelConfig,
+    n: usize,
+    stats: &StatsSummary,
+    batch: usize,
+) -> Timeline {
+    let d = model.head_dim();
+    let head_samples = batch * model.heads;
+    let hidden = model.hidden as f64;
+    let qkv_bytes = 3.0 * hidden * hidden * 2.0;
+    let rest_bytes = model.layer_weight_bytes() as f64 - qkv_bytes;
+    let qkv_seconds = linear_period_seconds(cfg, qkv_bytes, batch);
+    let rest_seconds = linear_period_seconds(cfg, rest_bytes, batch);
+    let qkv_spare =
+        ((qkv_seconds * cfg.hbm.total_bandwidth() - qkv_bytes).max(0.0)) / head_samples as f64;
+
+    let attn: AttentionPeriod =
+        pipeline::attention_period(cfg, n, d, stats, head_samples, qkv_spare);
+
+    let mut periods = Vec::with_capacity(model.layers * 3);
+    let mut cursor = 0.0f64;
+    let mut attention_seconds = 0.0;
+    let mut linear_seconds = 0.0;
+    let mut hbm_bytes = 0.0;
+    let mut prefetch_bytes = 0.0;
+    for layer in 0..model.layers {
+        // QKV period: weights stream + this layer's attention prefetch.
+        let qkv = Period {
+            kind: PeriodKind::Qkv,
+            layer,
+            start: cursor,
+            end: cursor + qkv_seconds,
+            hbm_bytes: qkv_bytes + attn.prefetch_bytes,
+        };
+        cursor = qkv.end;
+        linear_seconds += qkv.seconds();
+        hbm_bytes += qkv.hbm_bytes;
+        prefetch_bytes += attn.prefetch_bytes;
+        periods.push(qkv);
+
+        // Attention period: the pipeline resumes with retained in-flight
+        // head-samples.
+        let attention = Period {
+            kind: PeriodKind::Attention,
+            layer,
+            start: cursor,
+            end: cursor + attn.seconds,
+            hbm_bytes: attn.period_bytes,
+        };
+        cursor = attention.end;
+        attention_seconds += attention.seconds();
+        hbm_bytes += attention.hbm_bytes;
+        periods.push(attention);
+
+        // Rest of the layer: output projection + MLP (+2 % SFM operators).
+        let rest = Period {
+            kind: PeriodKind::Rest,
+            layer,
+            start: cursor,
+            end: cursor + rest_seconds * 1.02,
+            hbm_bytes: rest_bytes,
+        };
+        cursor = rest.end;
+        linear_seconds += rest.seconds();
+        hbm_bytes += rest.hbm_bytes;
+        periods.push(rest);
+    }
+
+    Timeline {
+        periods,
+        total_seconds: cursor,
+        attention_seconds,
+        linear_seconds,
+        hbm_bytes,
+        prefetch_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{evaluate, Platform};
+    use crate::workload::workload_stats;
+
+    fn setup() -> (AccelConfig, ModelConfig, StatsSummary) {
+        (
+            AccelConfig::lad_2_5(),
+            ModelConfig::llama2_7b(),
+            workload_stats(2048, 5),
+        )
+    }
+
+    #[test]
+    fn timeline_is_contiguous_and_complete() {
+        let (cfg, model, stats) = setup();
+        let timeline = simulate_step(&cfg, &model, 2048, &stats, 8);
+        assert!(timeline.is_contiguous());
+        assert_eq!(timeline.periods.len(), model.layers * 3);
+        // Every layer contributes one period of each kind, in order.
+        for (i, p) in timeline.periods.iter().enumerate() {
+            let expected = match i % 3 {
+                0 => PeriodKind::Qkv,
+                1 => PeriodKind::Attention,
+                _ => PeriodKind::Rest,
+            };
+            assert_eq!(p.kind, expected);
+            assert_eq!(p.layer, i / 3);
+        }
+    }
+
+    #[test]
+    fn matches_analytic_model() {
+        // The event timeline and the analytic perf model must agree on the
+        // end-to-end latency (they share the period sub-models).
+        let (cfg, model, stats) = setup();
+        let timeline = simulate_step(&cfg, &model, 2048, &stats, 8);
+        let analytic = evaluate(&Platform::Lad(cfg), &model, 2048, &stats, 8);
+        let rel = (timeline.total_seconds - analytic.e2e_seconds).abs() / analytic.e2e_seconds;
+        assert!(rel < 0.02, "timeline vs analytic differ by {rel}");
+        let rel_attn =
+            (timeline.attention_seconds - analytic.attn_seconds).abs() / analytic.attn_seconds;
+        assert!(rel_attn < 1e-9, "attention mismatch {rel_attn}");
+    }
+
+    #[test]
+    fn prefetch_rides_qkv_periods() {
+        let (cfg, model, stats) = setup();
+        let timeline = simulate_step(&cfg, &model, 2048, &stats, 8);
+        assert!(timeline.prefetch_bytes > 0.0, "prefetch should engage");
+        // QKV periods carry more than their weight bytes.
+        let qkv_weight = 3.0 * (model.hidden * model.hidden) as f64 * 2.0;
+        for p in timeline.periods.iter().filter(|p| p.kind == PeriodKind::Qkv) {
+            assert!(p.hbm_bytes >= qkv_weight);
+        }
+    }
+
+    #[test]
+    fn attention_share_grows_mildly_with_kv() {
+        let (cfg, model, _) = setup();
+        let share = |n: usize| {
+            let stats = workload_stats(n, 5);
+            simulate_step(&cfg, &model, n, &stats, 8).attention_share()
+        };
+        let s512 = share(512);
+        let s4096 = share(4096);
+        assert!(s4096 > s512);
+        // Paper Fig. 8: LAD's attention share grows only a few percent.
+        assert!(s4096 - s512 < 0.12, "share grew {s512} -> {s4096}");
+    }
+
+    #[test]
+    fn hbm_bytes_account_for_everything() {
+        let (cfg, model, stats) = setup();
+        let timeline = simulate_step(&cfg, &model, 2048, &stats, 4);
+        let period_sum: f64 = timeline.periods.iter().map(|p| p.hbm_bytes).sum();
+        assert!((period_sum - timeline.hbm_bytes).abs() < 1.0);
+        // At least the full weight set moves every step.
+        let weights = (model.layer_weight_bytes() * model.layers) as f64;
+        assert!(timeline.hbm_bytes > weights);
+    }
+}

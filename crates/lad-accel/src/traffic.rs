@@ -1,0 +1,174 @@
+//! Per-step HBM traffic accounting for LAD attention (paper Sec. IV-C,
+//! Fig. 8 left).
+//!
+//! One head-sample's decoding step moves:
+//!
+//! * the `G` tensor (`n × 4` 16-bit scalars: `norm`, `dnorm`, `cid`,
+//!   `mode`+`cnt`) — read in stage 1, written back after stage 6;
+//! * the keys of the directional centers `C` and large-mode set `M`
+//!   (identification reads);
+//! * the keys and values of active positions `J` and the latest window
+//!   (correction and window computation reads) — partially prefetched;
+//! * the six intermediate caches (read in stage 4, written in stage 1);
+//! * the new token's key/value append.
+//!
+//! The Fig. 8 breakdown groups these as *key centers*, *active positions*
+//! and *others*.
+
+use lad_core::stats::StatsSummary;
+use serde::{Deserialize, Serialize};
+
+/// Mean per-step, per-head-sample HBM byte counts of LAD attention.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AttentionTraffic {
+    /// `G` tensor read + write: `2 · 8n`.
+    pub g_bytes: f64,
+    /// Identification key reads: `2d · (|C| + |M|)` bytes (fp16 keys).
+    pub centers_bytes: f64,
+    /// Active + window KV reads: `4d · (|J| + window)` bytes.
+    pub active_bytes: f64,
+    /// Portion of `active_bytes` prefetched during the compute-bound QKV
+    /// period (hits); the remainder is read during the attention period.
+    pub prefetched_bytes: f64,
+    /// Intermediate caches read + write: `2 · (d² + 3d + 2) · 2`.
+    pub cache_bytes: f64,
+    /// New key/value append: `4d`.
+    pub kv_write_bytes: f64,
+}
+
+impl AttentionTraffic {
+    /// Builds the traffic profile from mean step statistics at sequence
+    /// length `n`, head dimension `d` and window size `window`.
+    ///
+    /// `prefetch_positions` is how many of the `|J| + window` positions the
+    /// scheduler managed to prefetch (bounded by SRAM and by temporal
+    /// locality — see [`crate::pipeline`]).
+    pub fn from_stats(
+        stats: &StatsSummary,
+        n: usize,
+        d: usize,
+        window: usize,
+        prefetch_positions: f64,
+    ) -> AttentionTraffic {
+        let kv_positions = stats.mean_active + window as f64;
+        let prefetched = prefetch_positions.min(kv_positions);
+        AttentionTraffic {
+            g_bytes: 2.0 * 8.0 * n as f64,
+            centers_bytes: 2.0 * d as f64 * (stats.mean_centers + stats.mean_large_mode),
+            active_bytes: 4.0 * d as f64 * kv_positions,
+            prefetched_bytes: 4.0 * d as f64 * prefetched,
+            cache_bytes: 2.0 * 2.0 * (d * d + 3 * d + 2) as f64,
+            kv_write_bytes: 4.0 * d as f64,
+        }
+    }
+
+    /// All bytes that cross HBM for this step (prefetched traffic included —
+    /// prefetching moves bytes in time, it does not remove them).
+    pub fn total_bytes(&self) -> f64 {
+        self.g_bytes + self.centers_bytes + self.active_bytes + self.cache_bytes
+            + self.kv_write_bytes
+    }
+
+    /// Bytes that must move *during the attention period* (stage 1 + stage 4
+    /// reads minus prefetched hits).
+    pub fn attention_period_bytes(&self) -> f64 {
+        self.total_bytes() - self.prefetched_bytes
+    }
+
+    /// Stage-1 bytes: `G` read/write, identification keys, cache write-back.
+    pub fn stage1_bytes(&self) -> f64 {
+        self.g_bytes + self.centers_bytes + self.cache_bytes / 2.0 + self.kv_write_bytes
+    }
+
+    /// Stage-4 bytes during the attention period: cache read plus KV misses.
+    pub fn stage4_bytes(&self) -> f64 {
+        self.cache_bytes / 2.0 + (self.active_bytes - self.prefetched_bytes).max(0.0)
+    }
+
+    /// The Fig. 8 breakdown: (key centers, active positions, others),
+    /// normalised so the three sum to 1.
+    pub fn breakdown(&self) -> (f64, f64, f64) {
+        let total = self.total_bytes();
+        if total <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let centers = self.centers_bytes / total;
+        let active = self.active_bytes / total;
+        (centers, active, 1.0 - centers - active)
+    }
+
+    /// Baseline traffic: a dense attention pass reads the full KV cache
+    /// (`4nd`) and appends the new pair.
+    pub fn dense_bytes(n: usize, d: usize) -> f64 {
+        4.0 * n as f64 * d as f64 + 4.0 * d as f64
+    }
+
+    /// Traffic reduction factor vs. the dense baseline.
+    pub fn reduction_factor(&self, n: usize, d: usize) -> f64 {
+        AttentionTraffic::dense_bytes(n, d) / self.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(centers: f64, large: f64, active: f64) -> StatsSummary {
+        StatsSummary {
+            steps: 1,
+            mean_centers: centers,
+            mean_large_mode: large,
+            mean_active: active,
+            ..StatsSummary::default()
+        }
+    }
+
+    #[test]
+    fn byte_formulas() {
+        let t = AttentionTraffic::from_stats(&stats(10.0, 5.0, 20.0), 1024, 128, 17, 0.0);
+        assert_eq!(t.g_bytes, 2.0 * 8.0 * 1024.0);
+        assert_eq!(t.centers_bytes, 2.0 * 128.0 * 15.0);
+        assert_eq!(t.active_bytes, 4.0 * 128.0 * 37.0);
+        assert_eq!(t.cache_bytes, 4.0 * (128 * 128 + 3 * 128 + 2) as f64);
+        assert_eq!(t.kv_write_bytes, 512.0);
+        assert_eq!(t.prefetched_bytes, 0.0);
+    }
+
+    #[test]
+    fn prefetch_clamps_to_kv_positions() {
+        let t = AttentionTraffic::from_stats(&stats(1.0, 0.0, 10.0), 256, 64, 17, 1000.0);
+        assert_eq!(t.prefetched_bytes, t.active_bytes);
+        assert!(t.attention_period_bytes() < t.total_bytes());
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let t = AttentionTraffic::from_stats(&stats(8.0, 2.0, 30.0), 2048, 128, 17, 20.0);
+        let sum = t.g_bytes + t.centers_bytes + t.active_bytes + t.cache_bytes + t.kv_write_bytes;
+        assert!((t.total_bytes() - sum).abs() < 1e-9);
+        assert!(
+            (t.attention_period_bytes() - (sum - t.prefetched_bytes)).abs() < 1e-9
+        );
+        // Stage split covers everything once.
+        assert!(
+            (t.stage1_bytes() + t.stage4_bytes() + t.prefetched_bytes - sum).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let t = AttentionTraffic::from_stats(&stats(16.0, 4.0, 50.0), 4096, 128, 17, 0.0);
+        let (c, a, o) = t.breakdown();
+        assert!((c + a + o - 1.0).abs() < 1e-12);
+        assert!(c > 0.0 && a > 0.0 && o > 0.0);
+    }
+
+    #[test]
+    fn reduction_grows_with_sequence_length() {
+        // With sub-linear |J|, the reduction factor must grow with n.
+        let short = AttentionTraffic::from_stats(&stats(32.0, 8.0, 30.0), 512, 128, 17, 0.0);
+        let long = AttentionTraffic::from_stats(&stats(128.0, 16.0, 80.0), 4096, 128, 17, 0.0);
+        assert!(long.reduction_factor(4096, 128) > short.reduction_factor(512, 128));
+        assert!(long.reduction_factor(4096, 128) > 5.0);
+    }
+}

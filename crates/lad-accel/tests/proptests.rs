@@ -1,0 +1,151 @@
+//! Property-based tests of the accelerator models.
+
+use lad_accel::config::AccelConfig;
+use lad_accel::hbm::HbmConfig;
+use lad_accel::hbm_sim::{HbmSim, Request};
+use lad_accel::modules::{GTensor, TileEngine, Vpu};
+use lad_accel::pipeline::{attention_period, compute_stage_cycles};
+use lad_accel::traffic::AttentionTraffic;
+use lad_core::stats::StatsSummary;
+use lad_math::pwl::PwlExp;
+use lad_math::Rng;
+use proptest::prelude::*;
+
+fn stats_strategy() -> impl Strategy<Value = StatsSummary> {
+    (
+        0.0f64..200.0,
+        0.0f64..50.0,
+        0.0f64..300.0,
+        0.0f64..1.0,
+        0.0f64..10.0,
+    )
+        .prop_map(|(centers, large, active, hit, updates)| StatsSummary {
+            steps: 1,
+            mean_centers: centers,
+            mean_large_mode: large,
+            mean_active: active,
+            mean_hit_ratio: hit,
+            mean_mode_updates: updates,
+            ..StatsSummary::default()
+        })
+}
+
+proptest! {
+    /// Eq.7 cycles are monotone in every workload quantity.
+    #[test]
+    fn eq7_is_monotone(stats in stats_strategy(), n in 64usize..8192) {
+        let cfg = AccelConfig::lad_2_5();
+        let base = compute_stage_cycles(&cfg, n, 128, &stats);
+        let mut more_active = stats.clone();
+        more_active.mean_active += 50.0;
+        prop_assert!(compute_stage_cycles(&cfg, n, 128, &more_active) >= base);
+        let mut more_updates = stats.clone();
+        more_updates.mean_mode_updates += 5.0;
+        prop_assert!(compute_stage_cycles(&cfg, n, 128, &more_updates) >= base);
+        prop_assert!(compute_stage_cycles(&cfg, n + 1024, 128, &stats) >= base);
+    }
+
+    /// Traffic accounting conserves bytes and keeps the breakdown a
+    /// partition of unity.
+    #[test]
+    fn traffic_conservation(stats in stats_strategy(), n in 64usize..8192,
+                            prefetch in 0.0f64..500.0) {
+        let t = AttentionTraffic::from_stats(&stats, n, 128, 17, prefetch);
+        prop_assert!(t.prefetched_bytes <= t.active_bytes + 1e-9);
+        prop_assert!(t.attention_period_bytes() <= t.total_bytes() + 1e-9);
+        let (c, a, o) = t.breakdown();
+        prop_assert!((c + a + o - 1.0).abs() < 1e-9);
+        prop_assert!(c >= 0.0 && a >= 0.0 && o >= 0.0);
+        // Stage split + prefetch covers the total exactly once.
+        let covered = t.stage1_bytes() + t.stage4_bytes() + t.prefetched_bytes;
+        prop_assert!((covered - t.total_bytes()).abs() < 1e-6);
+    }
+
+    /// The attention-period model is monotone in head-sample count and never
+    /// benefits from *less* spare prefetch bandwidth.
+    #[test]
+    fn attention_period_monotonicity(stats in stats_strategy(), n in 128usize..4096,
+                                     hs in 8usize..512) {
+        let cfg = AccelConfig::lad_2_5();
+        let base = attention_period(&cfg, n, 128, &stats, hs, 1e6);
+        let bigger = attention_period(&cfg, n, 128, &stats, hs * 2, 1e6);
+        prop_assert!(bigger.seconds >= base.seconds);
+        let no_prefetch = attention_period(&cfg, n, 128, &stats, hs, 0.0);
+        prop_assert!(no_prefetch.seconds >= base.seconds - 1e-12);
+        prop_assert!(no_prefetch.prefetch_bytes == 0.0);
+    }
+
+    /// The HBM simulator never reports more than peak bandwidth, and
+    /// transferred >= useful bytes.
+    #[test]
+    fn hbm_sim_is_physical(requests in prop::collection::vec(
+        (0u64..1 << 24, 1u32..2048), 1..64)) {
+        let mut sim = HbmSim::new(HbmConfig::paper());
+        let reqs: Vec<Request> = requests
+            .iter()
+            .map(|&(a, b)| Request::new(a, b))
+            .collect();
+        let outcome = sim.run(&reqs);
+        prop_assert!(outcome.bandwidth_utilization <= 1.0 + 1e-9);
+        prop_assert!(outcome.transferred_bytes >= outcome.useful_bytes);
+        prop_assert!(outcome.seconds > 0.0);
+        prop_assert!((0.0..=1.0).contains(&outcome.row_hit_ratio));
+    }
+
+    /// VPU operations match their mathematical definitions on arbitrary
+    /// vectors.
+    #[test]
+    fn vpu_semantics(seed in 0u64..1000, width in 1usize..32, scalar in -4.0f32..4.0) {
+        let mut rng = Rng::new(seed);
+        let a = rng.normal_vec(width, 1.0);
+        let b = rng.normal_vec(width, 1.0);
+        let mut vpu = Vpu::new(width);
+        vpu.load_vec1(&a);
+        let dot = vpu.dot(&b);
+        let want: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        prop_assert!((dot - want).abs() < 1e-3);
+        let em = vpu.elementwise(&b);
+        for ((x, y), z) in a.iter().zip(&b).zip(&em) {
+            prop_assert!((x * y - z).abs() < 1e-5);
+        }
+        let s = vpu.scale(scalar, &b);
+        for (y, z) in b.iter().zip(&s) {
+            prop_assert!((y * scalar - z).abs() < 1e-4);
+        }
+        prop_assert_eq!(vpu.cycles(), 3);
+    }
+
+    /// The tile engine stays finite and consistent on arbitrary short
+    /// streams (robustness / failure-injection style).
+    #[test]
+    fn tile_engine_is_robust(seed in 0u64..200) {
+        let d = 8;
+        let mut rng = Rng::new(seed);
+        let mut tile = TileEngine::new(d, PwlExp::accurate_default());
+        for step in 0..40 {
+            // Adversarial inputs: occasional zero keys and huge values.
+            let q = rng.normal_vec(d, 1.0);
+            let k = if step % 7 == 3 {
+                vec![0.0; d]
+            } else {
+                rng.normal_vec(d, if step % 5 == 0 { 10.0 } else { 1.0 })
+            };
+            let v = rng.normal_vec(d, 4.0);
+            let result = tile.step(&q, k, v);
+            prop_assert_eq!(result.n, step + 1);
+            prop_assert!(result.output.iter().all(|x| x.is_finite()),
+                "non-finite output at step {}", step);
+            prop_assert!(result.active <= result.n);
+        }
+    }
+
+    /// The G tensor's packed fields round-trip within fp16 precision.
+    #[test]
+    fn g_tensor_fp16_bounds(norm in 1e-3f32..1e3, dnorm in -100.0f32..100.0) {
+        let mut g = GTensor::new(16);
+        g.push(norm, 0, dnorm);
+        prop_assert!((g.norm(0) - norm).abs() <= norm * 2.0f32.powi(-10));
+        let bound = dnorm.abs().max(1e-3) * 2.0f32.powi(-10);
+        prop_assert!((g.dnorm(0) - dnorm).abs() <= bound);
+    }
+}

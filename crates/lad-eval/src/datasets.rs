@@ -1,0 +1,231 @@
+//! Seeded synthetic datasets shaped after the paper's benchmark suites.
+//!
+//! Real alpaca/gsm8k/mmlu prompts and wikitext2/openbookQA/lambada corpora
+//! are unavailable offline; these generators produce token streams with the
+//! same *roles* (prompt sets for generation-fidelity ROUGE, corpora for
+//! perplexity, multiple-choice tasks for accuracy) and dataset-shaped length
+//! distributions. The evaluation logic is unchanged — see `DESIGN.md`.
+//!
+//! Token streams come from a Zipfian unigram distribution blended with local
+//! repetition (a cheap stand-in for natural-language statistics), always from
+//! a fixed seed so experiments are reproducible.
+
+use lad_math::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The sentence-separator token used by ROUGE-Lsum.
+pub const SEPARATOR_TOKEN: u32 = 0;
+
+/// A generation benchmark: prompts plus the generation length to use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PromptSet {
+    /// Dataset name (paper benchmark it is shaped after).
+    pub name: String,
+    /// The prompts.
+    pub prompts: Vec<Vec<u32>>,
+    /// Number of tokens to generate per prompt.
+    pub gen_len: usize,
+}
+
+/// A multiple-choice task (openbookQA-shaped).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChoiceTask {
+    /// Context tokens.
+    pub prompt: Vec<u32>,
+    /// Candidate continuations.
+    pub options: Vec<Vec<u32>>,
+    /// Index of the correct option.
+    pub answer: usize,
+}
+
+/// Zipf-with-repetition token sampler.
+#[derive(Debug, Clone)]
+pub struct TokenSampler {
+    rng: Rng,
+    vocab: u32,
+    weights: Vec<f64>,
+    history: Vec<u32>,
+}
+
+impl TokenSampler {
+    /// Creates a sampler over `[1, vocab)` (token 0 is the separator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab < 8`.
+    pub fn new(vocab: u32, seed: u64) -> TokenSampler {
+        assert!(vocab >= 8, "TokenSampler: vocab too small");
+        let weights = (1..vocab).map(|k| 1.0 / f64::from(k + 1).powf(1.1)).collect();
+        TokenSampler {
+            rng: Rng::new(seed),
+            vocab,
+            weights,
+            history: Vec::new(),
+        }
+    }
+
+    /// Draws the next token: 20 % chance of repeating a recent token (local
+    /// coherence), 5 % chance of a separator, otherwise Zipfian.
+    pub fn next_token(&mut self) -> u32 {
+        let token = if !self.history.is_empty() && self.rng.chance(0.2) {
+            let back = self.rng.index(self.history.len().min(16)) + 1;
+            self.history[self.history.len() - back]
+        } else if self.rng.chance(0.05) {
+            SEPARATOR_TOKEN
+        } else {
+            self.rng.weighted_index(&self.weights) as u32 + 1
+        };
+        self.history.push(token);
+        if self.history.len() > 64 {
+            self.history.remove(0);
+        }
+        debug_assert!(token < self.vocab);
+        token
+    }
+
+    /// Draws a sequence of `len` tokens.
+    pub fn sequence(&mut self, len: usize) -> Vec<u32> {
+        (0..len).map(|_| self.next_token()).collect()
+    }
+}
+
+fn prompt_set(
+    name: &str,
+    vocab: u32,
+    count: usize,
+    prompt_range: (usize, usize),
+    gen_len: usize,
+    seed: u64,
+) -> PromptSet {
+    let mut sampler = TokenSampler::new(vocab, seed);
+    let mut rng = Rng::new(seed ^ 0x5eed);
+    let prompts = (0..count)
+        .map(|_| {
+            let len = prompt_range.0 + rng.index(prompt_range.1 - prompt_range.0 + 1);
+            sampler.sequence(len)
+        })
+        .collect();
+    PromptSet {
+        name: name.to_string(),
+        prompts,
+        gen_len,
+    }
+}
+
+/// Alpaca-shaped: short instruction prompts, medium generations.
+pub fn alpaca_shaped(vocab: u32, count: usize, seed: u64) -> PromptSet {
+    prompt_set("alpaca", vocab, count, (16, 40), 96, seed)
+}
+
+/// GSM8K-shaped: medium word-problem prompts, long chain-of-thought
+/// generations.
+pub fn gsm8k_shaped(vocab: u32, count: usize, seed: u64) -> PromptSet {
+    prompt_set("gsm8k", vocab, count, (40, 80), 160, seed)
+}
+
+/// MMLU-shaped: longer question+choices prompts, short generations.
+pub fn mmlu_shaped(vocab: u32, count: usize, seed: u64) -> PromptSet {
+    prompt_set("mmlu", vocab, count, (60, 100), 48, seed)
+}
+
+/// The paper's three generation benchmarks (Table I rows).
+pub fn generation_benchmarks(vocab: u32, count: usize, seed: u64) -> Vec<PromptSet> {
+    vec![
+        alpaca_shaped(vocab, count, seed),
+        gsm8k_shaped(vocab, count, seed + 1),
+        mmlu_shaped(vocab, count, seed + 2),
+    ]
+}
+
+/// A wikitext2/lambada-shaped language-modelling corpus for perplexity.
+pub fn lm_corpus(name: &str, vocab: u32, len: usize, seed: u64) -> (String, Vec<u32>) {
+    let mut sampler = TokenSampler::new(vocab, seed);
+    (name.to_string(), sampler.sequence(len))
+}
+
+/// openbookQA-shaped multiple-choice tasks. The `answer` labels are supplied
+/// by the caller's teacher model (see `lad-eval::quality`), so this only
+/// generates prompts and options.
+pub fn choice_prompts(
+    vocab: u32,
+    count: usize,
+    options: usize,
+    seed: u64,
+) -> Vec<(Vec<u32>, Vec<Vec<u32>>)> {
+    let mut sampler = TokenSampler::new(vocab, seed);
+    let mut rng = Rng::new(seed ^ 0xbeef);
+    (0..count)
+        .map(|_| {
+            let prompt_len = 24 + rng.index(25);
+            let prompt = sampler.sequence(prompt_len);
+            let opts = (0..options)
+                .map(|_| sampler.sequence(6 + rng.index(5)))
+                .collect();
+            (prompt, opts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_stays_in_vocab() {
+        let mut s = TokenSampler::new(64, 1);
+        for _ in 0..1000 {
+            assert!(s.next_token() < 64);
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let mut a = TokenSampler::new(128, 7);
+        let mut b = TokenSampler::new(128, 7);
+        assert_eq!(a.sequence(100), b.sequence(100));
+    }
+
+    #[test]
+    fn sampler_is_zipfian_headed() {
+        // Low token ids must dominate.
+        let mut s = TokenSampler::new(256, 3);
+        let seq = s.sequence(5000);
+        let low = seq.iter().filter(|&&t| t > 0 && t <= 16).count();
+        assert!(low > seq.len() / 3, "low-id fraction {low}/5000");
+    }
+
+    #[test]
+    fn prompt_sets_have_shaped_lengths() {
+        let a = alpaca_shaped(256, 10, 1);
+        assert_eq!(a.prompts.len(), 10);
+        assert!(a.prompts.iter().all(|p| (16..=40).contains(&p.len())));
+        let g = gsm8k_shaped(256, 10, 1);
+        assert!(g.prompts.iter().all(|p| (40..=80).contains(&p.len())));
+        assert!(g.gen_len > a.gen_len);
+        let m = mmlu_shaped(256, 10, 1);
+        assert!(m.prompts.iter().all(|p| (60..=100).contains(&p.len())));
+    }
+
+    #[test]
+    fn benchmarks_cover_the_paper_suites() {
+        let benches = generation_benchmarks(256, 4, 9);
+        let names: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, vec!["alpaca", "gsm8k", "mmlu"]);
+    }
+
+    #[test]
+    fn corpus_and_choice_shapes() {
+        let (name, corpus) = lm_corpus("wikitext2", 256, 500, 11);
+        assert_eq!(name, "wikitext2");
+        assert_eq!(corpus.len(), 500);
+        let tasks = choice_prompts(256, 5, 4, 13);
+        assert_eq!(tasks.len(), 5);
+        assert!(tasks.iter().all(|(_, opts)| opts.len() == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab too small")]
+    fn tiny_vocab_rejected() {
+        TokenSampler::new(4, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Model-quality harnesses: perplexity, multiple-choice accuracy and
+//! generation fidelity (ROUGE against the original model).
+//!
+//! These drive the paper's Table I (ROUGE of LAD/Qserve/H2O decodes vs. the
+//! original model) and Table II (perplexity / accuracy of each variant).
+
+use crate::datasets::{ChoiceTask, PromptSet, SEPARATOR_TOKEN};
+use crate::rouge::RougeScores;
+use lad_model::backend::AttentionKind;
+use lad_model::transformer::{log_prob, Model, Session};
+
+/// Mean negative log-likelihood of `tokens` under the model with the given
+/// attention backend (teacher forcing).
+///
+/// # Panics
+///
+/// Panics if `tokens` has fewer than two entries.
+pub fn mean_nll(model: &Model, kind: &AttentionKind, tokens: &[u32]) -> f64 {
+    assert!(tokens.len() >= 2, "mean_nll: need at least two tokens");
+    let mut session = Session::new(model, kind);
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for window in tokens.windows(2) {
+        let logits = session.step(window[0]);
+        total -= log_prob(&logits, window[1]);
+        count += 1;
+    }
+    total / count as f64
+}
+
+/// Perplexity = `exp(mean NLL)` — the Table II metric.
+pub fn perplexity(model: &Model, kind: &AttentionKind, tokens: &[u32]) -> f64 {
+    mean_nll(model, kind, tokens).exp()
+}
+
+/// Mean log-probability of `option` as a continuation of `prompt`.
+fn option_score(model: &Model, kind: &AttentionKind, prompt: &[u32], option: &[u32]) -> f64 {
+    let mut session = Session::new(model, kind);
+    let mut logits = session.prefill(prompt);
+    let mut total = 0.0f64;
+    for &t in option {
+        total += log_prob(&logits, t);
+        logits = session.step(t);
+    }
+    total / option.len().max(1) as f64
+}
+
+/// Labels multiple-choice prompts with a *teacher* model: the correct answer
+/// is the option the teacher scores highest. This substitutes for real
+/// labelled datasets (see `DESIGN.md`) — the student models (original and its
+/// LAD/Qserve/H2O variants) are then evaluated against the same labels, so
+/// any drift from the original model shows up as lost accuracy.
+pub fn label_choice_tasks(
+    teacher: &Model,
+    prompts: Vec<(Vec<u32>, Vec<Vec<u32>>)>,
+) -> Vec<ChoiceTask> {
+    prompts
+        .into_iter()
+        .map(|(prompt, options)| {
+            let answer = best_option(teacher, &AttentionKind::Exact, &prompt, &options);
+            ChoiceTask {
+                prompt,
+                options,
+                answer,
+            }
+        })
+        .collect()
+}
+
+fn best_option(
+    model: &Model,
+    kind: &AttentionKind,
+    prompt: &[u32],
+    options: &[Vec<u32>],
+) -> usize {
+    let mut best = 0usize;
+    let mut best_score = f64::NEG_INFINITY;
+    for (i, option) in options.iter().enumerate() {
+        let score = option_score(model, kind, prompt, option);
+        if score > best_score {
+            best_score = score;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Fraction of tasks where the model (under `kind`) picks the labelled
+/// answer — the Table II accuracy metric.
+pub fn choice_accuracy(model: &Model, kind: &AttentionKind, tasks: &[ChoiceTask]) -> f64 {
+    if tasks.is_empty() {
+        return 0.0;
+    }
+    let correct = tasks
+        .iter()
+        .filter(|t| best_option(model, kind, &t.prompt, &t.options) == t.answer)
+        .count();
+    correct as f64 / tasks.len() as f64
+}
+
+/// Greedy-decodes every prompt under both the original model and the variant
+/// `kind`, returning the mean ROUGE of variant-vs-original — one Table I
+/// cell.
+pub fn generation_fidelity(model: &Model, kind: &AttentionKind, bench: &PromptSet) -> RougeScores {
+    let mut scores = Vec::with_capacity(bench.prompts.len());
+    for prompt in &bench.prompts {
+        let mut original = Session::new(model, &AttentionKind::Exact);
+        let reference = original.generate_greedy(prompt, bench.gen_len);
+        let mut variant = Session::new(model, kind);
+        let candidate = variant.generate_greedy(prompt, bench.gen_len);
+        scores.push(RougeScores::compute(
+            &reference,
+            &candidate,
+            Some(SEPARATOR_TOKEN),
+        ));
+    }
+    RougeScores::mean(&scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use lad_core::decoder::LadConfig;
+    use lad_model::config::ModelConfig;
+
+    fn tiny_model() -> Model {
+        Model::random(ModelConfig::tiny("eval-test", 2, 32, 2), 21)
+    }
+
+    #[test]
+    fn perplexity_is_finite_and_consistent() {
+        let model = tiny_model();
+        let (_, corpus) = datasets::lm_corpus("test", 256, 60, 5);
+        let ppl_exact = perplexity(&model, &AttentionKind::Exact, &corpus);
+        assert!(ppl_exact.is_finite() && ppl_exact > 1.0);
+        // Deterministic.
+        assert_eq!(
+            ppl_exact,
+            perplexity(&model, &AttentionKind::Exact, &corpus)
+        );
+    }
+
+    #[test]
+    fn lad_perplexity_close_to_original() {
+        // Table II: original and LAD perplexities agree to ~0.01.
+        let model = tiny_model();
+        let (_, corpus) = datasets::lm_corpus("test", 256, 60, 6);
+        let exact = perplexity(&model, &AttentionKind::Exact, &corpus);
+        let lad = perplexity(&model, &AttentionKind::Lad(LadConfig::default()), &corpus);
+        let rel = (lad - exact).abs() / exact;
+        assert!(rel < 0.02, "exact {exact} vs lad {lad}");
+    }
+
+    #[test]
+    fn fidelity_of_exact_is_perfect() {
+        let model = tiny_model();
+        let bench = datasets::PromptSet {
+            name: "self".to_string(),
+            prompts: vec![vec![1, 2, 3], vec![7, 8]],
+            gen_len: 12,
+        };
+        let scores = generation_fidelity(&model, &AttentionKind::Exact, &bench);
+        assert_eq!(scores.rouge1, 1.0);
+        assert_eq!(scores.rouge_lsum, 1.0);
+    }
+
+    #[test]
+    fn lad_fidelity_beats_h2o() {
+        // The Table I headline: LAD tracks the original far better than H2O.
+        let model = tiny_model();
+        let bench = datasets::PromptSet {
+            name: "cmp".to_string(),
+            prompts: vec![vec![3, 1, 4, 1, 5], vec![2, 7, 1, 8]],
+            gen_len: 48,
+        };
+        let lad = generation_fidelity(&model, &AttentionKind::Lad(LadConfig::default()), &bench);
+        let h2o = generation_fidelity(&model, &AttentionKind::h2o_default(), &bench);
+        assert!(
+            lad.rouge1 >= h2o.rouge1,
+            "lad {} vs h2o {}",
+            lad.rouge1,
+            h2o.rouge1
+        );
+        assert!(lad.rouge1 > 0.8, "lad rouge1 {}", lad.rouge1);
+    }
+
+    #[test]
+    fn teacher_labels_and_accuracy() {
+        let teacher = Model::random(ModelConfig::tiny("teacher", 2, 32, 2), 99);
+        let student = tiny_model();
+        let tasks = label_choice_tasks(&teacher, datasets::choice_prompts(256, 6, 3, 17));
+        assert_eq!(tasks.len(), 6);
+        assert!(tasks.iter().all(|t| t.answer < 3));
+        // Teacher gets 100% on its own labels.
+        assert_eq!(choice_accuracy(&teacher, &AttentionKind::Exact, &tasks), 1.0);
+        // A different student lands somewhere in [0, 1].
+        let acc = choice_accuracy(&student, &AttentionKind::Exact, &tasks);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two tokens")]
+    fn nll_needs_tokens() {
+        mean_nll(&tiny_model(), &AttentionKind::Exact, &[1]);
+    }
+}

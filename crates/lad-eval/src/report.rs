@@ -1,0 +1,188 @@
+//! Experiment result tables with CSV and Markdown export.
+//!
+//! The bench harness prints human-readable tables; downstream analysis wants
+//! machine-readable artefacts. [`Table`] is a small dependency-free tabular
+//! container with RFC-4180 CSV escaping and GitHub-flavoured Markdown
+//! rendering.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A named table of experiment results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(name: &str, headers: &[&str]) -> Table {
+        assert!(!headers.is_empty(), "Table: need at least one column");
+        Table {
+            name: name.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header count.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "Table::push_row: width mismatch"
+        );
+        self.rows.push(row);
+    }
+
+    fn csv_escape(cell: &str) -> String {
+        if cell.contains([',', '"', '\n', '\r']) {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    }
+
+    /// Renders RFC-4180 CSV (header row first, CRLF-free line endings).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let render = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| Table::csv_escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let _ = writeln!(out, "{}", render(&self.headers));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render(row));
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavoured Markdown table (pipes in cells escaped).
+    pub fn to_markdown(&self) -> String {
+        let escape = |cell: &str| cell.replace('|', "\\|");
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| {} |",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(" | ")
+        );
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(" | ")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("fig7", &["platform", "speedup"]);
+        t.push_row(vec!["vLLM", "1.0"]);
+        t.push_row(vec!["LAD-3.5", "10.2"]);
+        t
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["platform,speedup", "vLLM,1.0", "LAD-3.5,10.2"]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("esc", &["a", "b"]);
+        t.push_row(vec!["has,comma", "has \"quote\""]);
+        t.push_row(vec!["has\nnewline", "plain"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has \"\"quote\"\"\""));
+        assert!(csv.contains("\"has\nnewline\""));
+    }
+
+    #[test]
+    fn markdown_shape_and_escaping() {
+        let mut t = Table::new("md", &["col"]);
+        t.push_row(vec!["a|b"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| col |");
+        assert_eq!(lines[1], "|---|");
+        assert_eq!(lines[2], "| a\\|b |");
+    }
+
+    #[test]
+    fn write_csv_to_disk() {
+        let dir = std::env::temp_dir().join("lad-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        sample().write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("platform,speedup"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.name(), "fig7");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        sample().push_row(vec!["only-one"]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of the ROUGE metrics.
+
+use lad_eval::rouge::{lcs_len, rouge_l, rouge_lsum, rouge_n, RougeScores};
+use proptest::prelude::*;
+
+fn token_seq() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..12, 0..40)
+}
+
+proptest! {
+    /// All scores live in [0, 1].
+    #[test]
+    fn scores_are_bounded(a in token_seq(), b in token_seq()) {
+        let s = RougeScores::compute(&a, &b, Some(0));
+        for v in [s.rouge1, s.rouge2, s.rouge_l, s.rouge_lsum] {
+            prop_assert!((0.0..=1.0).contains(&v), "score {v}");
+        }
+    }
+
+    /// Self-comparison is perfect for non-empty sequences.
+    #[test]
+    fn identity_scores_one(a in prop::collection::vec(1u32..12, 2..40)) {
+        prop_assert_eq!(rouge_n(&a, &a, 1), 1.0);
+        prop_assert_eq!(rouge_l(&a, &a), 1.0);
+    }
+
+    /// ROUGE-N and ROUGE-L F1 are symmetric in their arguments.
+    #[test]
+    fn f1_is_symmetric(a in token_seq(), b in token_seq()) {
+        prop_assert!((rouge_n(&a, &b, 1) - rouge_n(&b, &a, 1)).abs() < 1e-12);
+        prop_assert!((rouge_n(&a, &b, 2) - rouge_n(&b, &a, 2)).abs() < 1e-12);
+        prop_assert!((rouge_l(&a, &b) - rouge_l(&b, &a)).abs() < 1e-12);
+    }
+
+    /// The LCS length is bounded by both sequence lengths and monotone under
+    /// concatenation.
+    #[test]
+    fn lcs_bounds(a in token_seq(), b in token_seq(), extra in 0u32..12) {
+        let l = lcs_len(&a, &b);
+        prop_assert!(l <= a.len() && l <= b.len());
+        let mut a2 = a.clone();
+        a2.push(extra);
+        prop_assert!(lcs_len(&a2, &b) >= l);
+    }
+
+    /// ROUGE-L never exceeds ROUGE-1: the LCS is a subset of the unigram
+    /// overlap.
+    #[test]
+    fn rouge_l_bounded_by_rouge_1(a in token_seq(), b in token_seq()) {
+        prop_assert!(rouge_l(&a, &b) <= rouge_n(&a, &b, 1) + 1e-12);
+    }
+
+    /// Lsum of single-sentence inputs (no separators) equals plain L.
+    #[test]
+    fn lsum_degenerates_to_l(a in prop::collection::vec(1u32..12, 1..30),
+                             b in prop::collection::vec(1u32..12, 1..30)) {
+        prop_assert!((rouge_lsum(&a, &b, 0) - rouge_l(&a, &b)).abs() < 1e-12);
+    }
+
+    /// Corrupting tokens can only lower (or keep) ROUGE-1 relative to the
+    /// intact copy, and more corruption scores no higher.
+    #[test]
+    fn corruption_is_monotone(a in prop::collection::vec(1u32..6, 8..30), idx in 0usize..8) {
+        let mut one = a.clone();
+        one[idx] = 99;
+        let mut many = one.clone();
+        for slot in many.iter_mut().take(6) {
+            *slot = 99;
+        }
+        let intact = rouge_n(&a, &a, 1);
+        let light = rouge_n(&a, &one, 1);
+        // token 99 never appears in `a`, so each corruption removes overlap.
+        prop_assert!(light <= intact);
+        prop_assert!(rouge_n(&a, &many, 1) <= light + 1e-12);
+    }
+}

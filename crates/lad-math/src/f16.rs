@@ -1,0 +1,324 @@
+//! Software IEEE 754 binary16 ("half") floating point.
+//!
+//! The LAD accelerator's computation components use fp16 number representation
+//! (paper Sec. V-A). This module provides a bit-exact storage type, [`F16`],
+//! with round-to-nearest-even conversion from `f32`, so simulations can model
+//! the precision of on-chip arithmetic (values are stored as fp16, operated on
+//! as `f32`, and re-rounded — the usual behaviour of fp16 MAC units with wider
+//! accumulators).
+
+use std::fmt;
+
+/// An IEEE 754 binary16 value stored in its raw 16-bit encoding.
+///
+/// Arithmetic is performed by widening to `f32` and re-rounding on storage,
+/// matching an fp16 datapath with single-precision internal accumulation.
+///
+/// # Example
+///
+/// ```
+/// use lad_math::F16;
+///
+/// let x = F16::from_f32(1.0 / 3.0);
+/// // fp16 has ~3 decimal digits of precision.
+/// assert!((x.to_f32() - 1.0 / 3.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value (2^-14).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+
+    /// Creates an `F16` from its raw bit encoding.
+    pub const fn from_bits(bits: u16) -> F16 {
+        F16(bits)
+    }
+
+    /// Returns the raw bit encoding.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to the nearest representable `F16`
+    /// (round-to-nearest-even, overflow to infinity, subnormal support).
+    pub fn from_f32(value: f32) -> F16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mantissa = bits & 0x7F_FFFF;
+
+        if exp == 0xFF {
+            // Infinity or NaN.
+            let payload = if mantissa != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | payload);
+        }
+
+        // Unbiased exponent in f32 is exp - 127; f16 bias is 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflows f16 range -> infinity.
+            return F16(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal range for f16.
+            let half_exp = (unbiased + 15) as u16;
+            let half_mant = (mantissa >> 13) as u16;
+            let rounding = round_bits(mantissa, 13, half_mant);
+            let magnitude = ((half_exp << 10) | half_mant).wrapping_add(rounding);
+            // A mantissa carry into the exponent is exactly what we want
+            // (1.111.. rounds up to 10.000.., i.e. exponent + 1), and carrying
+            // past the max exponent correctly yields infinity.
+            return F16(sign | magnitude);
+        }
+        if unbiased >= -25 {
+            // Subnormal f16: shift the implicit leading 1 into the mantissa.
+            let full = mantissa | 0x80_0000;
+            let shift = (-unbiased - 14 + 13) as u32;
+            let half_mant = (full >> shift) as u16;
+            let rounding = round_bits(full, shift, half_mant);
+            return F16(sign | half_mant.wrapping_add(rounding));
+        }
+        // Too small: flush to (signed) zero.
+        F16(sign)
+    }
+
+    /// Converts this value to `f32` exactly (every f16 is representable).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> 10) & 0x1F) as u32;
+        let mantissa = (self.0 & 0x3FF) as u32;
+
+        let bits = if exp == 0 {
+            if mantissa == 0 {
+                sign
+            } else {
+                // Subnormal: value is mantissa * 2^-24; renormalise so the top
+                // set bit (position p) becomes the implicit leading 1.
+                let p = 31 - mantissa.leading_zeros();
+                let exp32 = 127 - 24 + p;
+                let mant32 = (mantissa << (23 - p)) & 0x7F_FFFF;
+                sign | (exp32 << 23) | mant32
+            }
+        } else if exp == 0x1F {
+            sign | 0x7F80_0000 | (mantissa << 13)
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (mantissa << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Converts this value to `f64` exactly.
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.to_f32())
+    }
+
+    /// Returns `true` if this value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x3FF) != 0
+    }
+
+    /// Returns `true` if this value is positive or negative infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// Returns `true` for anything that is neither infinite nor NaN.
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+}
+
+/// Round-to-nearest-even increment for a truncation of `bits` by `shift`.
+fn round_bits(bits: u32, shift: u32, truncated_lsb: u16) -> u16 {
+    if shift == 0 || shift > 31 {
+        return 0;
+    }
+    let dropped = bits & ((1 << shift) - 1);
+    let halfway = 1u32 << (shift - 1);
+    if dropped > halfway || (dropped == halfway && (truncated_lsb & 1) == 1) {
+        1
+    } else {
+        0
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(value: F16) -> f32 {
+        value.to_f32()
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(value: f32) -> F16 {
+        F16::from_f32(value)
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl std::ops::Add for F16 {
+    type Output = F16;
+    fn add(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl std::ops::Sub for F16 {
+    type Output = F16;
+    fn sub(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl std::ops::Mul for F16 {
+    type Output = F16;
+    fn mul(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl std::ops::Div for F16 {
+    type Output = F16;
+    fn div(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() / rhs.to_f32())
+    }
+}
+
+impl std::ops::Neg for F16 {
+    type Output = F16;
+    fn neg(self) -> F16 {
+        F16(self.0 ^ 0x8000)
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &F16) -> Option<std::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+/// Quantises every element of a slice through fp16 and back, returning the
+/// precision-limited copy. Used to model data stored in fp16 HBM/SRAM.
+pub fn quantize_slice(values: &[f32]) -> Vec<f32> {
+    values.iter().map(|&v| F16::from_f32(v).to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, -2.5, 1024.0, 65504.0] {
+            assert_eq!(F16::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn all_bit_patterns_roundtrip_through_f32() {
+        // Every finite f16 must convert to f32 and back to the identical bits.
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            // -0.0 and 0.0 keep their signs.
+            assert_eq!(back.to_bits(), bits, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(F16::from_f32(1e6).is_infinite());
+        assert!(F16::from_f32(-1e6).is_infinite());
+        assert!(F16::from_f32(-1e6).to_f32() < 0.0);
+    }
+
+    #[test]
+    fn underflow_flushes_to_zero() {
+        assert_eq!(F16::from_f32(1e-10).to_f32(), 0.0);
+        let neg = F16::from_f32(-1e-10);
+        assert_eq!(neg.to_f32(), 0.0);
+        assert_eq!(neg.to_bits() & 0x8000, 0x8000, "sign preserved");
+    }
+
+    #[test]
+    fn subnormals_are_representable() {
+        // Smallest positive subnormal = 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        let h = F16::from_f32(tiny);
+        assert_eq!(h.to_f32(), tiny);
+        assert_eq!(h.to_bits(), 1);
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and the next f16; the
+        // even neighbour is 1.0.
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).to_f32(), 1.0);
+        // Slightly above goes up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-18);
+        assert!(F16::from_f32(above).to_f32() > 1.0);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_for_normals() {
+        // fp16 normals carry 11 significant bits: relative error <= 2^-11.
+        let mut x = 6.2e-5f32; // just above the smallest normal (2^-14)
+        while x < 6.0e4 {
+            let err = (F16::from_f32(x).to_f32() - x).abs() / x;
+            assert!(err <= 2.0f32.powi(-11), "x={x} err={err}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn arithmetic_reranks_through_f32() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((b - a).to_f32(), 0.75);
+        assert_eq!((-a).to_f32(), -1.5);
+        assert!((a / b).to_f32() > 0.66 && (a / b).to_f32() < 0.67);
+    }
+
+    #[test]
+    fn quantize_slice_matches_elementwise() {
+        let v = [0.1f32, 0.2, -0.3, 123.456];
+        let q = quantize_slice(&v);
+        for (orig, quant) in v.iter().zip(&q) {
+            assert_eq!(*quant, F16::from_f32(*orig).to_f32());
+        }
+    }
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(F16::from_f32(1.5).to_string(), "1.5");
+        assert!(F16::from_f32(1.0) < F16::from_f32(2.0));
+        assert!(F16::NEG_INFINITY < F16::ZERO);
+    }
+}

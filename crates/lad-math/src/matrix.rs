@@ -1,0 +1,297 @@
+//! Row-major dense matrix.
+//!
+//! The intermediate cache `A = Σ aᵢ* kᵢᵀ vᵢ` (paper Eq. 5) is a `d × d` matrix
+//! maintained by rank-1 (outer product) updates, and queried by vector-matrix
+//! products `qA`. [`Matrix`] provides exactly those operations, plus the
+//! general matrix products the transformer substrate needs.
+
+use crate::vector;
+
+/// A dense row-major `rows × cols` matrix of `f32`.
+///
+/// # Example
+///
+/// ```
+/// use lad_math::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// assert_eq!(m.vecmat(&[1.0, 1.0]), vec![4.0, 6.0]);
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Matrix {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for row in rows {
+            assert_eq!(row.len(), n_cols, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: n_rows,
+            cols: n_cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "from_flat: size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "get: out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "set: out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow of a row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row: out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable borrow of a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        assert!(row < self.rows, "row_mut: out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Vector-matrix product `x · M` where `x` has `rows` elements; the result
+    /// has `cols` elements. This is `qA` in paper Eq. 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn vecmat(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "vecmat: dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi != 0.0 {
+                vector::axpy(&mut out, xi, self.row(i));
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `M · x` where `x` has `cols` elements; the result
+    /// has `rows` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        (0..self.rows).map(|i| vector::dot(self.row(i), x)).collect()
+    }
+
+    /// Rank-1 update `M += scale · aᵀ b` (outer product of column vector `a`
+    /// and row vector `b`). Used for the `A += αᵢ kᵢᵀ vᵢ` cache updates
+    /// (paper Eq. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != rows` or `b.len() != cols`.
+    pub fn rank1_update(&mut self, scale: f32, a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), self.rows, "rank1_update: row dim mismatch");
+        assert_eq!(b.len(), self.cols, "rank1_update: col dim mismatch");
+        for (i, &ai) in a.iter().enumerate() {
+            let factor = scale * ai;
+            if factor != 0.0 {
+                vector::axpy(self.row_mut(i), factor, b);
+            }
+        }
+    }
+
+    /// General matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul: inner dim mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for (k, &lhs) in self.row(i).iter().enumerate() {
+                if lhs != 0.0 {
+                    vector::axpy(out.row_mut(i), lhs, other.row(k));
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute element-wise difference with another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "max_abs_diff: shape mismatch"
+        );
+        vector::max_abs_diff(&self.data, &other.data)
+    }
+
+    /// Iterator over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let id = Matrix::identity(4);
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(id.matvec(&x), x);
+        assert_eq!(id.vecmat(&x), x);
+    }
+
+    #[test]
+    fn vecmat_matches_manual() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        // [1,0,2] · M = row0 + 2*row2
+        assert_eq!(m.vecmat(&[1.0, 0.0, 2.0]), vec![11.0, 14.0]);
+    }
+
+    #[test]
+    fn rank1_update_equals_outer_product() {
+        let mut m = Matrix::zeros(2, 3);
+        m.rank1_update(2.0, &[1.0, -1.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(0), &[2.0, 4.0, 6.0]);
+        assert_eq!(m.row(1), &[-2.0, -4.0, -6.0]);
+    }
+
+    #[test]
+    fn matmul_against_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn vecmat_is_transpose_matvec() {
+        let m = Matrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 4.0], vec![3.0, 1.0]]);
+        let x = vec![1.0, 2.0, -1.0];
+        assert_eq!(m.vecmat(&x), m.transpose().matvec(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_wrong_len_panics() {
+        Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn ragged_rows_panic() {
+        Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

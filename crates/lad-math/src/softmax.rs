@@ -1,0 +1,148 @@
+//! Numerically stable softmax and its piecewise-linear counterpart.
+//!
+//! The attention denominator in paper Eq. 2 is a softmax over scores; LAD
+//! replaces the `exp` with the PWL approximation of [`crate::pwl`]. This module
+//! provides both so that accuracy claims (PWL softmax MSE < 1e-6, paper
+//! Sec. III-F) can be validated directly.
+
+use crate::pwl::PwlExp;
+
+/// Stable softmax: subtracts the maximum before exponentiating.
+///
+/// Returns an empty vector for empty input.
+///
+/// # Example
+///
+/// ```
+/// let p = lad_math::softmax::softmax(&[1.0, 2.0, 3.0]);
+/// assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+/// assert!(p[2] > p[1] && p[1] > p[0]);
+/// ```
+pub fn softmax(scores: &[f32]) -> Vec<f32> {
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = scores.iter().map(|&s| (s - max).exp()).collect();
+    let total: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / total).collect()
+}
+
+/// Softmax computed with the piecewise-linear `exp` approximation.
+///
+/// Scores are shifted by their maximum (so all inputs to the PWL land in
+/// `(-inf, 0]`, its domain) and normalised by the PWL-sum. This is exactly the
+/// arithmetic LAD performs, so comparing against [`softmax`] bounds the
+/// approximation error of the whole scheme absent misidentification.
+pub fn softmax_pwl(scores: &[f32], pwl: &PwlExp) -> Vec<f32> {
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f64> = scores
+        .iter()
+        .map(|&s| pwl.eval(f64::from(s - max)))
+        .collect();
+    let total: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| (e / total) as f32).collect()
+}
+
+/// Mean squared error between two probability vectors.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse: length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = f64::from(x - y);
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[0.0, 1.0, -1.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[1] > p[0] && p[0] > p[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_scores() {
+        let p = softmax(&[1000.0, -1000.0]);
+        assert!((p[0] - 1.0).abs() < 1e-6);
+        assert!(p[1] < 1e-6);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_empty() {
+        assert!(softmax(&[]).is_empty());
+        assert!(softmax_pwl(&[], &PwlExp::paper_default()).is_empty());
+    }
+
+    #[test]
+    fn pwl_softmax_close_to_exact() {
+        let pwl = PwlExp::accurate_default();
+        let mut rng = Rng::new(21);
+        let mut worst = 0.0f64;
+        for _ in 0..200 {
+            let scores: Vec<f32> = (0..64).map(|_| rng.normal_with(0.0, 2.0) as f32).collect();
+            let exact = softmax(&scores);
+            let approx = softmax_pwl(&scores, &pwl);
+            worst = worst.max(mse(&exact, &approx));
+        }
+        // Paper Sec. III-F: "less than 1e-6 mean squared error to softmax".
+        assert!(worst < 1e-6, "worst mse = {worst}");
+    }
+
+    #[test]
+    fn pwl_softmax_long_sequence_accuracy() {
+        // Realistic decode-time distribution: one dominant score, a long tail
+        // of strongly negative ones (the regime the paper's claim targets).
+        let pwl = PwlExp::accurate_default();
+        let mut rng = Rng::new(22);
+        let mut worst = 0.0f64;
+        for _ in 0..50 {
+            let mut scores = vec![0.0f32];
+            scores.extend((0..511).map(|_| rng.normal_with(-6.0, 2.0) as f32));
+            worst = worst.max(mse(&softmax(&scores), &softmax_pwl(&scores, &pwl)));
+        }
+        assert!(worst < 1e-6, "worst mse = {worst}");
+    }
+
+    #[test]
+    fn pwl_softmax_sums_to_one() {
+        let pwl = PwlExp::paper_default();
+        let p = softmax_pwl(&[0.0, -2.0, -5.0, -12.0], &pwl);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        // The -12 score falls in the zero interval -> exactly zero weight.
+        assert_eq!(p[3], 0.0);
+    }
+
+    #[test]
+    fn mse_zero_for_identical() {
+        assert_eq!(mse(&[0.25, 0.75], &[0.25, 0.75]), 0.0);
+    }
+}

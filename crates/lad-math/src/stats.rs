@@ -1,0 +1,206 @@
+//! Summary statistics used across the evaluation harness.
+//!
+//! The paper reports geometric-mean speedups and energy-efficiency ratios; the
+//! locality analysis (Fig. 2) needs histograms and top-k probabilities. This
+//! module centralises those primitives.
+
+/// Arithmetic mean; 0.0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Geometric mean; 0.0 for empty input.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive (geomeans of ratios require positive
+/// inputs).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geomean: all values must be positive"
+    );
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Population variance; 0.0 for fewer than two values.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Linear-interpolated quantile, `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile: empty input");
+    assert!((0.0..=1.0).contains(&q), "quantile: q out of range");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with overflow/underflow folded into
+/// the edge bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram: need at least one bin");
+        assert!(lo < hi, "histogram: lo must be < hi");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Records one observation (out-of-range values clamp to edge bins).
+    pub fn record(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let idx = if value < self.lo {
+            0
+        } else if value >= self.hi {
+            bins - 1
+        } else {
+            (((value - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of observations in the bin containing the most observations.
+    pub fn top1_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.counts.iter().max().unwrap() as f64 / self.total as f64
+    }
+
+    /// Fraction of observations in the two most-populated bins combined.
+    pub fn top2_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut sorted: Vec<u64> = self.counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        (sorted[0] + sorted.get(1).copied().unwrap_or(0)) as f64 / self.total as f64
+    }
+}
+
+/// Top-1 and top-2 probabilities of a discrete count vector (the paper's
+/// Fig. 2(b) metric over per-position interval counters).
+pub fn top1_top2(counts: &[u64]) -> (f64, f64) {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return (0.0, 0.0);
+    }
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let top1 = sorted[0] as f64 / total as f64;
+    let top2 = (sorted[0] + sorted.get(1).copied().unwrap_or(0)) as f64 / total as f64;
+    (top1, top2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[10.0]) - 10.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert_eq!(quantile(&v, 0.5), 2.5);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.5, 1.5, 2.5, 2.6, 2.7, 11.0, -3.0] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.counts()[1], 3); // 2.5, 2.6, 2.7
+        assert_eq!(h.counts()[4], 1); // overflow clamps
+        assert_eq!(h.counts()[0], 3); // 0.5, 1.5, underflow
+        assert!((h.top1_fraction() - 3.0 / 7.0).abs() < 1e-12);
+        assert!((h.top2_fraction() - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top1_top2_counts() {
+        let (t1, t2) = top1_top2(&[10, 80, 5, 5]);
+        assert!((t1 - 0.8).abs() < 1e-12);
+        assert!((t2 - 0.9).abs() < 1e-12);
+        assert_eq!(top1_top2(&[0, 0]), (0.0, 0.0));
+        assert_eq!(top1_top2(&[7]), (1.0, 1.0));
+    }
+}

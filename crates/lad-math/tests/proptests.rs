@@ -1,0 +1,112 @@
+//! Property-based tests of the numerical substrate.
+
+use lad_math::pwl::{fit_exp_segment, PwlExp};
+use lad_math::softmax::{mse, softmax, softmax_pwl};
+use lad_math::{Matrix, F16};
+use proptest::prelude::*;
+
+proptest! {
+    /// Finite f32 values convert to f16 with bounded error: half-ULP
+    /// relative for normals, absolute 2^-25 for the subnormal range.
+    #[test]
+    fn f16_conversion_error_is_bounded(x in -60000.0f32..60000.0) {
+        let h = F16::from_f32(x).to_f32();
+        let bound = (x.abs() * 2.0f32.powi(-11)).max(2.0f32.powi(-25));
+        prop_assert!((h - x).abs() <= bound, "x={x} h={h}");
+    }
+
+    /// f16 -> f32 -> f16 is the identity on non-NaN bit patterns.
+    #[test]
+    fn f16_roundtrip_identity(bits in 0u16..=u16::MAX) {
+        let h = F16::from_bits(bits);
+        prop_assume!(!h.is_nan());
+        prop_assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits);
+    }
+
+    /// f16 conversion is monotone: x <= y implies f16(x) <= f16(y).
+    #[test]
+    fn f16_conversion_is_monotone(x in -1e4f32..1e4, y in -1e4f32..1e4) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    /// Least-squares exp fits have residuals bounded by the interval width
+    /// squared times the curvature at the right edge.
+    #[test]
+    fn pwl_fit_residual_bound(lo in -12.0f64..-0.2, width in 0.01f64..3.0) {
+        let hi = (lo + width).min(0.0);
+        let seg = fit_exp_segment(lo, hi);
+        let w = hi - lo;
+        let bound = w * w * hi.exp();
+        for i in 0..=20 {
+            let x = lo + w * (i as f64) / 20.0;
+            prop_assert!((seg.eval(x) - x.exp()).abs() <= bound + 1e-12,
+                "x={x} err={}", (seg.eval(x) - x.exp()).abs());
+        }
+    }
+
+    /// interval_of always returns an interval whose bounds contain x.
+    #[test]
+    fn pwl_interval_contains_point(x in -40.0f64..0.0) {
+        let pwl = PwlExp::accurate_default();
+        let idx = pwl.interval_of(x);
+        let (lo, hi) = pwl.interval_bounds(idx);
+        prop_assert!(x >= lo - 1e-12 && x <= hi + 1e-12, "x={x} -> [{lo},{hi}]");
+    }
+
+    /// PWL softmax stays within distribution-like bounds and close to exact.
+    #[test]
+    fn pwl_softmax_is_close(scores in prop::collection::vec(-8.0f32..8.0, 2..40)) {
+        let pwl = PwlExp::accurate_default();
+        let exact = softmax(&scores);
+        let approx = softmax_pwl(&scores, &pwl);
+        prop_assert!((approx.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(mse(&exact, &approx) < 1e-5);
+    }
+
+    /// Softmax output is a probability distribution ordered like its input.
+    #[test]
+    fn softmax_is_distribution(scores in prop::collection::vec(-50.0f32..50.0, 1..32)) {
+        let p = softmax(&scores);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        for (a, pa) in scores.iter().zip(&p) {
+            for (b, pb) in scores.iter().zip(&p) {
+                if a > b {
+                    prop_assert!(pa >= &(pb - 1e-6));
+                }
+            }
+        }
+    }
+
+    /// vecmat equals matvec on the transpose for arbitrary matrices.
+    #[test]
+    fn vecmat_transpose_duality(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = lad_math::Rng::new(seed);
+        let m = Matrix::from_flat(rows, cols, rng.normal_vec(rows * cols, 1.0));
+        let x = rng.normal_vec(rows, 1.0);
+        let a = m.vecmat(&x);
+        let b = m.transpose().matvec(&x);
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    /// Rank-1 updates commute with explicit outer-product construction.
+    #[test]
+    fn rank1_matches_outer_product(dim in 1usize..6, seed in 0u64..1000, scale in -2.0f32..2.0) {
+        let mut rng = lad_math::Rng::new(seed);
+        let a = rng.normal_vec(dim, 1.0);
+        let b = rng.normal_vec(dim, 1.0);
+        let mut m = Matrix::zeros(dim, dim);
+        m.rank1_update(scale, &a, &b);
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().enumerate() {
+                prop_assert!((m.get(i, j) - scale * ai * bj).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! Pluggable attention backends.
+//!
+//! Each attention head of a decode session runs one of four backends,
+//! mirroring the paper's comparison set (Sec. V-A):
+//!
+//! * [`AttentionKind::Exact`] — the original model (vLLM baseline).
+//! * [`AttentionKind::Lad`] — LAD attention ([`lad_core`]).
+//! * [`AttentionKind::QserveKv4`] — Qserve's A16W16KV4 configuration: the KV
+//!   cache is quantised to 4 bits, everything else fp16.
+//! * [`AttentionKind::H2o`] — the Heavy-Hitter Oracle: only the top
+//!   `heavy_ratio` cumulative-attention positions plus the `recent_ratio`
+//!   most recent ones are kept; the rest are evicted permanently.
+
+use lad_core::decoder::{LadAttention, LadConfig};
+use lad_core::kv::KvCache;
+use lad_core::reference;
+use lad_core::stats::StepStats;
+use lad_math::softmax::softmax;
+use lad_math::vector;
+
+/// Which attention algorithm a head runs.
+#[derive(Debug, Clone)]
+pub enum AttentionKind {
+    /// Exact softmax attention over the full KV cache.
+    Exact,
+    /// LAD attention with the given configuration.
+    Lad(LadConfig),
+    /// Qserve-style 4-bit KV-cache quantisation (per-vector asymmetric).
+    QserveKv4,
+    /// H2O eviction with heavy/recent keep ratios (paper default 0.1/0.1).
+    H2o {
+        /// Fraction of positions kept by cumulative attention mass.
+        heavy_ratio: f64,
+        /// Fraction of most recent positions always kept.
+        recent_ratio: f64,
+    },
+    /// StreamingLLM-style window attention (the paper's cited window-based
+    /// KV discard class): a few initial "attention sink" positions plus a
+    /// sliding window of recent positions are kept, everything else is
+    /// evicted.
+    StreamingWindow {
+        /// Initial positions always kept (attention sinks).
+        sinks: usize,
+        /// Recent positions kept.
+        window: usize,
+    },
+}
+
+impl AttentionKind {
+    /// The paper's H2O default configuration.
+    pub fn h2o_default() -> AttentionKind {
+        AttentionKind::H2o {
+            heavy_ratio: 0.1,
+            recent_ratio: 0.1,
+        }
+    }
+
+    /// A StreamingLLM-style default: 4 sinks + 256 recent positions.
+    pub fn streaming_default() -> AttentionKind {
+        AttentionKind::StreamingWindow {
+            sinks: 4,
+            window: 256,
+        }
+    }
+}
+
+/// Output of one head step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadStepOutput {
+    /// Attention output (length `d`).
+    pub output: Vec<f32>,
+    /// LAD instrumentation (only for the LAD backend).
+    pub stats: Option<StepStats>,
+    /// Shifted scores (`sᵢ − m`) when recording was requested and the backend
+    /// computes dense scores.
+    pub shifted_scores: Option<Vec<f64>>,
+}
+
+/// Runtime state of one attention head.
+///
+/// Variant sizes differ widely (the LAD state carries the intermediate
+/// caches); head states are long-lived, one per (layer, head), so no boxing
+/// is warranted.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum HeadState {
+    /// Full-cache exact softmax.
+    Exact {
+        /// The head's KV cache.
+        kv: KvCache,
+    },
+    /// LAD decoder state.
+    Lad(LadAttention),
+    /// Exact attention over a 4-bit-quantised KV cache.
+    Qserve {
+        /// Stores *dequantised* keys/values (quantisation error baked in).
+        kv: KvCache,
+    },
+    /// H2O eviction state.
+    H2o(H2oState),
+    /// StreamingLLM sink+window state.
+    Streaming {
+        /// The head's KV cache (evicted positions masked, not freed).
+        kv: KvCache,
+        /// Liveness per position.
+        alive: Vec<bool>,
+        /// Sink count.
+        sinks: usize,
+        /// Window size.
+        window: usize,
+    },
+}
+
+/// State of an H2O head: KV cache plus cumulative attention mass and
+/// liveness flags.
+#[derive(Debug, Clone)]
+pub struct H2oState {
+    kv: KvCache,
+    cumulative: Vec<f64>,
+    alive: Vec<bool>,
+    heavy_ratio: f64,
+    recent_ratio: f64,
+}
+
+impl HeadState {
+    /// Creates head state for dimension `dim` under `kind`.
+    pub fn new(dim: usize, kind: &AttentionKind) -> HeadState {
+        match kind {
+            AttentionKind::Exact => HeadState::Exact {
+                kv: KvCache::new(dim),
+            },
+            AttentionKind::Lad(cfg) => HeadState::Lad(LadAttention::new(dim, cfg.clone())),
+            AttentionKind::QserveKv4 => HeadState::Qserve {
+                kv: KvCache::new(dim),
+            },
+            AttentionKind::H2o {
+                heavy_ratio,
+                recent_ratio,
+            } => HeadState::H2o(H2oState {
+                kv: KvCache::new(dim),
+                cumulative: Vec::new(),
+                alive: Vec::new(),
+                heavy_ratio: *heavy_ratio,
+                recent_ratio: *recent_ratio,
+            }),
+            AttentionKind::StreamingWindow { sinks, window } => HeadState::Streaming {
+                kv: KvCache::new(dim),
+                alive: Vec::new(),
+                sinks: *sinks,
+                window: *window,
+            },
+        }
+    }
+
+    /// Current KV length (for evicting backends this counts live positions).
+    pub fn live_len(&self) -> usize {
+        match self {
+            HeadState::Exact { kv } | HeadState::Qserve { kv } => kv.len(),
+            HeadState::Lad(head) => head.kv().len(),
+            HeadState::H2o(state) => state.alive.iter().filter(|&&a| a).count(),
+            HeadState::Streaming { alive, .. } => alive.iter().filter(|&&a| a).count(),
+        }
+    }
+
+    /// Executes one decoding step.
+    pub fn step(
+        &mut self,
+        q: &[f32],
+        k: Vec<f32>,
+        v: Vec<f32>,
+        record_scores: bool,
+    ) -> HeadStepOutput {
+        match self {
+            HeadState::Exact { kv } => {
+                kv.push(k, v);
+                let scores = reference::scores(q, kv);
+                let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let output = reference::exact_attention(q, kv);
+                HeadStepOutput {
+                    output,
+                    stats: None,
+                    shifted_scores: record_scores
+                        .then(|| scores.iter().map(|s| s - m).collect()),
+                }
+            }
+            HeadState::Lad(head) => {
+                let step = head.step(q, k, v);
+                HeadStepOutput {
+                    output: step.output,
+                    stats: Some(step.stats),
+                    shifted_scores: None,
+                }
+            }
+            HeadState::Qserve { kv } => {
+                kv.push(quantize_int4(&k), quantize_int4(&v));
+                HeadStepOutput {
+                    output: reference::exact_attention(q, kv),
+                    stats: None,
+                    shifted_scores: None,
+                }
+            }
+            HeadState::H2o(state) => HeadStepOutput {
+                output: state.step(q, k, v),
+                stats: None,
+                shifted_scores: None,
+            },
+            HeadState::Streaming {
+                kv,
+                alive,
+                sinks,
+                window,
+            } => {
+                kv.push(k, v);
+                alive.push(true);
+                let n = kv.len();
+                // Evict the position leaving the window (sinks survive).
+                if n > *sinks + *window {
+                    let leaving = n - *window - 1;
+                    if leaving >= *sinks {
+                        alive[leaving] = false;
+                    }
+                }
+                let qs = reference::scale_query(q);
+                let live: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+                let scores: Vec<f32> = live
+                    .iter()
+                    .map(|&i| vector::dot(&qs, kv.key(i)))
+                    .collect();
+                let probs = softmax(&scores);
+                let mut output = vec![0.0f32; kv.dim()];
+                for (&i, &p) in live.iter().zip(&probs) {
+                    vector::axpy(&mut output, p, kv.value(i));
+                }
+                HeadStepOutput {
+                    output,
+                    stats: None,
+                    shifted_scores: None,
+                }
+            }
+        }
+    }
+}
+
+impl H2oState {
+    fn step(&mut self, q: &[f32], k: Vec<f32>, v: Vec<f32>) -> Vec<f32> {
+        self.kv.push(k, v);
+        self.cumulative.push(0.0);
+        self.alive.push(true);
+        let n = self.kv.len();
+        let qs = reference::scale_query(q);
+
+        // Scores over live positions only.
+        let live: Vec<usize> = (0..n).filter(|&i| self.alive[i]).collect();
+        let scores: Vec<f32> = live
+            .iter()
+            .map(|&i| vector::dot(&qs, self.kv.key(i)))
+            .collect();
+        let probs = softmax(&scores);
+
+        let mut output = vec![0.0f32; self.kv.dim()];
+        for (&i, &p) in live.iter().zip(&probs) {
+            self.cumulative[i] += f64::from(p);
+            vector::axpy(&mut output, p, self.kv.value(i));
+        }
+
+        // Eviction: keep the most recent `recent_k` live positions plus the
+        // `heavy_k` highest cumulative-mass among the rest.
+        let recent_k = ((self.recent_ratio * n as f64).ceil() as usize).max(1);
+        let heavy_k = ((self.heavy_ratio * n as f64).ceil() as usize).max(1);
+        if live.len() > recent_k + heavy_k {
+            let recent_cut = live.len() - recent_k;
+            let mut older: Vec<usize> = live[..recent_cut].to_vec();
+            older.sort_by(|&a, &b| {
+                self.cumulative[b]
+                    .partial_cmp(&self.cumulative[a])
+                    .expect("cumulative mass is finite")
+            });
+            for &evict in &older[heavy_k..] {
+                self.alive[evict] = false;
+            }
+        }
+        output
+    }
+}
+
+/// Per-vector asymmetric 4-bit quantisation, returning the dequantised
+/// vector (the error a KV4 cache injects).
+pub fn quantize_int4(x: &[f32]) -> Vec<f32> {
+    let min = x.iter().copied().fold(f32::INFINITY, f32::min);
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !min.is_finite() || !max.is_finite() || max == min {
+        return x.to_vec();
+    }
+    let scale = (max - min) / 15.0;
+    x.iter()
+        .map(|&v| {
+            let q = ((v - min) / scale).round().clamp(0.0, 15.0);
+            q * scale + min
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_math::Rng;
+
+    #[test]
+    fn quantize_int4_error_bound() {
+        let mut rng = Rng::new(41);
+        for _ in 0..50 {
+            let x = rng.normal_vec(16, 1.0);
+            let q = quantize_int4(&x);
+            let min = x.iter().copied().fold(f32::INFINITY, f32::min);
+            let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let half_step = (max - min) / 15.0 / 2.0;
+            for (orig, quant) in x.iter().zip(&q) {
+                assert!((orig - quant).abs() <= half_step + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_int4_constant_vector_passthrough() {
+        assert_eq!(quantize_int4(&[2.0, 2.0]), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn exact_backend_matches_reference() {
+        let mut rng = Rng::new(42);
+        let d = 8;
+        let mut head = HeadState::new(d, &AttentionKind::Exact);
+        let mut shadow = KvCache::new(d);
+        for _ in 0..20 {
+            let (q, k, v) = (
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+            );
+            shadow.push(k.clone(), v.clone());
+            let out = head.step(&q, k, v, false);
+            assert_eq!(out.output, reference::exact_attention(&q, &shadow));
+        }
+    }
+
+    #[test]
+    fn exact_backend_records_shifted_scores() {
+        let mut head = HeadState::new(4, &AttentionKind::Exact);
+        let out = head.step(&[1.0; 4], vec![0.5; 4], vec![0.1; 4], true);
+        let scores = out.shifted_scores.expect("recording requested");
+        assert_eq!(scores.len(), 1);
+        assert!(scores[0] <= 0.0);
+    }
+
+    #[test]
+    fn lad_backend_produces_stats() {
+        let mut rng = Rng::new(43);
+        let d = 8;
+        let mut head = HeadState::new(d, &AttentionKind::Lad(LadConfig::default()));
+        for i in 0..30 {
+            let out = head.step(
+                &rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                false,
+            );
+            let stats = out.stats.expect("lad backend reports stats");
+            assert_eq!(stats.n, i + 1);
+        }
+        assert_eq!(head.live_len(), 30);
+    }
+
+    #[test]
+    fn qserve_backend_injects_bounded_error() {
+        let mut rng = Rng::new(44);
+        let d = 8;
+        let mut exact = HeadState::new(d, &AttentionKind::Exact);
+        let mut qserve = HeadState::new(d, &AttentionKind::QserveKv4);
+        let mut worst = 0.0f32;
+        for _ in 0..40 {
+            let (q, k, v) = (
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+            );
+            let e = exact.step(&q, k.clone(), v.clone(), false);
+            let s = qserve.step(&q, k, v, false);
+            worst = worst.max(vector::relative_l2(&s.output, &e.output));
+        }
+        assert!(worst > 1e-4, "KV4 must actually perturb outputs");
+        assert!(worst < 0.5, "KV4 error unreasonably large: {worst}");
+    }
+
+    #[test]
+    fn h2o_evicts_down_to_budget() {
+        let mut rng = Rng::new(45);
+        let d = 8;
+        let mut head = HeadState::new(d, &AttentionKind::h2o_default());
+        for _ in 0..100 {
+            head.step(
+                &rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                false,
+            );
+        }
+        // Keep ratios 0.1 + 0.1 -> about 20 live positions out of 100.
+        let live = head.live_len();
+        assert!((18..=22).contains(&live), "live = {live}");
+    }
+
+    #[test]
+    fn h2o_keeps_recent_positions() {
+        let mut rng = Rng::new(46);
+        let d = 4;
+        let mut head = HeadState::new(d, &AttentionKind::h2o_default());
+        for _ in 0..50 {
+            head.step(
+                &rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                false,
+            );
+        }
+        let HeadState::H2o(state) = &head else {
+            unreachable!()
+        };
+        // The very latest positions must always be alive.
+        for i in 45..50 {
+            assert!(state.alive[i], "recent position {i} evicted");
+        }
+    }
+
+    #[test]
+    fn streaming_window_keeps_sinks_and_recent() {
+        let mut rng = Rng::new(48);
+        let d = 4;
+        let kind = AttentionKind::StreamingWindow { sinks: 2, window: 8 };
+        let mut head = HeadState::new(d, &kind);
+        for _ in 0..40 {
+            head.step(
+                &rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                false,
+            );
+        }
+        // 2 sinks + 8 recent survive.
+        assert_eq!(head.live_len(), 10);
+        let HeadState::Streaming { alive, .. } = &head else {
+            unreachable!()
+        };
+        assert!(alive[0] && alive[1], "sinks evicted");
+        assert!(alive[39] && alive[32], "recent window evicted");
+        assert!(!alive[10], "middle position survived");
+    }
+
+    #[test]
+    fn streaming_matches_exact_while_window_covers_everything() {
+        let mut rng = Rng::new(49);
+        let d = 4;
+        let kind = AttentionKind::StreamingWindow { sinks: 4, window: 64 };
+        let mut streaming = HeadState::new(d, &kind);
+        let mut exact = HeadState::new(d, &AttentionKind::Exact);
+        for _ in 0..30 {
+            let (q, k, v) = (
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+            );
+            let a = streaming.step(&q, k.clone(), v.clone(), false);
+            let b = exact.step(&q, k, v, false);
+            assert!(vector::relative_l2(&a.output, &b.output) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn h2o_diverges_from_exact() {
+        // H2O discards information, so outputs must drift from the original
+        // model — that is the decoding-accuracy cost Table I quantifies.
+        let mut rng = Rng::new(47);
+        let d = 8;
+        let mut exact = HeadState::new(d, &AttentionKind::Exact);
+        let mut h2o = HeadState::new(d, &AttentionKind::h2o_default());
+        let mut drift = 0.0f32;
+        for _ in 0..80 {
+            let (q, k, v) = (
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+            );
+            let e = exact.step(&q, k.clone(), v.clone(), false);
+            let h = h2o.step(&q, k, v, false);
+            drift = drift.max(vector::relative_l2(&h.output, &e.output));
+        }
+        assert!(drift > 0.05, "H2O should diverge, drift = {drift}");
+    }
+}

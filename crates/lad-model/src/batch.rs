@@ -1,0 +1,160 @@
+//! Batched decoding across samples.
+//!
+//! The paper's throughput evaluation decodes batches of samples; each sample
+//! owns its per-head attention state but shares the model weights, so
+//! samples decode independently and in parallel. This module provides a
+//! thread-parallel batch decoder (plain `std::thread::scope` — the model is
+//! immutable shared state) plus aggregate LAD statistics across the batch.
+
+use crate::backend::AttentionKind;
+use crate::transformer::{Model, Session};
+use lad_core::stats::{StatsSummary, StepStats};
+
+/// Result of decoding one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// Generated tokens per sample, prompt order.
+    pub sequences: Vec<Vec<u32>>,
+    /// LAD step statistics of every (sample, layer, head) at the final step
+    /// (empty for non-LAD backends).
+    pub final_stats: Vec<StepStats>,
+}
+
+impl BatchResult {
+    /// Aggregate of the final-step LAD statistics.
+    pub fn stats_summary(&self) -> StatsSummary {
+        StatsSummary::from_steps(&self.final_stats)
+    }
+}
+
+/// Greedy-decodes every prompt for `steps` tokens, `threads`-wide.
+///
+/// Results are identical to sequential decoding (samples are independent and
+/// each session is deterministic).
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or any prompt is empty.
+pub fn decode_batch(
+    model: &Model,
+    kind: &AttentionKind,
+    prompts: &[Vec<u32>],
+    steps: usize,
+    threads: usize,
+) -> BatchResult {
+    assert!(threads > 0, "decode_batch: threads must be positive");
+    assert!(
+        prompts.iter().all(|p| !p.is_empty()),
+        "decode_batch: empty prompt"
+    );
+    let chunk = prompts.len().div_ceil(threads).max(1);
+    let mut outputs: Vec<Option<(Vec<u32>, Vec<StepStats>)>> = vec![None; prompts.len()];
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk_idx, chunk_prompts) in prompts.chunks(chunk).enumerate() {
+            handles.push((
+                chunk_idx,
+                scope.spawn(move || {
+                    chunk_prompts
+                        .iter()
+                        .map(|prompt| {
+                            let mut session = Session::new(model, kind);
+                            let tokens = session.generate_greedy(prompt, steps);
+                            (tokens, session.last_stats().to_vec())
+                        })
+                        .collect::<Vec<_>>()
+                }),
+            ));
+        }
+        for (chunk_idx, handle) in handles {
+            let results = handle.join().expect("decode worker panicked");
+            for (offset, result) in results.into_iter().enumerate() {
+                outputs[chunk_idx * chunk + offset] = Some(result);
+            }
+        }
+    });
+
+    let mut sequences = Vec::with_capacity(prompts.len());
+    let mut final_stats = Vec::new();
+    for slot in outputs {
+        let (tokens, stats) = slot.expect("every prompt decoded");
+        sequences.push(tokens);
+        final_stats.extend(stats);
+    }
+    BatchResult {
+        sequences,
+        final_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use lad_core::decoder::LadConfig;
+
+    fn model() -> Model {
+        Model::random(ModelConfig::tiny("batch", 2, 32, 2), 71)
+    }
+
+    fn prompts() -> Vec<Vec<u32>> {
+        vec![vec![1, 2, 3], vec![9, 8], vec![4, 4, 4, 4], vec![200, 100]]
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let model = model();
+        let sequential = decode_batch(&model, &AttentionKind::Exact, &prompts(), 10, 1);
+        let parallel = decode_batch(&model, &AttentionKind::Exact, &prompts(), 10, 4);
+        assert_eq!(sequential.sequences, parallel.sequences);
+    }
+
+    #[test]
+    fn matches_single_session_decoding() {
+        let model = model();
+        let batch = decode_batch(&model, &AttentionKind::Exact, &prompts(), 8, 2);
+        for (prompt, expected) in prompts().iter().zip(&batch.sequences) {
+            let mut session = Session::new(&model, &AttentionKind::Exact);
+            assert_eq!(&session.generate_greedy(prompt, 8), expected);
+        }
+    }
+
+    #[test]
+    fn lad_batch_collects_stats() {
+        let model = model();
+        let batch = decode_batch(
+            &model,
+            &AttentionKind::Lad(LadConfig::default()),
+            &prompts(),
+            6,
+            2,
+        );
+        // 4 samples x 2 layers x 2 heads.
+        assert_eq!(batch.final_stats.len(), 16);
+        let summary = batch.stats_summary();
+        assert_eq!(summary.steps, 16);
+        assert!(summary.mean_centers > 0.0);
+    }
+
+    #[test]
+    fn exact_batch_has_no_stats() {
+        let model = model();
+        let batch = decode_batch(&model, &AttentionKind::Exact, &prompts(), 4, 3);
+        assert!(batch.final_stats.is_empty());
+        assert_eq!(batch.sequences.len(), 4);
+    }
+
+    #[test]
+    fn more_threads_than_prompts_is_fine() {
+        let model = model();
+        let batch = decode_batch(&model, &AttentionKind::Exact, &prompts()[..2], 4, 16);
+        assert_eq!(batch.sequences.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be positive")]
+    fn zero_threads_rejected() {
+        decode_batch(&model(), &AttentionKind::Exact, &prompts(), 2, 0);
+    }
+}

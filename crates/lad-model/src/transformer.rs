@@ -1,0 +1,471 @@
+//! Decoder-only transformer: weights, blocks, and decode sessions.
+//!
+//! [`Model`] holds seeded random weights for a [`ModelConfig`]; a [`Session`]
+//! holds the per-head attention state (KV caches / LAD state) and walks the
+//! model one token at a time. Different sessions over the *same* model with
+//! different [`AttentionKind`]s are exactly the paper's comparison setup:
+//! the original model vs. its LAD/Qserve/H2O variants (Table I/II).
+
+use crate::backend::{AttentionKind, HeadState};
+use crate::config::{MlpKind, ModelConfig, NormKind, PositionKind};
+use crate::layers::{gelu, rope, silu, LayerNorm, Linear, RmsNorm, ROPE_BASE};
+use lad_core::audit::QkvStream;
+use lad_core::locality::LocalityAnalyzer;
+use lad_core::stats::StepStats;
+use lad_math::pwl::PwlExp;
+use lad_math::{vector, Matrix, Rng};
+
+/// Normalisation layer (LayerNorm or RMSNorm, per config).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Norm {
+    /// OPT-style LayerNorm.
+    Layer(LayerNorm),
+    /// LLaMA-style RMSNorm.
+    Rms(RmsNorm),
+}
+
+impl Norm {
+    fn new(kind: NormKind, dim: usize) -> Norm {
+        match kind {
+            NormKind::LayerNorm => Norm::Layer(LayerNorm::new(dim)),
+            NormKind::RmsNorm => Norm::Rms(RmsNorm::new(dim)),
+        }
+    }
+
+    /// Applies the normalisation.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        match self {
+            Norm::Layer(ln) => ln.forward(x),
+            Norm::Rms(rn) => rn.forward(x),
+        }
+    }
+}
+
+/// Weights of one transformer block.
+#[derive(Debug, Clone)]
+pub struct BlockWeights {
+    norm1: Norm,
+    norm2: Norm,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    w_up: Linear,
+    w_down: Linear,
+    w_gate: Option<Linear>,
+}
+
+impl BlockWeights {
+    fn random(cfg: &ModelConfig, rng: &mut Rng) -> BlockWeights {
+        let h = cfg.hidden;
+        BlockWeights {
+            norm1: Norm::new(cfg.norm, h),
+            norm2: Norm::new(cfg.norm, h),
+            wq: Linear::random(h, h, rng),
+            wk: Linear::random(h, h, rng),
+            wv: Linear::random(h, h, rng),
+            wo: Linear::random(h, h, rng),
+            w_up: Linear::random(cfg.intermediate, h, rng),
+            w_down: Linear::random(h, cfg.intermediate, rng),
+            w_gate: match cfg.mlp {
+                MlpKind::SwiGlu => Some(Linear::random(cfg.intermediate, h, rng)),
+                MlpKind::Gelu => None,
+            },
+        }
+    }
+
+    fn mlp(&self, x: &[f32], kind: MlpKind) -> Vec<f32> {
+        match kind {
+            MlpKind::Gelu => {
+                let mut up = self.w_up.forward(x);
+                for v in &mut up {
+                    *v = gelu(*v);
+                }
+                self.w_down.forward(&up)
+            }
+            MlpKind::SwiGlu => {
+                let gate = self
+                    .w_gate
+                    .as_ref()
+                    .expect("SwiGLU blocks carry a gate projection");
+                let mut g = gate.forward(x);
+                for v in &mut g {
+                    *v = silu(*v);
+                }
+                let up = self.w_up.forward(x);
+                let mixed = vector::elementwise_mul(&g, &up);
+                self.w_down.forward(&mixed)
+            }
+        }
+    }
+}
+
+/// A decoder-only transformer with seeded random weights.
+///
+/// # Example
+///
+/// ```
+/// use lad_model::config::ModelConfig;
+/// use lad_model::transformer::{Model, Session};
+/// use lad_model::backend::AttentionKind;
+///
+/// let model = Model::random(ModelConfig::tiny("demo", 2, 32, 2), 7);
+/// let mut session = Session::new(&model, &AttentionKind::Exact);
+/// let logits = session.step(5);
+/// assert_eq!(logits.len(), model.config().vocab);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Model {
+    cfg: ModelConfig,
+    embed: Matrix,
+    pos_embed: Option<Matrix>,
+    blocks: Vec<BlockWeights>,
+    final_norm: Norm,
+}
+
+impl Model {
+    /// Creates a model with random weights from `seed`. Two calls with the
+    /// same config and seed yield identical models.
+    pub fn random(cfg: ModelConfig, seed: u64) -> Model {
+        let mut rng = Rng::new(seed);
+        let embed_scale = 1.0 / (cfg.hidden as f32).sqrt();
+        let embed = Matrix::from_flat(
+            cfg.vocab,
+            cfg.hidden,
+            rng.normal_vec(cfg.vocab * cfg.hidden, embed_scale),
+        );
+        let pos_embed = match cfg.position {
+            PositionKind::Learned => Some(Matrix::from_flat(
+                cfg.max_seq,
+                cfg.hidden,
+                rng.normal_vec(cfg.max_seq * cfg.hidden, embed_scale * 0.1),
+            )),
+            PositionKind::Rope => None,
+        };
+        let blocks = (0..cfg.layers)
+            .map(|_| BlockWeights::random(&cfg, &mut rng))
+            .collect();
+        let final_norm = Norm::new(cfg.norm, cfg.hidden);
+        Model {
+            cfg,
+            embed,
+            pos_embed,
+            blocks,
+            final_norm,
+        }
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+}
+
+/// A decode session: the per-head attention state for one sample.
+#[derive(Debug)]
+pub struct Session<'m> {
+    model: &'m Model,
+    heads: Vec<Vec<HeadState>>,
+    pos: usize,
+    /// LAD step statistics of every (layer, head) at the latest step.
+    last_stats: Vec<StepStats>,
+    /// Locality analyzers per (layer, head), when score recording is on.
+    analyzers: Option<Vec<LocalityAnalyzer>>,
+    /// Per-head (q, k, v) streams, when QKV recording is on: indexed by
+    /// `layer * heads + head`, one triple per step.
+    qkv_taps: Option<Vec<QkvStream>>,
+}
+
+impl<'m> Session<'m> {
+    /// Opens a session over `model` with every head running `kind`.
+    pub fn new(model: &'m Model, kind: &AttentionKind) -> Session<'m> {
+        let d = model.cfg.head_dim();
+        let heads = (0..model.cfg.layers)
+            .map(|_| {
+                (0..model.cfg.heads)
+                    .map(|_| HeadState::new(d, kind))
+                    .collect()
+            })
+            .collect();
+        Session {
+            model,
+            heads,
+            pos: 0,
+            last_stats: Vec::new(),
+            analyzers: None,
+            qkv_taps: None,
+        }
+    }
+
+    /// Enables recording of every head's per-step `(q, k, v)` triples
+    /// (post-RoPE, as the attention backend sees them). The streams feed the
+    /// error audit ([`lad_core::audit`]) and the hardware tile engine with
+    /// *real* transformer traffic.
+    pub fn record_qkv(&mut self) {
+        let count = self.model.cfg.layers * self.model.cfg.heads;
+        self.qkv_taps = Some(vec![Vec::new(); count]);
+    }
+
+    /// The recorded per-head QKV streams, if recording was enabled.
+    /// Indexed by `layer * heads + head`.
+    pub fn qkv_streams(&self) -> Option<&[QkvStream]> {
+        self.qkv_taps.as_deref()
+    }
+
+    /// Enables shifted-score recording into per-head locality analyzers
+    /// (only effective on the exact backend, which computes dense scores).
+    pub fn record_locality(&mut self, pwl: PwlExp) {
+        let count = self.model.cfg.layers * self.model.cfg.heads;
+        self.analyzers = Some((0..count).map(|_| LocalityAnalyzer::new(pwl.clone())).collect());
+    }
+
+    /// The locality analyzers, if recording was enabled.
+    pub fn analyzers(&self) -> Option<&[LocalityAnalyzer]> {
+        self.analyzers.as_deref()
+    }
+
+    /// Number of tokens consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// LAD step statistics of all (layer, head) pairs from the latest step
+    /// (empty for non-LAD backends).
+    pub fn last_stats(&self) -> &[StepStats] {
+        &self.last_stats
+    }
+
+    /// Feeds one token and returns the next-token logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is outside the vocabulary or the maximum sequence
+    /// length is exceeded.
+    pub fn step(&mut self, token: u32) -> Vec<f32> {
+        let cfg = &self.model.cfg;
+        assert!((token as usize) < cfg.vocab, "token out of vocabulary");
+        assert!(self.pos < cfg.max_seq, "sequence length exceeded");
+        let d = cfg.head_dim();
+        let record = self.analyzers.is_some();
+
+        let mut x: Vec<f32> = self.model.embed.row(token as usize).to_vec();
+        if let Some(pos_embed) = &self.model.pos_embed {
+            vector::axpy(&mut x, 1.0, pos_embed.row(self.pos));
+        }
+
+        self.last_stats.clear();
+        for (layer, block) in self.model.blocks.iter().enumerate() {
+            let normed = block.norm1.forward(&x);
+            let q_full = block.wq.forward(&normed);
+            let k_full = block.wk.forward(&normed);
+            let v_full = block.wv.forward(&normed);
+
+            let mut attn_concat = vec![0.0f32; cfg.hidden];
+            for h in 0..cfg.heads {
+                let span = h * d..(h + 1) * d;
+                let (mut q, mut k) = (q_full[span.clone()].to_vec(), k_full[span.clone()].to_vec());
+                if cfg.position == PositionKind::Rope {
+                    q = rope(&q, self.pos, ROPE_BASE);
+                    k = rope(&k, self.pos, ROPE_BASE);
+                }
+                let v = v_full[span.clone()].to_vec();
+                if let Some(taps) = self.qkv_taps.as_mut() {
+                    taps[layer * cfg.heads + h].push((q.clone(), k.clone(), v.clone()));
+                }
+                let out = self.heads[layer][h].step(&q, k, v, record);
+                attn_concat[span].copy_from_slice(&out.output);
+                if let Some(stats) = out.stats {
+                    self.last_stats.push(stats);
+                }
+                if let (Some(analyzers), Some(scores)) =
+                    (self.analyzers.as_mut(), out.shifted_scores)
+                {
+                    analyzers[layer * cfg.heads + h].observe_step(&scores);
+                }
+            }
+            let attn_out = block.wo.forward(&attn_concat);
+            vector::axpy(&mut x, 1.0, &attn_out);
+
+            let normed2 = block.norm2.forward(&x);
+            let mlp_out = block.mlp(&normed2, cfg.mlp);
+            vector::axpy(&mut x, 1.0, &mlp_out);
+        }
+
+        self.pos += 1;
+        let final_h = self.model.final_norm.forward(&x);
+        self.model.embed.matvec(&final_h)
+    }
+
+    /// Feeds a prompt token-by-token; returns the logits after the last one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty.
+    pub fn prefill(&mut self, prompt: &[u32]) -> Vec<f32> {
+        assert!(!prompt.is_empty(), "prefill: empty prompt");
+        let mut logits = Vec::new();
+        for &t in prompt {
+            logits = self.step(t);
+        }
+        logits
+    }
+
+    /// Greedy generation: feeds `prompt`, then generates `steps` tokens by
+    /// argmax. Returns only the generated tokens.
+    pub fn generate_greedy(&mut self, prompt: &[u32], steps: usize) -> Vec<u32> {
+        let mut logits = self.prefill(prompt);
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let next = argmax(&logits);
+            out.push(next);
+            logits = self.step(next);
+        }
+        out
+    }
+}
+
+/// Index of the maximum logit (ties resolve to the lowest index).
+pub fn argmax(logits: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > logits[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+/// Log-probability of `target` under a softmax over `logits`.
+pub fn log_prob(logits: &[f32], target: u32) -> f64 {
+    let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let logsum: f64 = logits
+        .iter()
+        .map(|&l| f64::from(l - m).exp())
+        .sum::<f64>()
+        .ln();
+    f64::from(logits[target as usize] - m) - logsum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_core::decoder::LadConfig;
+
+    fn tiny_model() -> Model {
+        Model::random(ModelConfig::tiny("test", 2, 32, 2), 11)
+    }
+
+    #[test]
+    fn logits_shape_and_determinism() {
+        let model = tiny_model();
+        let mut s1 = Session::new(&model, &AttentionKind::Exact);
+        let mut s2 = Session::new(&model, &AttentionKind::Exact);
+        let l1 = s1.step(3);
+        let l2 = s2.step(3);
+        assert_eq!(l1.len(), 256);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn different_tokens_different_logits() {
+        let model = tiny_model();
+        let mut s1 = Session::new(&model, &AttentionKind::Exact);
+        let mut s2 = Session::new(&model, &AttentionKind::Exact);
+        assert_ne!(s1.step(3), s2.step(4));
+    }
+
+    #[test]
+    fn opt_style_model_runs() {
+        let model = Model::random(ModelConfig::tiny_opt("opt-test", 2, 32, 2), 12);
+        let mut s = Session::new(&model, &AttentionKind::Exact);
+        let tokens = s.generate_greedy(&[1, 2, 3], 10);
+        assert_eq!(tokens.len(), 10);
+        assert!(tokens.iter().all(|&t| (t as usize) < 256));
+    }
+
+    #[test]
+    fn lad_session_tracks_exact_session() {
+        // The LAD variant must generate mostly the same tokens as the exact
+        // model — the Table I premise.
+        let model = tiny_model();
+        let mut exact = Session::new(&model, &AttentionKind::Exact);
+        let mut lad = Session::new(
+            &model,
+            &AttentionKind::Lad(LadConfig::new(PwlExp::accurate_default())),
+        );
+        let prompt = [5u32, 9, 13, 2];
+        let a = exact.generate_greedy(&prompt, 40);
+        let b = lad.generate_greedy(&prompt, 40);
+        let agree = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        assert!(agree >= 36, "agreement {agree}/40");
+    }
+
+    #[test]
+    fn lad_session_reports_stats() {
+        let model = tiny_model();
+        let mut lad = Session::new(
+            &model,
+            &AttentionKind::Lad(LadConfig::new(PwlExp::accurate_default())),
+        );
+        lad.prefill(&[1, 2, 3, 4]);
+        // 2 layers × 2 heads.
+        assert_eq!(lad.last_stats().len(), 4);
+        assert!(lad.last_stats().iter().all(|s| s.n == 4));
+    }
+
+    #[test]
+    fn locality_recording_populates_analyzers() {
+        let model = tiny_model();
+        let mut s = Session::new(&model, &AttentionKind::Exact);
+        s.record_locality(PwlExp::paper_default());
+        s.prefill(&[1, 2, 3, 4, 5]);
+        let analyzers = s.analyzers().expect("recording enabled");
+        assert_eq!(analyzers.len(), 4);
+        assert_eq!(analyzers[0].positions(), 5);
+    }
+
+    #[test]
+    fn argmax_and_log_prob() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.5]), 1);
+        assert_eq!(argmax(&[1.0, 1.0]), 0);
+        let lp = log_prob(&[0.0, 0.0], 0);
+        assert!((lp - (0.5f64).ln()).abs() < 1e-6);
+        // Probabilities sum to one.
+        let logits = [0.3f32, -1.0, 2.0];
+        let total: f64 = (0..3).map(|t| log_prob(&logits, t).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qkv_tap_records_streams() {
+        let model = tiny_model();
+        let mut s = Session::new(&model, &AttentionKind::Exact);
+        s.record_qkv();
+        s.prefill(&[1, 2, 3, 4, 5, 6]);
+        let streams = s.qkv_streams().expect("recording enabled");
+        // 2 layers x 2 heads, 6 steps each, head-dim vectors.
+        assert_eq!(streams.len(), 4);
+        let d = model.config().head_dim();
+        for stream in streams {
+            assert_eq!(stream.len(), 6);
+            assert!(stream.iter().all(|(q, k, v)| {
+                q.len() == d && k.len() == d && v.len() == d
+            }));
+        }
+    }
+
+    #[test]
+    fn session_position_advances() {
+        let model = tiny_model();
+        let mut s = Session::new(&model, &AttentionKind::Exact);
+        s.prefill(&[1, 2, 3]);
+        assert_eq!(s.position(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oversized_token_panics() {
+        let model = tiny_model();
+        Session::new(&model, &AttentionKind::Exact).step(9999);
+    }
+}

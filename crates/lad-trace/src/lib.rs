@@ -1,0 +1,31 @@
+//! Synthetic attention-score traces with calibrated numerical locality.
+//!
+//! The LAD accelerator's performance depends on trace statistics (active
+//! positions, mode updates, prefetch hits, directional centers) that the
+//! paper measures on real LLM checkpoints. This crate substitutes a
+//! parameterised generator calibrated to the paper's reported numbers —
+//! see `DESIGN.md` for the substitution rationale.
+//!
+//! * [`generator`] — the Markov-chain score-trace generator ([`ScoreTrace`],
+//!   [`TraceGenerator`]).
+//! * [`analysis`] — replay of traces into per-step [`lad_core::StepStats`]
+//!   for the accelerator model ([`analyze`]).
+//!
+//! # Example
+//!
+//! ```
+//! use lad_trace::{analyze, AnalysisConfig, ScoreTrace, TraceConfig};
+//!
+//! let cfg = TraceConfig::calibrated(512, 64);
+//! let trace = ScoreTrace::generate(&cfg);
+//! let stats = analyze(&trace, &cfg.pwl, &AnalysisConfig::new(&cfg.pwl));
+//! assert_eq!(stats.len(), 64);
+//! // Only a small fraction of cached positions is active per step.
+//! assert!(stats.last().unwrap().active_fraction() < 0.4);
+//! ```
+
+pub mod analysis;
+pub mod generator;
+
+pub use analysis::{analyze, AnalysisConfig, CentersModel};
+pub use generator::{ScoreTrace, TraceConfig, TraceGenerator};

@@ -1,0 +1,63 @@
+//! Accelerator simulation: evaluate LLaMA2-7B decode on the A100 baselines
+//! and the three LAD configurations across KV-cache lengths — a miniature of
+//! the paper's Fig. 7/9.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_sim
+//! ```
+
+use lad::accel::config::AccelConfig;
+use lad::accel::gpu::GpuBaseline;
+use lad::accel::perf::{evaluate_best_batch, Platform};
+use lad::accel::workload::workload_stats;
+use lad::model::config::ModelConfig;
+
+fn main() {
+    let model = ModelConfig::llama2_7b();
+    println!("accelerator simulation: {} decode\n", model.name);
+    println!(
+        "{:>6} {:>5} | {:>12} {:>12} {:>9} | {:>12} {:>12} {:>9}",
+        "kv len", "batch", "GPU attn t/s", "LAD attn t/s", "speedup",
+        "GPU e2e t/s", "LAD e2e t/s", "speedup"
+    );
+
+    for n in [512usize, 1024, 2048, 3072, 4096] {
+        let stats = workload_stats(n, 1);
+        let gpu = evaluate_best_batch(&Platform::Gpu(GpuBaseline::Vllm), &model, n, &stats);
+        let lad =
+            evaluate_best_batch(&Platform::Lad(AccelConfig::lad_3_5()), &model, n, &stats);
+        println!(
+            "{:>6} {:>5} | {:>12.0} {:>12.0} {:>8.1}x | {:>12.0} {:>12.0} {:>8.1}x",
+            n,
+            lad.batch,
+            gpu.attn_tokens_per_s,
+            lad.attn_tokens_per_s,
+            lad.attn_tokens_per_s / gpu.attn_tokens_per_s,
+            gpu.e2e_tokens_per_s,
+            lad.e2e_tokens_per_s,
+            lad.e2e_tokens_per_s / gpu.e2e_tokens_per_s,
+        );
+    }
+
+    println!("\nenergy at n=4096:");
+    let stats = workload_stats(4096, 1);
+    let gpu = evaluate_best_batch(&Platform::Gpu(GpuBaseline::Vllm), &model, 4096, &stats);
+    for cfg in AccelConfig::paper_configs() {
+        let lad = evaluate_best_batch(&Platform::Lad(cfg.clone()), &model, 4096, &stats);
+        let attn_eff = (lad.batch as f64 / lad.attn_energy_j)
+            / (gpu.batch as f64 / gpu.attn_energy_j);
+        let e2e_eff =
+            (lad.batch as f64 / lad.e2e_energy_j) / (gpu.batch as f64 / gpu.e2e_energy_j);
+        println!(
+            "  {:<8} attention energy efficiency {:>5.1}x, end-to-end {:>5.1}x \
+             (HBM {:.0}% / SRAM {:.0}% / compute {:.0}%)",
+            cfg.name,
+            attn_eff,
+            e2e_eff,
+            lad.energy.hbm_j / lad.energy.total() * 100.0,
+            lad.energy.sram_j / lad.energy.total() * 100.0,
+            lad.energy.compute_j / lad.energy.total() * 100.0,
+        );
+    }
+    println!("\npaper headline: 10.7x attention / 2.3x e2e speedup, 52.4x / 13.4x energy (group 2)");
+}

@@ -1,0 +1,88 @@
+//! Hardware pipeline: drive one attention head through the functional
+//! module models (EAS → APID → MD → AC, paper Sec. IV-B) and compare the
+//! hardware dataflow against the golden algorithmic model, then show the
+//! Fig. 6 end-to-end schedule of a full decode step.
+//!
+//! ```sh
+//! cargo run --release --example hardware_pipeline
+//! ```
+
+use lad::accel::config::AccelConfig;
+use lad::accel::modules::TileEngine;
+use lad::accel::schedule::{simulate_step, PeriodKind};
+use lad::accel::workload::workload_stats;
+use lad::core::kv::KvCache;
+use lad::core::reference;
+use lad::math::pwl::PwlExp;
+use lad::math::{vector, Rng};
+use lad::model::config::ModelConfig;
+
+fn main() {
+    // -- Part 1: the per-step module pipeline.
+    println!("== tile module pipeline (EAS -> APID -> MD -> AC) ==\n");
+    let d = 32;
+    let mut tile = TileEngine::new(d, PwlExp::accurate_default());
+    let mut shadow = KvCache::new(d);
+    let mut rng = Rng::new(0xacce1);
+    let dirs: Vec<Vec<f32>> = (0..6).map(|_| rng.normal_vec(d, 1.0)).collect();
+    let mut q = rng.normal_vec(d, 1.0);
+    let mut worst = 0.0f32;
+    for step in 0..160 {
+        for slot in q.iter_mut() {
+            *slot = 0.99 * *slot + 0.1 * rng.normal() as f32;
+        }
+        let mut k: Vec<f32> = dirs[step % 6]
+            .iter()
+            .map(|&x| x * (0.8 + 0.4 * rng.next_f32()))
+            .collect();
+        for slot in k.iter_mut() {
+            *slot += 0.03 * rng.normal() as f32;
+        }
+        let v = rng.normal_vec(d, 1.0);
+        shadow.push(k.clone(), v.clone());
+        let result = tile.step(&q, k, v);
+        let exact = reference::exact_attention(&q, &shadow);
+        worst = worst.max(vector::relative_l2(&result.output, &exact));
+        if (step + 1) % 40 == 0 {
+            let (eas, apid, md, ac) = result.stage_cycles;
+            println!(
+                "step {:>3}: n={:<3} |J|={:<3} |U|={} centers={:<3} \
+                 cycles EAS {eas} / APID {apid} / MD {md} / AC {ac} (bottleneck {})",
+                step + 1,
+                result.n,
+                result.active,
+                result.updates,
+                tile.centers().len(),
+                result.bottleneck_cycles()
+            );
+        }
+    }
+    println!("\nworst relative error vs exact attention: {worst:.4}");
+
+    // -- Part 2: the Fig. 6 schedule of one decode step.
+    println!("\n== end-to-end schedule of one decode step (LLaMA2-7B, n=2048, batch 8) ==\n");
+    let model = ModelConfig::llama2_7b();
+    let stats = workload_stats(2048, 1);
+    let timeline = simulate_step(&AccelConfig::lad_2_5(), &model, 2048, &stats, 8);
+    for p in timeline.periods.iter().take(6) {
+        println!(
+            "layer {:>2} {:<9} {:>8.2} us -> {:>8.2} us  ({:>6.1} KB HBM)",
+            p.layer,
+            match p.kind {
+                PeriodKind::Qkv => "QKV",
+                PeriodKind::Attention => "attention",
+                PeriodKind::Rest => "rest",
+            },
+            p.start * 1e6,
+            p.end * 1e6,
+            p.hbm_bytes / 1024.0
+        );
+    }
+    println!("... ({} periods total)", timeline.periods.len());
+    println!(
+        "\nstep latency {:.2} ms, attention share {:.1}%, prefetched {:.1} MB under QKV periods",
+        timeline.total_seconds * 1e3,
+        timeline.attention_share() * 100.0,
+        timeline.prefetch_bytes / 1e6
+    );
+}

@@ -1,0 +1,208 @@
+//! `lad-experiments` — run the paper's experiments from the command line and
+//! export machine-readable CSV tables.
+//!
+//! ```sh
+//! cargo run --release -p lad --bin lad-experiments -- throughput results/
+//! cargo run --release -p lad --bin lad-experiments -- all results/
+//! ```
+//!
+//! Subcommands: `locality`, `throughput`, `energy`, `fidelity`, `all`.
+//! The second argument is the output directory (default `results`).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use lad::accel::config::AccelConfig;
+use lad::accel::gpu::GpuBaseline;
+use lad::accel::perf::{evaluate_best_batch, Platform};
+use lad::accel::workload::{stability_for, workload_stats};
+use lad::core::decoder::LadConfig;
+use lad::core::locality::LocalityAnalyzer;
+use lad::eval::datasets::generation_benchmarks;
+use lad::eval::quality::generation_fidelity;
+use lad::eval::report::Table;
+use lad::model::backend::AttentionKind;
+use lad::model::config::ModelConfig;
+use lad::model::transformer::Model;
+use lad::trace::{ScoreTrace, TraceConfig};
+
+const KV_LENGTHS: [usize; 6] = [512, 1024, 2048, 2560, 3072, 4096];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let command = args.get(1).map(String::as_str).unwrap_or("all");
+    let out_dir = args.get(2).map(String::as_str).unwrap_or("results");
+    if let Err(err) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {out_dir}: {err}");
+        return ExitCode::FAILURE;
+    }
+    let out = Path::new(out_dir);
+    let result = match command {
+        "locality" => run_locality(out),
+        "throughput" => run_throughput(out),
+        "energy" => run_energy(out),
+        "fidelity" => run_fidelity(out),
+        "all" => run_locality(out)
+            .and_then(|()| run_throughput(out))
+            .and_then(|()| run_energy(out))
+            .and_then(|()| run_fidelity(out)),
+        other => {
+            eprintln!("unknown command `{other}`");
+            eprintln!("usage: lad-experiments [locality|throughput|energy|fidelity|all] [out-dir]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("experiment failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn save(table: &Table, out: &Path) -> std::io::Result<()> {
+    let path = out.join(format!("{}.csv", table.name()));
+    table.write_csv(&path)?;
+    println!("wrote {} ({} rows)", path.display(), table.len());
+    Ok(())
+}
+
+/// Fig. 2(b): top-1/top-2 interval probabilities per KV length.
+fn run_locality(out: &Path) -> std::io::Result<()> {
+    let mut table = Table::new("locality", &["kv_len", "top1", "top2", "adjacent"]);
+    for n in KV_LENGTHS {
+        let mut cfg = TraceConfig::calibrated(n - 96, 96);
+        cfg.stability = stability_for(n);
+        let pwl = cfg.pwl.clone();
+        let trace = ScoreTrace::generate(&cfg);
+        let mut analyzer = LocalityAnalyzer::new(pwl);
+        for row in trace.rows() {
+            analyzer.observe_step(row);
+        }
+        let report = analyzer.report(48);
+        table.push_row(vec![
+            n.to_string(),
+            format!("{:.4}", report.top1),
+            format!("{:.4}", report.top2),
+            format!("{:.4}", report.top2_adjacent),
+        ]);
+    }
+    save(&table, out)
+}
+
+fn platforms() -> Vec<Platform> {
+    vec![
+        Platform::Gpu(GpuBaseline::Vllm),
+        Platform::Gpu(GpuBaseline::Qserve),
+        Platform::Gpu(GpuBaseline::H2o),
+        Platform::Gpu(GpuBaseline::LadGpu),
+        Platform::Lad(AccelConfig::lad_1_5()),
+        Platform::Lad(AccelConfig::lad_2_5()),
+        Platform::Lad(AccelConfig::lad_3_5()),
+    ]
+}
+
+/// Fig. 7: attention and end-to-end throughput per platform.
+fn run_throughput(out: &Path) -> std::io::Result<()> {
+    let mut table = Table::new(
+        "throughput",
+        &["model", "kv_len", "platform", "batch", "attn_tok_s", "e2e_tok_s"],
+    );
+    sweep(|model, n, stats| {
+        for platform in platforms() {
+            if let Platform::Gpu(baseline) = &platform {
+                if !baseline.supports(model) {
+                    continue;
+                }
+            }
+            let r = evaluate_best_batch(&platform, model, n, stats);
+            table.push_row(vec![
+                model.name.clone(),
+                n.to_string(),
+                r.platform.clone(),
+                r.batch.to_string(),
+                format!("{:.1}", r.attn_tokens_per_s),
+                format!("{:.1}", r.e2e_tokens_per_s),
+            ]);
+        }
+    });
+    save(&table, out)
+}
+
+/// Fig. 9/10: energy per token and LAD energy breakdown.
+fn run_energy(out: &Path) -> std::io::Result<()> {
+    let mut table = Table::new(
+        "energy",
+        &[
+            "model", "kv_len", "platform", "attn_j_per_tok", "e2e_j_per_tok",
+            "hbm_j", "sram_j", "compute_j",
+        ],
+    );
+    sweep(|model, n, stats| {
+        for platform in platforms() {
+            if let Platform::Gpu(baseline) = &platform {
+                if !baseline.supports(model) {
+                    continue;
+                }
+            }
+            let r = evaluate_best_batch(&platform, model, n, stats);
+            table.push_row(vec![
+                model.name.clone(),
+                n.to_string(),
+                r.platform.clone(),
+                format!("{:.6}", r.attn_energy_j / r.batch as f64),
+                format!("{:.6}", r.e2e_energy_j / r.batch as f64),
+                format!("{:.6}", r.energy.hbm_j),
+                format!("{:.6}", r.energy.sram_j),
+                format!("{:.6}", r.energy.compute_j),
+            ]);
+        }
+    });
+    save(&table, out)
+}
+
+fn sweep(mut f: impl FnMut(&ModelConfig, usize, &lad::core::stats::StatsSummary)) {
+    for model in ModelConfig::paper_models() {
+        for n in KV_LENGTHS {
+            if n <= model.max_seq {
+                let stats = workload_stats(n, 0x1ad);
+                f(&model, n, &stats);
+            }
+        }
+    }
+}
+
+/// Table I: generation fidelity of each backend vs the original model.
+fn run_fidelity(out: &Path) -> std::io::Result<()> {
+    let mut table = Table::new(
+        "fidelity",
+        &["family", "dataset", "backend", "rouge1", "rouge2", "rougeL", "rougeLsum"],
+    );
+    let models = [
+        ("OPT-style", Model::random(ModelConfig::tiny_opt("opt-mini", 2, 64, 4), 301)),
+        ("LLaMA-style", Model::random(ModelConfig::tiny("llama-mini", 2, 64, 4), 302)),
+    ];
+    for (family, model) in &models {
+        for bench in generation_benchmarks(model.config().vocab as u32, 4, 77) {
+            let backends: Vec<(&str, AttentionKind)> = vec![
+                ("LAD", AttentionKind::Lad(LadConfig::default())),
+                ("Qserve-KV4", AttentionKind::QserveKv4),
+                ("H2O", AttentionKind::h2o_default()),
+            ];
+            for (name, kind) in backends {
+                let scores = generation_fidelity(model, &kind, &bench);
+                table.push_row(vec![
+                    family.to_string(),
+                    bench.name.clone(),
+                    name.to_string(),
+                    format!("{:.4}", scores.rouge1),
+                    format!("{:.4}", scores.rouge2),
+                    format!("{:.4}", scores.rouge_l),
+                    format!("{:.4}", scores.rouge_lsum),
+                ]);
+            }
+        }
+    }
+    save(&table, out)
+}

@@ -1,0 +1,103 @@
+//! Cross-crate integration: trace generation → statistics → accelerator
+//! evaluation reproduces the paper's performance story (Figs. 7–10).
+
+use lad::accel::config::AccelConfig;
+use lad::accel::gpu::GpuBaseline;
+use lad::accel::perf::{evaluate, evaluate_best_batch, Platform};
+use lad::accel::workload::workload_stats;
+use lad::model::config::ModelConfig;
+
+#[test]
+fn attention_speedup_grows_with_kv_length() {
+    // Fig. 7(a): LAD's advantage over the GPU grows as the KV cache grows.
+    let model = ModelConfig::llama2_7b();
+    let mut last = 0.0;
+    for n in [512usize, 1024, 2048, 4096] {
+        let stats = workload_stats(n, 3);
+        let gpu = evaluate_best_batch(&Platform::Gpu(GpuBaseline::Vllm), &model, n, &stats);
+        let lad = evaluate_best_batch(&Platform::Lad(AccelConfig::lad_2_5()), &model, n, &stats);
+        let speedup = lad.attn_tokens_per_s / gpu.attn_tokens_per_s;
+        assert!(speedup > last, "speedup fell at n={n}: {speedup} <= {last}");
+        last = speedup;
+    }
+    assert!(last > 5.0, "final speedup {last}");
+}
+
+#[test]
+fn config_ordering_holds_in_group2() {
+    // Fig. 7: more SRAM never hurts, and helps most at long KV lengths.
+    let model = ModelConfig::llama2_7b();
+    let n = 4096;
+    let stats = workload_stats(n, 3);
+    let mut last = 0.0;
+    for cfg in AccelConfig::paper_configs() {
+        let r = evaluate_best_batch(&Platform::Lad(cfg), &model, n, &stats);
+        assert!(
+            r.attn_tokens_per_s >= last,
+            "throughput fell with more SRAM"
+        );
+        last = r.attn_tokens_per_s;
+    }
+}
+
+#[test]
+fn lad_latency_below_ideal_and_attention_share_stays_flat() {
+    // Fig. 8 (right): LAD is faster than the ideal accelerator, and its
+    // attention share barely grows with KV length while the ideal's surges.
+    let model = ModelConfig::llama2_13b();
+    let cfg = AccelConfig::lad_3_5();
+    let share = |r: &lad::accel::PerfResult| r.attn_seconds / r.e2e_seconds;
+    let mut lad_shares = Vec::new();
+    let mut ideal_shares = Vec::new();
+    for n in [512usize, 4096] {
+        let stats = workload_stats(n, 3);
+        let ideal = evaluate(&Platform::Ideal(cfg.clone()), &model, n, &stats, 4);
+        let lad = evaluate(&Platform::Lad(cfg.clone()), &model, n, &stats, 4);
+        assert!(lad.e2e_seconds < ideal.e2e_seconds, "LAD not below ideal at n={n}");
+        lad_shares.push(share(&lad));
+        ideal_shares.push(share(&ideal));
+    }
+    let lad_growth = lad_shares[1] - lad_shares[0];
+    let ideal_growth = ideal_shares[1] - ideal_shares[0];
+    assert!(
+        lad_growth < ideal_growth / 2.0,
+        "LAD share grew {lad_growth:.3} vs ideal {ideal_growth:.3}"
+    );
+    // Paper: +3 % for LLaMA2-13B on LAD-3.5 from 512 to 4096.
+    assert!(lad_growth < 0.10, "LAD attention share grew {lad_growth:.3}");
+}
+
+#[test]
+fn energy_story_holds_across_models() {
+    // Fig. 9: every paper model enjoys order-of-magnitude attention energy
+    // efficiency at its longest supported length.
+    for model in ModelConfig::paper_models() {
+        let n = model.max_seq;
+        let stats = workload_stats(n, 3);
+        let gpu = evaluate_best_batch(&Platform::Gpu(GpuBaseline::Vllm), &model, n, &stats);
+        let lad = evaluate_best_batch(&Platform::Lad(AccelConfig::lad_2_5()), &model, n, &stats);
+        let gpu_eff = gpu.batch as f64 / gpu.attn_energy_j;
+        let lad_eff = lad.batch as f64 / lad.attn_energy_j;
+        assert!(
+            lad_eff / gpu_eff > 8.0,
+            "{}: attention energy efficiency only {:.1}x",
+            model.name,
+            lad_eff / gpu_eff
+        );
+    }
+}
+
+#[test]
+fn hbm_breakdown_shrinks_relative_to_dense() {
+    // Fig. 8 (left): LAD's total attention traffic relative to dense access
+    // shrinks as the KV cache grows.
+    use lad::accel::AttentionTraffic;
+    let d = 128;
+    let rel = |n: usize| {
+        let stats = workload_stats(n, 3);
+        let t = AttentionTraffic::from_stats(&stats, n, d, 17, 0.0);
+        t.total_bytes() / AttentionTraffic::dense_bytes(n, d)
+    };
+    assert!(rel(4096) < rel(1024));
+    assert!(rel(4096) < 0.25, "relative traffic {}", rel(4096));
+}
