@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, then the tier-1 gate (release build + tests).
+# Mirrors .github/workflows/ci.yml so a green run here means a green PR.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "== workspace tests"
+cargo test --workspace --release -q
+
+echo "CI green."

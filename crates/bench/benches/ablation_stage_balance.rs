@@ -43,7 +43,16 @@ fn main() {
         ]);
     }
     print_table(
-        &["kv len", "EAS", "APID", "MD", "AC", "stage1 (HBM)", "stage4 (HBM)", "bottleneck"],
+        &[
+            "kv len",
+            "EAS",
+            "APID",
+            "MD",
+            "AC",
+            "stage1 (HBM)",
+            "stage4 (HBM)",
+            "bottleneck",
+        ],
         &rows,
     );
 
@@ -60,6 +69,9 @@ fn main() {
             format!("{:.0}", period.bottleneck_cycles),
         ]);
     }
-    print_table(&["tiles", "attention period (us)", "bottleneck (cycles/hs)"], &rows);
+    print_table(
+        &["tiles", "attention period (us)", "bottleneck (cycles/hs)"],
+        &rows,
+    );
     println!("\npaper: 6 tiles balance per-tile bandwidth against Eq.7 compute");
 }

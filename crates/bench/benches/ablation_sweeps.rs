@@ -9,12 +9,12 @@
 use lad_accel::config::AccelConfig;
 use lad_accel::pipeline::attention_period;
 use lad_accel::workload::workload_stats;
+use lad_bench::{print_table, section};
 use lad_core::decoder::{LadAttention, LadConfig};
 use lad_core::kv::KvCache;
 use lad_core::reference;
 use lad_math::pwl::PwlExp;
 use lad_math::{vector, Rng};
-use lad_bench::{print_table, section};
 
 /// Runs a LAD head over a clustered-key stream and reports mean relative
 /// error vs exact attention plus the center count.
@@ -31,20 +31,27 @@ fn run_quality(cfg: LadConfig, steps: usize, seed: u64) -> (f64, usize, f64) {
         let q = rng.normal_vec(d, 1.0);
         // Keys cluster around a few directions with small perturbations.
         let base = &dirs[i % dirs.len()];
-        let mut k: Vec<f32> = base.iter().map(|&x| x * (0.8 + 0.4 * rng.next_f32())).collect();
+        let mut k: Vec<f32> = base
+            .iter()
+            .map(|&x| x * (0.8 + 0.4 * rng.next_f32()))
+            .collect();
         for slot in k.iter_mut() {
             *slot += 0.05 * rng.normal() as f32;
         }
         let v = rng.normal_vec(d, 1.0);
-        shadow.push(k.clone(), v.clone());
-        let out = head.step(&q, k, v);
+        shadow.push(&k, &v);
+        let out = head.step(&q, &k, &v);
         let exact = reference::exact_attention(&q, &shadow);
         err_sum += f64::from(vector::relative_l2(&out.output, &exact));
         fn_sum += out.stats.false_negatives;
         cached_sum += out.stats.n.saturating_sub(out.stats.window);
     }
     let fn_rate = fn_sum as f64 / cached_sum.max(1) as f64;
-    (err_sum / steps as f64, head.centers().centers().len(), fn_rate)
+    (
+        err_sum / steps as f64,
+        head.centers().centers().len(),
+        fn_rate,
+    )
 }
 
 fn main() {
@@ -63,7 +70,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["threshold", "mean rel err vs exact", "centers", "false-negative rate"],
+        &[
+            "threshold",
+            "mean rel err vs exact",
+            "centers",
+            "false-negative rate",
+        ],
         &rows,
     );
     println!("(paper: 0.98 is the empirical accuracy/traffic sweet spot)");
@@ -82,7 +94,10 @@ fn main() {
             format!("{err:.4}"),
         ]);
     }
-    print_table(&["intervals", "exp PWL mse", "mean rel err vs exact"], &rows);
+    print_table(
+        &["intervals", "exp PWL mse", "mean rel err vs exact"],
+        &rows,
+    );
 
     section("ablation: latest-window size (Sec. III-E)");
     let mut rows = Vec::new();
@@ -97,7 +112,10 @@ fn main() {
             format!("{:.2}%", fn_rate * 100.0),
         ]);
     }
-    print_table(&["window", "mean rel err vs exact", "false-negative rate"], &rows);
+    print_table(
+        &["window", "mean rel err vs exact", "false-negative rate"],
+        &rows,
+    );
 
     section("ablation: prefetch on/off (Sec. IV-D), LLaMA2-7B grid, LAD-2.5");
     let mut rows = Vec::new();
@@ -114,7 +132,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["kv len", "prefetch on (us)", "prefetch off (us)", "slowdown w/o"],
+        &[
+            "kv len",
+            "prefetch on (us)",
+            "prefetch off (us)",
+            "slowdown w/o",
+        ],
         &rows,
     );
 }

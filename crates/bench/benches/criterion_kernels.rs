@@ -20,7 +20,7 @@ fn prepared_head(n: usize) -> (LadAttention, Vec<f32>, Vec<f32>, Vec<f32>) {
         let q = rng.normal_vec(DIM, 1.0);
         let k = rng.normal_vec(DIM, 1.0);
         let v = rng.normal_vec(DIM, 1.0);
-        head.step(&q, k, v);
+        head.step(&q, &k, &v);
     }
     (
         head,
@@ -34,7 +34,7 @@ fn prepared_kv(n: usize) -> (KvCache, Vec<f32>) {
     let mut rng = Rng::new(1);
     let mut kv = KvCache::new(DIM);
     for _ in 0..n {
-        kv.push(rng.normal_vec(DIM, 1.0), rng.normal_vec(DIM, 1.0));
+        kv.push(&rng.normal_vec(DIM, 1.0), &rng.normal_vec(DIM, 1.0));
     }
     (kv, rng.normal_vec(DIM, 1.0))
 }
@@ -46,7 +46,7 @@ fn bench_attention_step(c: &mut Criterion) {
             let (head, q, k, v) = prepared_head(n);
             b.iter_batched(
                 || (head.clone(), q.clone(), k.clone(), v.clone()),
-                |(mut head, q, k, v)| black_box(head.step(&q, k, v)),
+                |(mut head, q, k, v)| black_box(head.step(&q, &k, &v)),
                 criterion::BatchSize::LargeInput,
             );
         });

@@ -46,7 +46,10 @@ fn main() {
         let headers: Vec<String> = std::iter::once("test case".to_string())
             .chain(configs.iter().map(|c| c.name.clone()))
             .collect();
-        print_table(&headers.iter().map(String::as_str).collect::<Vec<_>>(), &rows);
+        print_table(
+            &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+            &rows,
+        );
     }
 
     // The paper's SRAM-size observation, made explicit.
@@ -57,7 +60,13 @@ fn main() {
         .expect("sweep covers LLaMA2-7B at 4096");
     let mut rows = Vec::new();
     for cfg in &configs {
-        let r = evaluate(&Platform::Lad(cfg.clone()), &point.model, point.n, &point.stats, batch);
+        let r = evaluate(
+            &Platform::Lad(cfg.clone()),
+            &point.model,
+            point.n,
+            &point.stats,
+            batch,
+        );
         rows.push(vec![
             cfg.name.clone(),
             format!("{:.2} mJ", r.attn_energy.hbm_j * 1e3),

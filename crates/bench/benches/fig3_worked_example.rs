@@ -31,8 +31,8 @@ fn main() {
         let q = rng.normal_vec(d, 1.0);
         let k = rng.normal_vec(d, 1.0);
         let v = rng.normal_vec(d, 1.0);
-        shadow.push(k.clone(), v.clone());
-        let out = head.step(&q, k, v);
+        shadow.push(&k, &v);
+        let out = head.step(&q, &k, &v);
         let direct = reference::pwl_attention(&q, &shadow, &pwl);
         let exact = reference::exact_attention(&q, &shadow);
         let vs_pwl = vector::relative_l2(&out.output, &direct);

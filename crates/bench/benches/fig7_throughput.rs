@@ -23,11 +23,15 @@ fn main() {
     ];
     let points = sweep_points();
 
-    for (title, attn) in [("Fig.7(a): attention-layer", true), ("Fig.7(b): end-to-end", false)] {
+    for (title, attn) in [
+        ("Fig.7(a): attention-layer", true),
+        ("Fig.7(b): end-to-end", false),
+    ] {
         section(&format!("{title} decoding throughput (tokens/s)"));
         let mut rows = Vec::new();
         // speedups[platform] -> (group1 ratios, group2 ratios)
-        let mut speedups: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); platforms.len()];
+        let mut speedups: Vec<(Vec<f64>, Vec<f64>)> =
+            vec![(Vec::new(), Vec::new()); platforms.len()];
         for point in &points {
             let mut cells = vec![format!("{} n={}", point.model.name, point.n)];
             let vllm = evaluate_best_batch(
@@ -78,7 +82,10 @@ fn main() {
                 ratio(geomean(g2)),
             ]);
         }
-        print_table(&["platform", "group 1 (512-2048)", "group 2 (2560-4096)"], &summary);
+        print_table(
+            &["platform", "group 1 (512-2048)", "group 2 (2560-4096)"],
+            &summary,
+        );
     }
     println!("\npaper: attention 5.8-6.2x (g1), 7.1-10.7x (g2); e2e 1.6-1.7x (g1), 2.2-2.3x (g2)");
 }

@@ -24,9 +24,18 @@ fn main() {
     for point in &points {
         let d = point.model.head_dim();
         let dense = AttentionTraffic::dense_bytes(point.n, d);
-        let mut cells = vec![format!("{} n={}", point.model.name, point.n), "100% dense".to_string()];
+        let mut cells = vec![
+            format!("{} n={}", point.model.name, point.n),
+            "100% dense".to_string(),
+        ];
         for cfg in &configs {
-            let r = evaluate(&Platform::Lad(cfg.clone()), &point.model, point.n, &point.stats, batch);
+            let r = evaluate(
+                &Platform::Lad(cfg.clone()),
+                &point.model,
+                point.n,
+                &point.stats,
+                batch,
+            );
             let (c, a, o) = r.hbm_breakdown;
             // Per-head-sample traffic relative to the dense access.
             let total =
@@ -47,7 +56,10 @@ fn main() {
         .map(|s| s.to_string())
         .chain(configs.iter().map(|c| c.name.clone()))
         .collect();
-    print_table(&headers.iter().map(String::as_str).collect::<Vec<_>>(), &rows);
+    print_table(
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+        &rows,
+    );
 
     section("Fig.8 (right): end-to-end latency breakdown (attention share, LAD vs ideal ratio)");
     let mut rows = Vec::new();
@@ -65,7 +77,13 @@ fn main() {
             format!("attn {}", pct(ideal.attn_seconds / ideal.e2e_seconds)),
         ];
         for (i, cfg) in configs.iter().enumerate() {
-            let lad = evaluate(&Platform::Lad(cfg.clone()), &point.model, point.n, &point.stats, batch);
+            let lad = evaluate(
+                &Platform::Lad(cfg.clone()),
+                &point.model,
+                point.n,
+                &point.stats,
+                batch,
+            );
             let ratio = lad.e2e_seconds / ideal.e2e_seconds;
             cells.push(format!(
                 "attn {} ({:.2}x ideal)",
@@ -81,7 +99,10 @@ fn main() {
         }
         rows.push(cells);
     }
-    print_table(&headers.iter().map(String::as_str).collect::<Vec<_>>(), &rows);
+    print_table(
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+        &rows,
+    );
 
     println!("\nmean latency ratio vs ideal:");
     let mut summary = Vec::new();

@@ -68,12 +68,19 @@ fn main() {
         }
         let mut headers = vec!["test case".to_string()];
         headers.extend(platforms.iter().map(|p| p.name()));
-        print_table(&headers.iter().map(String::as_str).collect::<Vec<_>>(), &rows);
+        print_table(
+            &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+            &rows,
+        );
 
         println!("\ngeomean energy-efficiency gain over vLLM-GPU:");
         let mut summary = Vec::new();
         for (platform, (g1, g2)) in platforms.iter().zip(&gains) {
-            summary.push(vec![platform.name(), ratio(geomean(g1)), ratio(geomean(g2))]);
+            summary.push(vec![
+                platform.name(),
+                ratio(geomean(g1)),
+                ratio(geomean(g2)),
+            ]);
         }
         print_table(&["platform", "group 1", "group 2"], &summary);
     }

@@ -23,7 +23,11 @@ fn main() {
     for cfg in AccelConfig::paper_configs() {
         let sram = sram_module(cfg.tile.sram_bytes);
         rows.push(vec![
-            format!("SRAM in {} ({:.1} MB)", cfg.name, cfg.tile.sram_bytes as f64 / MIB as f64),
+            format!(
+                "SRAM in {} ({:.1} MB)",
+                cfg.name,
+                cfg.tile.sram_bytes as f64 / MIB as f64
+            ),
             format!("{:.3}", sram.area_mm2),
             format!("{:.2}", sram.dynamic_w * 1e3),
             format!("{:.2}", sram.static_w * 1e3),

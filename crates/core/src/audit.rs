@@ -91,11 +91,11 @@ pub fn audit_stream(cfg: &LadConfig, stream: &[QkvTriple]) -> AuditReport {
     let mut pwl_err = 0.0f64;
 
     for (q, k, v) in stream {
-        shadow.push(k.clone(), v.clone());
+        shadow.push(k, v);
         let exact = reference::exact_attention(q, &shadow);
 
-        let a = approx.step(q, k.clone(), v.clone());
-        let o = oracle.step(q, k.clone(), v.clone());
+        let a = approx.step(q, k, v);
+        let o = oracle.step(q, k, v);
 
         report.steps += 1;
         report.cached_checks += a.stats.n - a.stats.window;
@@ -182,8 +182,16 @@ mod tests {
         );
         // The oracle error is the PWL floor; approx can only be worse.
         assert!(report.mean_output_error >= report.mean_pwl_error - 1e-9);
-        assert!(report.mean_pwl_error < 0.02, "pwl floor {}", report.mean_pwl_error);
-        assert!(report.mean_output_error < 0.05, "output {}", report.mean_output_error);
+        assert!(
+            report.mean_pwl_error < 0.02,
+            "pwl floor {}",
+            report.mean_pwl_error
+        );
+        assert!(
+            report.mean_output_error < 0.05,
+            "output {}",
+            report.mean_output_error
+        );
     }
 
     #[test]

@@ -123,8 +123,23 @@ impl IntermediateCache {
     ///
     /// Panics if `q_scaled.len() != dim`.
     pub fn evaluate(&self, q_scaled: &[f32], m: f64) -> (Vec<f64>, f64) {
-        assert_eq!(q_scaled.len(), self.dim, "cache: query dim mismatch");
         let mut num = vec![0.0f64; self.dim];
+        let den = self.evaluate_into(q_scaled, m, &mut num);
+        (num, den)
+    }
+
+    /// Allocation-free variant of [`IntermediateCache::evaluate`]: writes the
+    /// numerator into `num` (resized/zeroed as needed, so a reused scratch
+    /// buffer never re-allocates after the first step) and returns the
+    /// denominator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_scaled.len() != dim`.
+    pub fn evaluate_into(&self, q_scaled: &[f32], m: f64, num: &mut Vec<f64>) -> f64 {
+        assert_eq!(q_scaled.len(), self.dim, "cache: query dim mismatch");
+        num.clear();
+        num.resize(self.dim, 0.0);
         for (r, &qr) in q_scaled.iter().enumerate() {
             let qr = f64::from(qr);
             if qr != 0.0 {
@@ -141,7 +156,7 @@ impl IntermediateCache {
         for (&qr, &dd) in q_scaled.iter().zip(&self.d) {
             den += f64::from(qr) * dd;
         }
-        (num, den)
+        den
     }
 
     /// The `A` cache as a matrix (for diagnostics and tests).
@@ -171,10 +186,7 @@ mod tests {
 
     /// Recomputes the caches from scratch and compares with the maintained
     /// ones — the fundamental consistency invariant.
-    fn rebuild(
-        dim: usize,
-        entries: &[(f64, f64, Vec<f32>, Vec<f32>)],
-    ) -> IntermediateCache {
+    fn rebuild(dim: usize, entries: &[(f64, f64, Vec<f32>, Vec<f32>)]) -> IntermediateCache {
         let mut cache = IntermediateCache::new(dim);
         for (a, b, k, v) in entries {
             cache.insert(*a, *b, k, v);

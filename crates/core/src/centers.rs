@@ -11,6 +11,7 @@
 //! — only the scalar arrays `cid`, `norm`, `dnorm` (part of the hardware's
 //! `G` tensor).
 
+use crate::kv::KeyLookup;
 use lad_math::vector;
 
 /// The paper's empirical collinearity threshold.
@@ -109,15 +110,15 @@ impl CenterBook {
     ///
     /// # Panics
     ///
-    /// Panics if `keys.len() != self.len() + 1`.
-    pub fn add_key(&mut self, keys: &[Vec<f32>]) {
+    /// Panics if `keys.num_keys() != self.len() + 1`.
+    pub fn add_key(&mut self, keys: &(impl KeyLookup + ?Sized)) {
         assert_eq!(
-            keys.len(),
+            keys.num_keys(),
             self.len() + 1,
             "add_key: keys must contain exactly one unregistered key"
         );
         let n = self.len();
-        let new_key = &keys[n];
+        let new_key = keys.key_at(n);
         let new_norm = f64::from(vector::norm(new_key));
         self.norm.push(new_norm);
 
@@ -129,7 +130,8 @@ impl CenterBook {
                 if center_norm == 0.0 {
                     continue;
                 }
-                let cos = f64::from(vector::dot(new_key, &keys[c])) / (new_norm * center_norm);
+                let cos =
+                    f64::from(vector::dot(new_key, keys.key_at(c))) / (new_norm * center_norm);
                 if cos.abs() > max_cos.abs() {
                     max_cos = cos;
                     max_pos = c;
@@ -164,10 +166,14 @@ impl CenterBook {
     /// Computes the exact scores of the center keys only:
     /// `q_scaled · k_c` for each center `c`. This is EAS.1's traffic — the
     /// only key reads the identification pass needs.
-    pub fn score_centers(&self, q_scaled: &[f32], keys: &[Vec<f32>]) -> Vec<(usize, f64)> {
+    pub fn score_centers(
+        &self,
+        q_scaled: &[f32],
+        keys: &(impl KeyLookup + ?Sized),
+    ) -> Vec<(usize, f64)> {
         self.centers
             .iter()
-            .map(|&c| (c, f64::from(vector::dot(q_scaled, &keys[c]))))
+            .map(|&c| (c, f64::from(vector::dot(q_scaled, keys.key_at(c)))))
             .collect()
     }
 }
@@ -187,7 +193,7 @@ mod tests {
     #[test]
     fn first_key_is_its_own_center() {
         let mut book = CenterBook::new(0.98);
-        book.add_key(&[vec![3.0, 4.0]]);
+        book.add_key(&[vec![3.0, 4.0]][..]);
         assert_eq!(book.centers(), &[0]);
         assert_eq!(book.cid(0), 0);
         assert_eq!(book.dnorm(0), 1.0);
@@ -276,6 +282,6 @@ mod tests {
     #[should_panic(expected = "exactly one unregistered key")]
     fn add_key_requires_incremental_feed() {
         let mut book = CenterBook::new(0.98);
-        book.add_key(&[vec![1.0], vec![2.0]]);
+        book.add_key(&[vec![1.0], vec![2.0]][..]);
     }
 }

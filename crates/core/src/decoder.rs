@@ -39,6 +39,10 @@ use lad_math::vector;
 /// positions from intermediate caches", Sec. III-E).
 pub const DEFAULT_WINDOW: usize = 16;
 
+/// Smallest PWL denominator accepted before the step falls back to exact
+/// window-only softmax (see `StepStats::den_fallbacks`).
+const DEN_EPSILON: f64 = 1e-12;
+
 /// How attention-score intervals are identified.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Identification {
@@ -120,7 +124,7 @@ pub struct StepOutput {
 /// use lad_math::pwl::PwlExp;
 ///
 /// let mut head = LadAttention::new(8, LadConfig::new(PwlExp::accurate_default()));
-/// let out = head.step(&[0.1; 8], vec![0.2; 8], vec![0.3; 8]);
+/// let out = head.step(&[0.1; 8], &[0.2; 8], &[0.3; 8]);
 /// assert_eq!(out.output.len(), 8);
 /// assert_eq!(head.kv().len(), 1);
 /// ```
@@ -135,6 +139,22 @@ pub struct LadAttention {
     /// caches; `None` while still inside the latest window.
     cached_mode: Vec<Option<usize>>,
     prev_active: HashSet<usize>,
+    scratch: StepScratch,
+}
+
+/// Reusable per-step working memory. Every buffer is cleared and refilled
+/// each step, so after warm-up the hot path performs no heap allocation
+/// beyond the returned output vector and amortised arena growth.
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    q_scaled: Vec<f32>,
+    scores: Vec<f64>,
+    exact: Vec<bool>,
+    by_pos: Vec<f64>,
+    num: Vec<f64>,
+    active: Vec<usize>,
+    corrected: Vec<bool>,
+    next_active: HashSet<usize>,
 }
 
 impl LadAttention {
@@ -153,6 +173,7 @@ impl LadAttention {
             cache: IntermediateCache::new(dim),
             cached_mode: Vec::new(),
             prev_active: HashSet::new(),
+            scratch: StepScratch::default(),
             cfg,
         }
     }
@@ -197,10 +218,13 @@ impl LadAttention {
     /// Executes one decoding step: appends `(key, value)` to the KV cache and
     /// computes the attention output for `query`.
     ///
+    /// The per-step working memory lives in a reusable scratch, so after
+    /// warm-up the hot path's only allocation is the returned output vector.
+    ///
     /// # Panics
     ///
-    /// Panics if any vector length differs from the head dimension.
-    pub fn step(&mut self, query: &[f32], key: Vec<f32>, value: Vec<f32>) -> StepOutput {
+    /// Panics if any slice length differs from the head dimension.
+    pub fn step(&mut self, query: &[f32], key: &[f32], value: &[f32]) -> StepOutput {
         let d = self.kv.dim();
         assert_eq!(query.len(), d, "step: query dim mismatch");
 
@@ -208,36 +232,47 @@ impl LadAttention {
         self.kv.push(key, value);
         self.tracker.push_position();
         self.cached_mode.push(None);
-        self.centers.add_key(self.kv.keys());
+        self.centers.add_key(&self.kv.keys());
         let n = self.kv.len();
 
-        let q_scaled = crate::reference::scale_query(query);
+        // Detach the scratch so its buffers can be borrowed alongside the
+        // other fields; reattached (capacity intact) before returning.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let scale = 1.0 / (d as f32).sqrt();
+        scratch.q_scaled.clear();
+        scratch.q_scaled.extend(query.iter().map(|&x| x * scale));
+        let q_scaled = &scratch.q_scaled;
 
         // -- Stage 1-2: attention scores for identification.
-        let mut scores = vec![0.0f64; n];
-        let mut exact = vec![false; n]; // which scores are exact
+        scratch.scores.clear();
+        scratch.scores.resize(n, 0.0);
+        scratch.exact.clear();
+        scratch.exact.resize(n, false); // which scores are exact
+        let scores = &mut scratch.scores;
+        let exact = &mut scratch.exact;
         let mut large_mode_exact = 0usize;
 
         match self.cfg.identification {
             Identification::Oracle => {
                 for i in 0..n {
-                    scores[i] = f64::from(vector::dot(&q_scaled, self.kv.key(i)));
+                    scores[i] = f64::from(vector::dot(q_scaled, self.kv.key(i)));
                     exact[i] = true;
                 }
             }
             Identification::Approximate => {
                 // EAS.1: exact scores of directional centers only.
-                let center_scores = self.centers.score_centers(&q_scaled, self.kv.keys());
-                let mut by_pos = vec![0.0f64; n];
-                for &(c, s) in &center_scores {
-                    by_pos[c] = s;
+                scratch.by_pos.clear();
+                scratch.by_pos.resize(n, 0.0);
+                for &c in self.centers.centers() {
+                    let s = f64::from(vector::dot(q_scaled, self.kv.key(c)));
+                    scratch.by_pos[c] = s;
                     scores[c] = s;
                     exact[c] = true;
                 }
                 // EAS.2: rescale via dnorm.
                 for i in 0..n {
                     if !exact[i] {
-                        scores[i] = by_pos[self.centers.cid(i)] * self.centers.dnorm(i);
+                        scores[i] = scratch.by_pos[self.centers.cid(i)] * self.centers.dnorm(i);
                     }
                 }
                 // EAS.3: exact scores for large-mode cached positions.
@@ -247,7 +282,7 @@ impl LadAttention {
                             && self.cached_mode[i].is_some()
                             && self.tracker.mode(i) >= self.cfg.large_mode_min_index
                         {
-                            scores[i] = f64::from(vector::dot(&q_scaled, self.kv.key(i)));
+                            scores[i] = f64::from(vector::dot(q_scaled, self.kv.key(i)));
                             exact[i] = true;
                             large_mode_exact += 1;
                         }
@@ -257,7 +292,7 @@ impl LadAttention {
                 // module computes their exact scores.
                 for i in 0..n {
                     if !exact[i] && self.cached_mode[i].is_none() {
-                        scores[i] = f64::from(vector::dot(&q_scaled, self.kv.key(i)));
+                        scores[i] = f64::from(vector::dot(q_scaled, self.kv.key(i)));
                         exact[i] = true;
                     }
                 }
@@ -267,33 +302,35 @@ impl LadAttention {
         let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
 
         // -- APID: identify active cached positions.
-        let mut active: Vec<usize> = Vec::new();
+        scratch.active.clear();
         for (i, &score) in scores.iter().enumerate() {
             if self.cached_mode[i].is_some() {
                 let mode = self.tracker.mode(i);
                 let (lo, hi) = self.cfg.pwl.interval_bounds(mode);
                 let shifted = score - m;
                 if shifted < lo || shifted > hi {
-                    active.push(i);
+                    scratch.active.push(i);
                 }
             }
         }
 
         // -- AC.1/AC.2: mode-based numerator and denominator from the caches.
-        let (mut num, mut den) = self.cache.evaluate(&q_scaled, m);
+        let mut den = self.cache.evaluate_into(q_scaled, m, &mut scratch.num);
+        let num = &mut scratch.num;
 
         // -- MD + AC.3: correction computations for active positions.
         let mut mode_updates = 0usize;
         let mut new_active = 0usize;
-        let mut next_active: HashSet<usize> = HashSet::with_capacity(active.len());
-        let mut corrected: HashSet<usize> = HashSet::with_capacity(active.len());
-        for &j in &active {
+        scratch.next_active.clear();
+        scratch.corrected.clear();
+        scratch.corrected.resize(n, false);
+        for &j in &scratch.active {
             // The MD module computes the *accurate* score for active
             // positions (reads the key from the KV cache).
             let s_exact = if exact[j] {
                 scores[j]
             } else {
-                f64::from(vector::dot(&q_scaled, self.kv.key(j)))
+                f64::from(vector::dot(q_scaled, self.kv.key(j)))
             };
             let shifted = s_exact - m;
             let id = self.cfg.pwl.interval_of(shifted);
@@ -310,11 +347,11 @@ impl LadAttention {
                 }
                 den += cf;
             }
-            corrected.insert(j);
+            scratch.corrected[j] = true;
             if !self.prev_active.contains(&j) {
                 new_active += 1;
             }
-            next_active.insert(j);
+            scratch.next_active.insert(j);
             // Counter maintenance for active positions uses the true interval.
             let changed = self.tracker.record(j, id);
             if changed {
@@ -341,23 +378,51 @@ impl LadAttention {
                     den += w;
                 }
                 self.tracker.record(i, id);
-            } else if !corrected.contains(&i) {
+            } else if !scratch.corrected[i] {
                 // Non-active cached position: APID increments its mode
                 // counter without knowing the true interval.
                 self.tracker.record_mode_hit(i);
             }
         }
 
-        let output: Vec<f32> = num.iter().map(|&x| (x / den) as f32).collect();
+        // -- Degenerate-denominator guard: the PWL weights can go negative
+        // (the least-squares fit dips below zero near interval edges), so
+        // `den` can vanish or flip sign on adversarial partitions/streams.
+        // Fall back to exact softmax over the window positions — always
+        // non-empty (the newest position is one) and finite by construction.
+        let mut den_fallbacks = 0usize;
+        let output: Vec<f32> = if den.is_finite() && den > DEN_EPSILON {
+            num.iter().map(|&x| (x / den) as f32).collect()
+        } else {
+            den_fallbacks = 1;
+            let mut m_w = f64::NEG_INFINITY;
+            for (i, &score) in scores.iter().enumerate() {
+                if self.cached_mode[i].is_none() {
+                    m_w = m_w.max(score);
+                }
+            }
+            num.clear();
+            num.resize(d, 0.0);
+            let mut w_den = 0.0f64;
+            for (i, &score) in scores.iter().enumerate() {
+                if self.cached_mode[i].is_none() {
+                    let w = (score - m_w).exp();
+                    w_den += w;
+                    for (slot, &vc) in num.iter_mut().zip(self.kv.value(i)) {
+                        *slot += w * f64::from(vc);
+                    }
+                }
+            }
+            num.iter().map(|&x| (x / w_den) as f32).collect()
+        };
 
         // -- Diagnostics: oracle comparison of the active set.
-        let (false_negatives, false_positives) = if self.cfg.diagnostics
-            && self.cfg.identification == Identification::Approximate
-        {
-            self.identification_errors(&q_scaled, m, &next_active)
-        } else {
-            (0, 0)
-        };
+        let (false_negatives, false_positives) =
+            if self.cfg.diagnostics && self.cfg.identification == Identification::Approximate {
+                self.identification_errors(q_scaled, m, &scratch.next_active)
+            } else {
+                (0, 0)
+            };
 
         // -- Aging: the oldest window position joins the caches (Eq. 5).
         if n > self.cfg.window {
@@ -371,7 +436,11 @@ impl LadAttention {
             }
         }
 
-        self.prev_active = next_active;
+        // Swap rather than move: last step's set becomes next step's
+        // (cleared) scratch, so neither HashSet is ever re-allocated.
+        std::mem::swap(&mut self.prev_active, &mut scratch.next_active);
+        let active_count = scratch.active.len();
+        self.scratch = scratch;
 
         StepOutput {
             output,
@@ -379,12 +448,13 @@ impl LadAttention {
                 n,
                 centers: self.centers.centers().len(),
                 large_mode_exact,
-                active: active.len(),
+                active: active_count,
                 window: window_count,
                 mode_updates,
                 new_active,
                 false_negatives,
                 false_positives,
+                den_fallbacks,
             },
         }
     }
@@ -437,7 +507,7 @@ mod tests {
             let q = rng.normal_vec(d, 1.0);
             let k = rng.normal_vec(d, 1.0);
             let v = rng.normal_vec(d, 1.0);
-            let out = head.step(&q, k, v);
+            let out = head.step(&q, &k, &v);
             outs.push(out.output);
             stats.push(out.stats);
         }
@@ -447,7 +517,7 @@ mod tests {
     #[test]
     fn first_step_returns_the_value() {
         let mut head = LadAttention::new(4, LadConfig::default());
-        let out = head.step(&[1.0; 4], vec![0.5; 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let out = head.step(&[1.0; 4], &[0.5; 4], &[1.0, 2.0, 3.0, 4.0]);
         // One position: softmax weight 1 -> output == value.
         for (got, want) in out.output.iter().zip([1.0, 2.0, 3.0, 4.0]) {
             assert!((got - want).abs() < 1e-5);
@@ -470,8 +540,8 @@ mod tests {
             let q = rng.normal_vec(d, 1.0);
             let k = rng.normal_vec(d, 1.0);
             let v = rng.normal_vec(d, 1.0);
-            shadow.push(k.clone(), v.clone());
-            let lad = head.step(&q, k, v).output;
+            shadow.push(&k, &v);
+            let lad = head.step(&q, &k, &v).output;
             let direct = reference::pwl_attention(&q, &shadow, &pwl);
             let rel = vector::relative_l2(&lad, &direct);
             assert!(rel < 1e-4, "step {step}: relative error {rel}");
@@ -491,7 +561,7 @@ mod tests {
             let q = rng.normal_vec(d, 1.0);
             let k = rng.normal_vec(d, 1.0);
             let v = rng.normal_vec(d, 1.0);
-            shadow.push(k, v);
+            shadow.push(&k, &v);
             let exact = reference::exact_attention(&q, &shadow);
             worst = worst.max(vector::relative_l2(out, &exact));
         }
@@ -581,7 +651,7 @@ mod tests {
             let k: Vec<f32> = base.iter().map(|&x| x * (1.0 + 0.1 * (i as f32))).collect();
             let q = rng.normal_vec(d, 1.0);
             let v = rng.normal_vec(d, 1.0);
-            head.step(&q, k, v);
+            head.step(&q, &k, &v);
         }
         assert!(
             head.centers().centers().len() <= 8,
@@ -594,6 +664,40 @@ mod tests {
     #[should_panic(expected = "query dim mismatch")]
     fn wrong_query_dim_panics() {
         let mut head = LadAttention::new(4, LadConfig::default());
-        head.step(&[1.0; 3], vec![0.0; 4], vec![0.0; 4]);
+        head.step(&[1.0; 3], &[0.0; 4], &[0.0; 4]);
+    }
+
+    #[test]
+    fn degenerate_denominator_falls_back_to_window_softmax() {
+        // A deliberately coarse two-interval partition: its least-squares fit
+        // of exp on [-100, 0] goes negative near the far end, so a few deeply
+        // negative scores drive the PWL denominator below zero. Without the
+        // guard this divided by den <= 0 and produced garbage or non-finite
+        // outputs; with it, the step must stay finite and flag the event.
+        let pwl = PwlExp::with_boundaries(&[-100.0, 0.0]).unwrap();
+        let mut head = LadAttention::new(2, LadConfig::new(pwl));
+        let q = [10.0f32, 0.0];
+        let first = head.step(&q, &[2.0, 0.0], &[5.0, -3.0]);
+        assert_eq!(first.stats.den_fallbacks, 0);
+
+        let mut fallbacks = 0usize;
+        let mut last = first;
+        for i in 0..6 {
+            last = head.step(&q, &[-12.0, 0.0], &[i as f32, 1.0]);
+            assert!(
+                last.output.iter().all(|x| x.is_finite()),
+                "step {i}: non-finite output {:?}",
+                last.output
+            );
+            fallbacks += last.stats.den_fallbacks;
+        }
+        assert!(fallbacks > 0, "partition never degenerated den");
+
+        // Everything is still inside the window here, so the fallback is the
+        // exact softmax over the whole cache.
+        assert_eq!(last.stats.den_fallbacks, 1);
+        let exact = reference::exact_attention(&q, head.kv());
+        let rel = vector::relative_l2(&last.output, &exact);
+        assert!(rel < 1e-5, "fallback vs exact softmax: {rel}");
     }
 }

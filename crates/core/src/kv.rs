@@ -3,6 +3,11 @@
 //! Stores every key and value of the decoding history, exactly like the KV
 //! cache an LLM keeps in HBM. The LAD decoder reads from it sparsely; the
 //! reference attentions read it densely.
+//!
+//! Keys and values live in one contiguous arena each (`n × d`, row-major)
+//! rather than per-position allocations, so center scoring and correction
+//! reads walk sequential memory and appending a position never allocates
+//! beyond the amortised arena growth.
 
 /// The KV cache of a single attention head: `n` keys and values of dimension
 /// `d`, appended one pair per decoding step.
@@ -13,15 +18,15 @@
 /// use lad_core::kv::KvCache;
 ///
 /// let mut kv = KvCache::new(4);
-/// kv.push(vec![1.0, 0.0, 0.0, 0.0], vec![0.5; 4]);
+/// kv.push(&[1.0, 0.0, 0.0, 0.0], &[0.5; 4]);
 /// assert_eq!(kv.len(), 1);
 /// assert_eq!(kv.key(0)[0], 1.0);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct KvCache {
     dim: usize,
-    keys: Vec<Vec<f32>>,
-    values: Vec<Vec<f32>>,
+    keys: Vec<f32>,
+    values: Vec<f32>,
 }
 
 impl KvCache {
@@ -46,7 +51,7 @@ impl KvCache {
 
     /// Number of cached positions `n`.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.keys.len() / self.dim
     }
 
     /// `true` when no positions are cached.
@@ -54,16 +59,17 @@ impl KvCache {
         self.keys.is_empty()
     }
 
-    /// Appends a new key/value pair (paper Eq. 1).
+    /// Appends a new key/value pair (paper Eq. 1). The vectors are copied
+    /// into the arena; callers keep ownership of their buffers.
     ///
     /// # Panics
     ///
-    /// Panics if either vector's length differs from `dim`.
-    pub fn push(&mut self, key: Vec<f32>, value: Vec<f32>) {
+    /// Panics if either slice's length differs from `dim`.
+    pub fn push(&mut self, key: &[f32], value: &[f32]) {
         assert_eq!(key.len(), self.dim, "KvCache::push: key dim mismatch");
         assert_eq!(value.len(), self.dim, "KvCache::push: value dim mismatch");
-        self.keys.push(key);
-        self.values.push(value);
+        self.keys.extend_from_slice(key);
+        self.values.extend_from_slice(value);
     }
 
     /// Key at `position`.
@@ -72,7 +78,7 @@ impl KvCache {
     ///
     /// Panics if out of bounds.
     pub fn key(&self, position: usize) -> &[f32] {
-        &self.keys[position]
+        &self.keys[position * self.dim..(position + 1) * self.dim]
     }
 
     /// Value at `position`.
@@ -81,23 +87,101 @@ impl KvCache {
     ///
     /// Panics if out of bounds.
     pub fn value(&self, position: usize) -> &[f32] {
-        &self.values[position]
+        &self.values[position * self.dim..(position + 1) * self.dim]
     }
 
-    /// All keys, oldest first.
-    pub fn keys(&self) -> &[Vec<f32>] {
-        &self.keys
+    /// View over all keys, oldest first.
+    pub fn keys(&self) -> KeysView<'_> {
+        KeysView {
+            dim: self.dim,
+            flat: &self.keys,
+        }
     }
 
-    /// All values, oldest first.
-    pub fn values(&self) -> &[Vec<f32>] {
-        &self.values
+    /// Iterator over all values, oldest first.
+    pub fn values(&self) -> impl Iterator<Item = &[f32]> {
+        self.values.chunks_exact(self.dim)
     }
 
     /// Size in bytes of the cache under fp16 storage (`2 · n · d · 2` bytes —
     /// the quantity the paper's memory-access analysis is about).
     pub fn fp16_bytes(&self) -> usize {
         2 * self.len() * self.dim * 2
+    }
+}
+
+/// Borrowed, contiguous view over a cache's keys.
+#[derive(Debug, Clone, Copy)]
+pub struct KeysView<'a> {
+    dim: usize,
+    flat: &'a [f32],
+}
+
+impl<'a> KeysView<'a> {
+    /// Number of keys in the view.
+    pub fn len(&self) -> usize {
+        self.flat.len() / self.dim
+    }
+
+    /// `true` when the view holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+
+    /// Key at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn key(&self, position: usize) -> &'a [f32] {
+        &self.flat[position * self.dim..(position + 1) * self.dim]
+    }
+
+    /// Iterator over the keys, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [f32]> {
+        self.flat.chunks_exact(self.dim)
+    }
+}
+
+/// Random access to a growing sequence of keys — the shape
+/// [`crate::centers::CenterBook`] needs for Alg. 1. Implemented by the
+/// arena-backed [`KeysView`] and by plain `[Vec<f32>]` slices (tests,
+/// callers without a cache).
+pub trait KeyLookup {
+    /// Number of keys available.
+    fn num_keys(&self) -> usize;
+
+    /// Key at `position`.
+    fn key_at(&self, position: usize) -> &[f32];
+}
+
+impl KeyLookup for KeysView<'_> {
+    fn num_keys(&self) -> usize {
+        self.len()
+    }
+
+    fn key_at(&self, position: usize) -> &[f32] {
+        self.key(position)
+    }
+}
+
+impl KeyLookup for [Vec<f32>] {
+    fn num_keys(&self) -> usize {
+        self.len()
+    }
+
+    fn key_at(&self, position: usize) -> &[f32] {
+        &self[position]
+    }
+}
+
+impl KeyLookup for Vec<Vec<f32>> {
+    fn num_keys(&self) -> usize {
+        self.len()
+    }
+
+    fn key_at(&self, position: usize) -> &[f32] {
+        &self[position]
     }
 }
 
@@ -109,8 +193,8 @@ mod tests {
     fn push_and_access() {
         let mut kv = KvCache::new(2);
         assert!(kv.is_empty());
-        kv.push(vec![1.0, 2.0], vec![3.0, 4.0]);
-        kv.push(vec![5.0, 6.0], vec![7.0, 8.0]);
+        kv.push(&[1.0, 2.0], &[3.0, 4.0]);
+        kv.push(&[5.0, 6.0], &[7.0, 8.0]);
         assert_eq!(kv.len(), 2);
         assert_eq!(kv.key(1), &[5.0, 6.0]);
         assert_eq!(kv.value(0), &[3.0, 4.0]);
@@ -118,10 +202,35 @@ mod tests {
     }
 
     #[test]
+    fn keys_view_iterates_in_order() {
+        let mut kv = KvCache::new(2);
+        kv.push(&[1.0, 2.0], &[0.0; 2]);
+        kv.push(&[3.0, 4.0], &[0.0; 2]);
+        let collected: Vec<&[f32]> = kv.keys().iter().collect();
+        assert_eq!(collected, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+        let values: Vec<&[f32]> = kv.values().collect();
+        assert_eq!(values.len(), 2);
+    }
+
+    #[test]
+    fn key_lookup_over_slices_and_views() {
+        let owned = vec![vec![1.0f32, 0.0], vec![0.0, 1.0]];
+        let slice: &[Vec<f32>] = &owned;
+        assert_eq!(KeyLookup::num_keys(slice), 2);
+        assert_eq!(KeyLookup::key_at(slice, 1), &[0.0, 1.0]);
+
+        let mut kv = KvCache::new(2);
+        kv.push(&[1.0, 0.0], &[0.0; 2]);
+        let view = kv.keys();
+        assert_eq!(view.num_keys(), 1);
+        assert_eq!(view.key_at(0), &[1.0, 0.0]);
+    }
+
+    #[test]
     fn fp16_bytes_formula() {
         let mut kv = KvCache::new(128);
         for _ in 0..10 {
-            kv.push(vec![0.0; 128], vec![0.0; 128]);
+            kv.push(&[0.0; 128], &[0.0; 128]);
         }
         // 2 tensors * 10 positions * 128 dims * 2 bytes
         assert_eq!(kv.fp16_bytes(), 2 * 10 * 128 * 2);
@@ -130,7 +239,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "dim mismatch")]
     fn wrong_dim_panics() {
-        KvCache::new(3).push(vec![1.0], vec![1.0, 2.0, 3.0]);
+        KvCache::new(3).push(&[1.0], &[1.0, 2.0, 3.0]);
     }
 
     #[test]

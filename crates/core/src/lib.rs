@@ -41,7 +41,7 @@
 //!     let q = rng.normal_vec(dim, 1.0);
 //!     let k = rng.normal_vec(dim, 1.0);
 //!     let v = rng.normal_vec(dim, 1.0);
-//!     let step = head.step(&q, k, v);
+//!     let step = head.step(&q, &k, &v);
 //!     assert_eq!(step.output.len(), dim);
 //! }
 //! // Only a fraction of cached positions needed their keys/values re-read.

@@ -95,10 +95,7 @@ impl LocalityAnalyzer {
     /// The Fig. 2(a)-style heatmap: for up to `max_positions` positions, the
     /// interval index at each of the last (≤10) steps.
     pub fn heatmap(&self, max_positions: usize) -> Vec<Vec<u8>> {
-        self.history
-            .iter()
-            .take(max_positions).cloned()
-            .collect()
+        self.history.iter().take(max_positions).cloned().collect()
     }
 
     /// Aggregated report over positions with at least `min_history` total

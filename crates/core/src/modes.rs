@@ -4,8 +4,11 @@
 //! For every position the tracker counts how many decoding steps its attention
 //! score fell into each interval. The **mode interval** is the argmax of the
 //! counters — the stable positional property LAD builds its intermediate
-//! caches around. Counters saturate at the hardware's `uint12` capacity
-//! (paper Sec. IV-C: `cnt` occupies 12 bits of the `G` tensor).
+//! caches around. Counters are bounded by the hardware's `uint12` capacity
+//! (paper Sec. IV-C: `cnt` occupies 12 bits of the `G` tensor); when one
+//! counter reaches the bound, all of the position's counters are halved
+//! (standard hardware aging) so relative ordering is preserved but the mode
+//! can still change on long streams.
 
 /// Saturation limit of a hardware counter (`uint12`).
 pub const COUNTER_MAX: u16 = 4095;
@@ -100,9 +103,8 @@ impl ModeTracker {
     pub fn record(&mut self, position: usize, interval: usize) -> bool {
         assert!(interval < self.intervals, "record: interval out of bounds");
         let counters = &mut self.counts[position];
-        if counters[interval] < COUNTER_MAX {
-            counters[interval] += 1;
-        }
+        age_if_saturated(counters, interval);
+        counters[interval] += 1;
         let mode = self.modes[position];
         if interval != mode && counters[interval] > counters[mode] {
             self.modes[position] = interval;
@@ -122,14 +124,27 @@ impl ModeTracker {
     pub fn record_mode_hit(&mut self, position: usize) {
         let mode = self.modes[position];
         let counters = &mut self.counts[position];
-        if counters[mode] < COUNTER_MAX {
-            counters[mode] += 1;
-        }
+        age_if_saturated(counters, mode);
+        counters[mode] += 1;
     }
 
     /// Iterator over all current modes, position order.
     pub fn iter_modes(&self) -> impl Iterator<Item = usize> + '_ {
         self.modes.iter().copied()
+    }
+}
+
+/// Ages a position's counters when the counter about to be incremented sits
+/// at [`COUNTER_MAX`]: every counter is halved, so the increment always has
+/// headroom and counter *ordering* (hence the mode invariant `cnt[mode] >=
+/// cnt[i]` for non-challengers) is preserved. Without aging, a saturated
+/// mode counter could never be strictly exceeded and the position's mode
+/// would be frozen forever (~4k steps in).
+fn age_if_saturated(counters: &mut [u16], interval: usize) {
+    if counters[interval] >= COUNTER_MAX {
+        for c in counters.iter_mut() {
+            *c >>= 1;
+        }
     }
 }
 
@@ -182,13 +197,52 @@ mod tests {
     }
 
     #[test]
-    fn counters_saturate_at_u12() {
+    fn counters_never_exceed_u12() {
         let mut t = ModeTracker::new(2);
+        t.push_position();
+        for _ in 0..20_000 {
+            t.record(0, 1);
+            assert!(t.counts(0)[1] <= COUNTER_MAX);
+        }
+        // Aging keeps the counter in the upper half of its range.
+        assert!(t.counts(0)[1] > COUNTER_MAX / 2);
+    }
+
+    #[test]
+    fn mode_can_change_after_saturation() {
+        // Regression: without aging, a counter saturated at COUNTER_MAX can
+        // never be strictly exceeded, freezing the mode permanently after
+        // ~4k steps. Drive one interval past saturation, then switch the
+        // stream to another interval and require the mode to follow.
+        let mut t = ModeTracker::new(3);
         t.push_position();
         for _ in 0..5000 {
             t.record(0, 1);
         }
-        assert_eq!(t.counts(0)[1], COUNTER_MAX);
+        assert_eq!(t.mode(0), 1);
+        let mut changed = false;
+        for _ in 0..5000 {
+            changed |= t.record(0, 2);
+        }
+        assert!(changed, "mode frozen after counter saturation");
+        assert_eq!(t.mode(0), 2);
+    }
+
+    #[test]
+    fn mode_hits_age_too() {
+        // record_mode_hit must also age: an APID-incremented mode counter
+        // saturating would freeze the mode just the same.
+        let mut t = ModeTracker::new(2);
+        t.push_position();
+        t.record(0, 0);
+        for _ in 0..COUNTER_MAX as usize + 10 {
+            t.record_mode_hit(0);
+        }
+        assert!(t.counts(0)[0] <= COUNTER_MAX);
+        for _ in 0..3000 {
+            t.record(0, 1);
+        }
+        assert_eq!(t.mode(0), 1, "mode frozen after mode-hit saturation");
     }
 
     #[test]

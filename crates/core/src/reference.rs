@@ -67,11 +67,7 @@ pub fn pwl_attention(q: &[f32], kv: &KvCache, pwl: &PwlExp) -> Vec<f32> {
 /// # Panics
 ///
 /// Panics if the cache is empty or `q.len() != kv.dim()`.
-pub fn pwl_attention_detailed(
-    q: &[f32],
-    kv: &KvCache,
-    pwl: &PwlExp,
-) -> (Vec<f32>, Vec<usize>) {
+pub fn pwl_attention_detailed(q: &[f32], kv: &KvCache, pwl: &PwlExp) -> (Vec<f32>, Vec<usize>) {
     assert!(!kv.is_empty(), "pwl_attention: empty KV cache");
     assert_eq!(q.len(), kv.dim(), "pwl_attention: query dim mismatch");
     let s = scores(q, kv);
@@ -103,7 +99,9 @@ mod tests {
     fn random_kv(rng: &mut Rng, n: usize, d: usize) -> KvCache {
         let mut kv = KvCache::new(d);
         for _ in 0..n {
-            kv.push(rng.normal_vec(d, 1.0), rng.normal_vec(d, 1.0));
+            let k = rng.normal_vec(d, 1.0);
+            let v = rng.normal_vec(d, 1.0);
+            kv.push(&k, &v);
         }
         kv
     }
@@ -111,7 +109,7 @@ mod tests {
     #[test]
     fn exact_attention_single_position_returns_value() {
         let mut kv = KvCache::new(2);
-        kv.push(vec![1.0, 0.0], vec![5.0, -3.0]);
+        kv.push(&[1.0, 0.0], &[5.0, -3.0]);
         let out = exact_attention(&[1.0, 1.0], &kv);
         assert_eq!(out, vec![5.0, -3.0]);
     }
@@ -119,8 +117,8 @@ mod tests {
     #[test]
     fn exact_attention_is_convex_combination() {
         let mut kv = KvCache::new(1);
-        kv.push(vec![1.0], vec![0.0]);
-        kv.push(vec![-1.0], vec![10.0]);
+        kv.push(&[1.0], &[0.0]);
+        kv.push(&[-1.0], &[10.0]);
         let out = exact_attention(&[2.0], &kv);
         assert!(out[0] > 0.0 && out[0] < 10.0);
     }
@@ -128,8 +126,8 @@ mod tests {
     #[test]
     fn exact_attention_dominant_score_wins() {
         let mut kv = KvCache::new(2);
-        kv.push(vec![20.0, 0.0], vec![1.0, 0.0]);
-        kv.push(vec![-20.0, 0.0], vec![0.0, 1.0]);
+        kv.push(&[20.0, 0.0], &[1.0, 0.0]);
+        kv.push(&[-20.0, 0.0], &[0.0, 1.0]);
         let out = exact_attention(&[10.0, 0.0], &kv);
         assert!(out[0] > 0.999);
         assert!(out[1] < 0.001);
@@ -166,7 +164,7 @@ mod tests {
     #[test]
     fn scores_apply_temperature() {
         let mut kv = KvCache::new(4);
-        kv.push(vec![2.0; 4], vec![0.0; 4]);
+        kv.push(&[2.0; 4], &[0.0; 4]);
         let s = scores(&[1.0; 4], &kv);
         // q·k = 8, scaled by 1/√4 = 0.5 -> 4.
         assert!((s[0] - 4.0).abs() < 1e-6);

@@ -29,6 +29,9 @@ pub struct StepStats {
     pub false_negatives: usize,
     /// Positions misidentified as active (harmless: corrections are 0).
     pub false_positives: usize,
+    /// 1 when the PWL denominator degenerated (near-zero / negative /
+    /// non-finite) and the step fell back to exact window-only softmax.
+    pub den_fallbacks: usize,
 }
 
 impl StepStats {
@@ -122,6 +125,7 @@ mod tests {
             new_active: 2,
             false_negatives: 0,
             false_positives: 1,
+            den_fallbacks: 0,
         };
         assert_eq!(s.kv_reads(), 27);
         assert!((s.hit_ratio() - 0.8).abs() < 1e-12);

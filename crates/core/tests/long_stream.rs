@@ -1,0 +1,45 @@
+//! Long-stream regression: past the hardware counter capacity (uint12,
+//! 4095) position modes must still follow the stream. Without counter
+//! aging, a saturated mode counter can never be strictly exceeded and every
+//! early position's mode freezes ~4k steps in (paper Sec. IV-C packs `cnt`
+//! into 12 bits of the `G` tensor).
+
+use lad_core::decoder::{LadAttention, LadConfig};
+use lad_math::pwl::PwlExp;
+use lad_math::Rng;
+
+#[test]
+fn modes_still_change_past_counter_capacity() {
+    let d = 4;
+    let mut head = LadAttention::new(d, LadConfig::new(PwlExp::accurate_default()));
+    let mut rng = Rng::new(0x10c5);
+    // Two orthogonal key groups; the query attends to group X long enough to
+    // saturate the early positions' counters, then switches to group Y so
+    // every cached position's score interval flips.
+    let ex = [1.0f32, 0.0, 0.0, 0.0];
+    let ey = [0.0f32, 1.0, 0.0, 0.0];
+    let phase_a = 4150usize;
+    let phase_b = 2300usize;
+    let mut tail_updates = 0usize;
+    for step in 0..phase_a + phase_b {
+        let q = if step < phase_a {
+            [8.0f32, 0.0, 0.0, 0.0]
+        } else {
+            [0.0f32, 8.0, 0.0, 0.0]
+        };
+        let k = if step % 2 == 0 { ex } else { ey };
+        let v = rng.normal_vec(d, 1.0);
+        let out = head.step(&q, &k, &v);
+        assert!(
+            out.output.iter().all(|x| x.is_finite()),
+            "non-finite output at step {step}"
+        );
+        if step >= phase_a {
+            tail_updates += out.stats.mode_updates;
+        }
+    }
+    assert!(
+        tail_updates > 0,
+        "no mode updates after the regime switch: modes frozen past counter saturation"
+    );
+}

@@ -24,8 +24,8 @@ proptest! {
             let q = rng.normal_vec(d, 1.0);
             let k = rng.normal_vec(d, 1.0);
             let v = rng.normal_vec(d, 1.0);
-            shadow.push(k.clone(), v.clone());
-            let lad = head.step(&q, k, v).output;
+            shadow.push(&k, &v);
+            let lad = head.step(&q, &k, &v).output;
             let direct = reference::pwl_attention(&q, &shadow, &pwl);
             prop_assert!(vector::relative_l2(&lad, &direct) < 1e-4);
         }
@@ -47,8 +47,8 @@ proptest! {
             let q = rng.normal_vec(d, 1.0);
             let k = rng.normal_vec(d, 1.0);
             let v = rng.normal_vec(d, 1.0);
-            shadow.push(k.clone(), v.clone());
-            let out = head.step(&q, k, v);
+            shadow.push(&k, &v);
+            let out = head.step(&q, &k, &v);
             if out.stats.false_negatives == 0 {
                 let direct = reference::pwl_attention(&q, &shadow, &pwl);
                 prop_assert!(
@@ -130,8 +130,8 @@ proptest! {
         for _ in 0..50 {
             let out = head.step(
                 &rng.normal_vec(d, 1.0),
-                rng.normal_vec(d, 1.0),
-                rng.normal_vec(d, 1.0),
+                &rng.normal_vec(d, 1.0),
+                &rng.normal_vec(d, 1.0),
             );
             let s = out.stats;
             prop_assert_eq!(s.n, prev_n + 1);
@@ -160,7 +160,7 @@ proptest! {
                 lo[i] = lo[i].min(v[i]);
                 hi[i] = hi[i].max(v[i]);
             }
-            let out = head.step(&rng.normal_vec(d, 1.0), rng.normal_vec(d, 1.0), v);
+            let out = head.step(&rng.normal_vec(d, 1.0), &rng.normal_vec(d, 1.0), &v);
             for i in 0..d {
                 let slack = 0.1 * (hi[i] - lo[i]) + 0.05;
                 prop_assert!(out.output[i] >= lo[i] - slack && out.output[i] <= hi[i] + slack,

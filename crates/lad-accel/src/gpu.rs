@@ -186,7 +186,11 @@ mod tests {
         assert!(share(4096) > share(2048));
         assert!(share(2048) > share(1024));
         assert!(share(4096) > 0.5, "share(4096) = {}", share(4096));
-        assert!((0.30..0.60).contains(&share(2048)), "share(2048) = {}", share(2048));
+        assert!(
+            (0.30..0.60).contains(&share(2048)),
+            "share(2048) = {}",
+            share(2048)
+        );
     }
 
     #[test]

@@ -183,7 +183,11 @@ mod tests {
             outcome.bandwidth_utilization
         );
         // Streams enjoy high row-buffer locality.
-        assert!(outcome.row_hit_ratio > 0.9, "hits {}", outcome.row_hit_ratio);
+        assert!(
+            outcome.row_hit_ratio > 0.9,
+            "hits {}",
+            outcome.row_hit_ratio
+        );
         assert_eq!(outcome.useful_bytes, 64 * 1024 * 1024);
     }
 

@@ -304,9 +304,7 @@ mod tests {
         let mut rng = Rng::new(6);
         let keys: Vec<Vec<f32>> = (0..9).map(|_| rng.normal_vec(d, 1.0)).collect();
         let values: Vec<Vec<f32>> = (0..9).map(|_| rng.normal_vec(d, 1.0)).collect();
-        let corrections: Vec<Correction> = (0..9)
-            .map(|i| correction(i, 0.1, 0.2, 0.05))
-            .collect();
+        let corrections: Vec<Correction> = (0..9).map(|i| correction(i, 0.1, 0.2, 0.05)).collect();
         let updates = vec![0usize, 3, 7];
         let result = ac.execute(
             &vec![0.1; d],

@@ -156,7 +156,7 @@ mod tests {
         let apid = ApidModule::new(&pwl);
         let mut g = setup(1);
         g.set_mode(0, 3); // [-3, -1]
-        // Exactly on the bound: inclusive check, not active.
+                          // Exactly on the bound: inclusive check, not active.
         let result = apid.identify(&[-3.0], 0.0, &mut g, 1);
         assert!(result.active.is_empty());
     }

@@ -222,7 +222,10 @@ mod tests {
         // key 1 cos to key 0 = 1/sqrt(1.0225) ~ 0.989 > 0.95 -> grouped.
         let approx = eas.execute(&q, &keys, &mut g, &mut centers, &[]);
         assert!(!approx.exact[1]);
-        assert!((approx.scores[1] - 0.0).abs() < 1e-3, "approx misses the y component");
+        assert!(
+            (approx.scores[1] - 0.0).abs() < 1e-3,
+            "approx misses the y component"
+        );
 
         let (mut eas, mut g, mut centers) = setup(&keys, 0.95);
         let exact = eas.execute(&q, &keys, &mut g, &mut centers, &[1]);
@@ -265,12 +268,6 @@ mod tests {
     #[should_panic(expected = "one unregistered key")]
     fn requires_incremental_registration() {
         let keys = vec![vec![1.0], vec![2.0]];
-        EasModule::new(1, 0.98).execute(
-            &[1.0],
-            &keys,
-            &mut GTensor::new(4),
-            &mut Vec::new(),
-            &[],
-        );
+        EasModule::new(1, 0.98).execute(&[1.0], &keys, &mut GTensor::new(4), &mut Vec::new(), &[]);
     }
 }

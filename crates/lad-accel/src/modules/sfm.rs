@@ -57,13 +57,7 @@ impl SfmModule {
     /// # Panics
     ///
     /// Panics if vector widths mismatch.
-    pub fn layer_norm(
-        &self,
-        x: &[f32],
-        gamma: f32,
-        beta: f32,
-        vpu: &mut Vpu,
-    ) -> SfmResult {
+    pub fn layer_norm(&self, x: &[f32], gamma: f32, beta: f32, vpu: &mut Vpu) -> SfmResult {
         assert_eq!(x.len(), self.width, "layer_norm: width mismatch");
         let n = x.len() as f32;
         // Adder tree: mean (1 cycle).
@@ -112,11 +106,7 @@ impl SfmModule {
         vpu.load_vec1(&swapped);
         let term_sin = vpu.elementwise(&sin_vec);
         // Sum on the SFM adders (1 cycle).
-        let output: Vec<f32> = term_cos
-            .iter()
-            .zip(&term_sin)
-            .map(|(a, b)| a + b)
-            .collect();
+        let output: Vec<f32> = term_cos.iter().zip(&term_sin).map(|(a, b)| a + b).collect();
         SfmResult { output, cycles: 3 }
     }
 }
@@ -133,10 +123,7 @@ mod tests {
         for x in [0.01f32, 0.5, 1.0, 3.7, 100.0, 1e4] {
             let got = sfm.rsqrt(x);
             let want = 1.0 / x.sqrt();
-            assert!(
-                ((got - want) / want).abs() < 1e-4,
-                "x={x}: {got} vs {want}"
-            );
+            assert!(((got - want) / want).abs() < 1e-4, "x={x}: {got} vs {want}");
         }
     }
 

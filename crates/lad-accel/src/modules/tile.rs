@@ -129,13 +129,13 @@ impl TileEngine {
     ///
     /// # Panics
     ///
-    /// Panics if any vector's length differs from the head dimension.
-    pub fn step(&mut self, query: &[f32], key: Vec<f32>, value: Vec<f32>) -> TileStepResult {
+    /// Panics if any slice's length differs from the head dimension.
+    pub fn step(&mut self, query: &[f32], key: &[f32], value: &[f32]) -> TileStepResult {
         assert_eq!(query.len(), self.dim, "tile: query dim mismatch");
         assert_eq!(key.len(), self.dim, "tile: key dim mismatch");
         assert_eq!(value.len(), self.dim, "tile: value dim mismatch");
-        self.keys.push(key);
-        self.values.push(value);
+        self.keys.push(key.to_vec());
+        self.values.push(value.to_vec());
         let n = self.keys.len();
         let scale = 1.0 / (self.dim as f32).sqrt();
         let q_scaled: Vec<f32> = query.iter().map(|&x| x * scale).collect();
@@ -238,7 +238,7 @@ mod tests {
     #[test]
     fn first_step_returns_the_value() {
         let mut tile = TileEngine::new(4, PwlExp::accurate_default());
-        let result = tile.step(&[1.0; 4], vec![0.5; 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let result = tile.step(&[1.0; 4], &[0.5; 4], &[1.0, 2.0, 3.0, 4.0]);
         for (got, want) in result.output.iter().zip([1.0, 2.0, 3.0, 4.0]) {
             assert!((got - want).abs() < 1e-3, "{got} vs {want}");
         }
@@ -253,8 +253,8 @@ mod tests {
         let mut shadow = KvCache::new(d);
         let mut worst = 0.0f32;
         for (q, k, v) in stream(11, 120, d) {
-            shadow.push(k.clone(), v.clone());
-            let result = tile.step(&q, k, v);
+            shadow.push(&k, &v);
+            let result = tile.step(&q, &k, &v);
             let exact = reference::exact_attention(&q, &shadow);
             worst = worst.max(vector::relative_l2(&result.output, &exact));
         }
@@ -273,8 +273,8 @@ mod tests {
         let steps = stream(12, 100, d);
         let total = steps.len();
         for (q, k, v) in steps {
-            let hw = tile.step(&q, k.clone(), v.clone());
-            let sw = golden.step(&q, k, v);
+            let hw = tile.step(&q, &k, &v);
+            let sw = golden.step(&q, &k, &v);
             if vector::relative_l2(&hw.output, &sw.output) < 0.05 {
                 agree += 1;
             }
@@ -290,7 +290,7 @@ mod tests {
         let mut tile = TileEngine::new(d, PwlExp::accurate_default());
         let mut last = None;
         for (q, k, v) in stream(13, 150, d) {
-            last = Some(tile.step(&q, k, v));
+            last = Some(tile.step(&q, &k, &v));
         }
         let last = last.unwrap();
         assert_eq!(last.n, 150);
@@ -308,7 +308,7 @@ mod tests {
         let mut tile = TileEngine::new(d, PwlExp::accurate_default());
         let mut result = None;
         for (q, k, v) in stream(14, 130, d) {
-            result = Some(tile.step(&q, k, v));
+            result = Some(tile.step(&q, &k, &v));
         }
         let result = result.unwrap();
         let (eas, apid, md, ac) = result.stage_cycles;
@@ -330,7 +330,7 @@ mod tests {
         let d = 8;
         let mut tile = TileEngine::with_policies(d, PwlExp::accurate_default(), 4, 0.98);
         for (i, (q, k, v)) in stream(15, 20, d).into_iter().enumerate() {
-            let result = tile.step(&q, k, v);
+            let result = tile.step(&q, &k, &v);
             let n = i + 1;
             if n <= 5 {
                 assert_eq!(result.active, 0, "nothing cached before the window fills");
@@ -343,6 +343,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "dim mismatch")]
     fn dim_checked() {
-        TileEngine::new(4, PwlExp::accurate_default()).step(&[1.0; 3], vec![0.0; 4], vec![0.0; 4]);
+        TileEngine::new(4, PwlExp::accurate_default()).step(&[1.0; 3], &[0.0; 4], &[0.0; 4]);
     }
 }

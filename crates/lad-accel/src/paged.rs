@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn max_batch_accounts_for_block_granularity() {
         let p = pool(1024); // 128 blocks
-        // 2048 tokens = 128 blocks per sequence -> batch 1.
+                            // 2048 tokens = 128 blocks per sequence -> batch 1.
         assert_eq!(p.max_batch(2048), 1);
         // 17 tokens round up to 2 blocks -> 64 sequences.
         assert_eq!(p.max_batch(17), 64);

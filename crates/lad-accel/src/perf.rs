@@ -125,8 +125,7 @@ fn evaluate_gpu(
 ) -> PerfResult {
     let gpu = GpuConfig::a100();
     let d = model.head_dim();
-    let traffic =
-        AttentionTraffic::from_stats(stats, n, d, pipeline::WINDOW_POSITIONS, 0.0);
+    let traffic = AttentionTraffic::from_stats(stats, n, d, pipeline::WINDOW_POSITIONS, 0.0);
     let step = gpu::gpu_step(&gpu, baseline, model, n, batch, Some(&traffic));
     let attn_energy = gpu.power_w * step.attn_seconds;
     let e2e_energy = gpu.power_w * step.e2e_seconds;
@@ -166,8 +165,8 @@ fn evaluate_accel(
     let linear_layer_seconds = qkv_seconds + rest_seconds;
 
     // Spare HBM bytes during the QKV period, per head-sample.
-    let qkv_spare = ((qkv_seconds * cfg.hbm.total_bandwidth() - qkv_bytes).max(0.0))
-        / head_samples as f64;
+    let qkv_spare =
+        ((qkv_seconds * cfg.hbm.total_bandwidth() - qkv_bytes).max(0.0)) / head_samples as f64;
 
     // -- Attention period.
     let attn: AttentionPeriod = if ideal {
@@ -206,10 +205,8 @@ fn evaluate_accel(
     let onchip = |seconds: f64| -> (f64, f64) {
         // (sram_j, compute_j): dynamic while busy, static always.
         let sram_j = (sram.dynamic_w + sram.static_w) * seconds * tiles;
-        let compute_j = ((tile.dynamic_w - sram.dynamic_w)
-            + (tile.static_w - sram.static_w))
-            * seconds
-            * tiles;
+        let compute_j =
+            ((tile.dynamic_w - sram.dynamic_w) + (tile.static_w - sram.static_w)) * seconds * tiles;
         (sram_j, compute_j)
     };
 
@@ -333,7 +330,13 @@ mod tests {
         let stats = workload_stats(n, 7);
         let batch = feasible_batch(&model, n).min(8);
         let v = evaluate(&Platform::Gpu(GpuBaseline::Vllm), &model, n, &stats, batch);
-        let l = evaluate(&Platform::Lad(AccelConfig::lad_3_5()), &model, n, &stats, batch);
+        let l = evaluate(
+            &Platform::Lad(AccelConfig::lad_3_5()),
+            &model,
+            n,
+            &stats,
+            batch,
+        );
         // Attention energy-per-token ratio (paper: 36-52x in group 2).
         let attn_eff = v.attn_energy_j / l.attn_energy_j;
         assert!(attn_eff > 10.0, "attention energy efficiency {attn_eff}");
@@ -349,8 +352,20 @@ mod tests {
         let n = 4096;
         let stats = workload_stats(n, 7);
         let batch = 8;
-        let ideal = evaluate(&Platform::Ideal(AccelConfig::lad_3_5()), &model, n, &stats, batch);
-        let lad = evaluate(&Platform::Lad(AccelConfig::lad_3_5()), &model, n, &stats, batch);
+        let ideal = evaluate(
+            &Platform::Ideal(AccelConfig::lad_3_5()),
+            &model,
+            n,
+            &stats,
+            batch,
+        );
+        let lad = evaluate(
+            &Platform::Lad(AccelConfig::lad_3_5()),
+            &model,
+            n,
+            &stats,
+            batch,
+        );
         assert!(lad.attn_seconds < ideal.attn_seconds);
         // Linear layers are identical.
         assert!((lad.linear_seconds - ideal.linear_seconds).abs() / ideal.linear_seconds < 1e-9);
@@ -364,7 +379,13 @@ mod tests {
         // Paper Fig. 10: HBM and SRAM consume the majority of LAD's energy.
         let model = llama();
         let stats = workload_stats(2048, 7);
-        let l = evaluate(&Platform::Lad(AccelConfig::lad_2_5()), &model, 2048, &stats, 8);
+        let l = evaluate(
+            &Platform::Lad(AccelConfig::lad_2_5()),
+            &model,
+            2048,
+            &stats,
+            8,
+        );
         let total = l.energy.total();
         assert!(
             (l.energy.hbm_j + l.energy.sram_j) / total > 0.5,
@@ -384,8 +405,20 @@ mod tests {
         let n = 4096;
         let stats = workload_stats(n, 7);
         let batch = 8;
-        let small = evaluate(&Platform::Lad(AccelConfig::lad_1_5()), &model, n, &stats, batch);
-        let large = evaluate(&Platform::Lad(AccelConfig::lad_3_5()), &model, n, &stats, batch);
+        let small = evaluate(
+            &Platform::Lad(AccelConfig::lad_1_5()),
+            &model,
+            n,
+            &stats,
+            batch,
+        );
+        let large = evaluate(
+            &Platform::Lad(AccelConfig::lad_3_5()),
+            &model,
+            n,
+            &stats,
+            batch,
+        );
         assert!(
             large.attn_energy.hbm_j <= small.attn_energy.hbm_j,
             "attn hbm: small {} large {}",
@@ -411,7 +444,13 @@ mod tests {
         let stats = workload_stats(1024, 7);
         let g = evaluate(&Platform::Gpu(GpuBaseline::Vllm), &model, 1024, &stats, 4);
         assert_eq!(g.hbm_breakdown, (0.0, 0.0, 0.0));
-        let l = evaluate(&Platform::Lad(AccelConfig::lad_1_5()), &model, 1024, &stats, 4);
+        let l = evaluate(
+            &Platform::Lad(AccelConfig::lad_1_5()),
+            &model,
+            1024,
+            &stats,
+            4,
+        );
         let (c, a, o) = l.hbm_breakdown;
         assert!((c + a + o - 1.0).abs() < 1e-9);
     }

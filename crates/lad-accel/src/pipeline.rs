@@ -21,12 +21,7 @@ pub const SRAM_PREFETCH_FRACTION: f64 = 0.7;
 
 /// Cycles of the compute stages for one head-sample (paper Eq. 7):
 /// `max((2|C| + n/128 + |M|)/2, n/12, |J|/2, (d + |J| + |U|d + 3|U|)/3)`.
-pub fn compute_stage_cycles(
-    cfg: &AccelConfig,
-    n: usize,
-    d: usize,
-    stats: &StatsSummary,
-) -> f64 {
+pub fn compute_stage_cycles(cfg: &AccelConfig, n: usize, d: usize, stats: &StatsSummary) -> f64 {
     let c = stats.mean_centers;
     let m = stats.mean_large_mode;
     // MD and AC process the active FIFO, which holds corrections plus the
@@ -81,8 +76,7 @@ pub fn attention_period(
     // SRAM capacity: prefetched KV for every in-flight head-sample of this
     // tile must fit.
     let hs_per_tile = (head_samples as f64 / cfg.tiles as f64).ceil().max(1.0);
-    let sram_budget =
-        SRAM_PREFETCH_FRACTION * cfg.tile.sram_bytes as f64 / hs_per_tile;
+    let sram_budget = SRAM_PREFETCH_FRACTION * cfg.tile.sram_bytes as f64 / hs_per_tile;
     let sram_positions = sram_budget / (4.0 * d as f64);
     // QKV-period bandwidth headroom.
     let spare_positions = qkv_spare_bytes / (4.0 * d as f64);
@@ -230,7 +224,10 @@ mod tests {
         assert!((1..=16).contains(&many));
         // The paper's operating point lands in single digits (6 tiles).
         let paper = recommended_tiles(&cfg, 4096, 128, &stats(128.0, 40.0, 80.0, 0.85, 2.0), 16);
-        assert!((3..=10).contains(&paper), "paper-like workload -> {paper} tiles");
+        assert!(
+            (3..=10).contains(&paper),
+            "paper-like workload -> {paper} tiles"
+        );
     }
 
     #[test]

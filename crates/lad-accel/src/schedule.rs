@@ -224,7 +224,11 @@ mod tests {
         assert!(timeline.prefetch_bytes > 0.0, "prefetch should engage");
         // QKV periods carry more than their weight bytes.
         let qkv_weight = 3.0 * (model.hidden * model.hidden) as f64 * 2.0;
-        for p in timeline.periods.iter().filter(|p| p.kind == PeriodKind::Qkv) {
+        for p in timeline
+            .periods
+            .iter()
+            .filter(|p| p.kind == PeriodKind::Qkv)
+        {
             assert!(p.hbm_bytes >= qkv_weight);
         }
     }

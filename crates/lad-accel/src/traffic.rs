@@ -65,7 +65,10 @@ impl AttentionTraffic {
     /// All bytes that cross HBM for this step (prefetched traffic included —
     /// prefetching moves bytes in time, it does not remove them).
     pub fn total_bytes(&self) -> f64 {
-        self.g_bytes + self.centers_bytes + self.active_bytes + self.cache_bytes
+        self.g_bytes
+            + self.centers_bytes
+            + self.active_bytes
+            + self.cache_bytes
             + self.kv_write_bytes
     }
 
@@ -146,13 +149,9 @@ mod tests {
         let t = AttentionTraffic::from_stats(&stats(8.0, 2.0, 30.0), 2048, 128, 17, 20.0);
         let sum = t.g_bytes + t.centers_bytes + t.active_bytes + t.cache_bytes + t.kv_write_bytes;
         assert!((t.total_bytes() - sum).abs() < 1e-9);
-        assert!(
-            (t.attention_period_bytes() - (sum - t.prefetched_bytes)).abs() < 1e-9
-        );
+        assert!((t.attention_period_bytes() - (sum - t.prefetched_bytes)).abs() < 1e-9);
         // Stage split covers everything once.
-        assert!(
-            (t.stage1_bytes() + t.stage4_bytes() + t.prefetched_bytes - sum).abs() < 1e-9
-        );
+        assert!((t.stage1_bytes() + t.stage4_bytes() + t.prefetched_bytes - sum).abs() < 1e-9);
     }
 
     #[test]

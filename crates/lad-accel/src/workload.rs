@@ -42,7 +42,10 @@ pub fn workload_stats_with(
     seed: u64,
     adjust: impl FnOnce(&mut TraceConfig),
 ) -> StatsSummary {
-    assert!(n > TRACE_STEPS, "workload_stats: n must exceed {TRACE_STEPS}");
+    assert!(
+        n > TRACE_STEPS,
+        "workload_stats: n must exceed {TRACE_STEPS}"
+    );
     let mut cfg = TraceConfig::calibrated(n - TRACE_STEPS, TRACE_STEPS);
     cfg.seed = seed;
     adjust(&mut cfg);

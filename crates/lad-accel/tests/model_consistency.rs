@@ -25,7 +25,10 @@ fn paged_pool_agrees_with_analytic_capacity() {
         let pool = BlockPool::new(&model, budget);
         let paged = pool.max_batch(n);
         // Paged allocation can only lose capacity to block rounding.
-        assert!(paged <= analytic + 1, "n={n}: paged {paged} vs analytic {analytic}");
+        assert!(
+            paged <= analytic + 1,
+            "n={n}: paged {paged} vs analytic {analytic}"
+        );
         let per_seq_blocks = n.div_ceil(BLOCK_TOKENS);
         let max_loss = pool.total_blocks() / per_seq_blocks.max(1) / 8 + 1;
         assert!(
@@ -64,8 +67,7 @@ fn schedule_and_analytic_agree_across_the_grid() {
             let batch = feasible_batch(&model, n).min(8);
             let timeline = simulate_step(&cfg, &model, n, &stats, batch);
             let analytic = evaluate(&Platform::Lad(cfg.clone()), &model, n, &stats, batch);
-            let rel =
-                (timeline.total_seconds - analytic.e2e_seconds).abs() / analytic.e2e_seconds;
+            let rel = (timeline.total_seconds - analytic.e2e_seconds).abs() / analytic.e2e_seconds;
             assert!(
                 rel < 0.02,
                 "{} n={n}: timeline {} vs analytic {}",

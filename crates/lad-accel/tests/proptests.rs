@@ -131,7 +131,7 @@ proptest! {
                 rng.normal_vec(d, if step % 5 == 0 { 10.0 } else { 1.0 })
             };
             let v = rng.normal_vec(d, 4.0);
-            let result = tile.step(&q, k, v);
+            let result = tile.step(&q, &k, &v);
             prop_assert_eq!(result.n, step + 1);
             prop_assert!(result.output.iter().all(|x| x.is_finite()),
                 "non-finite output at step {}", step);

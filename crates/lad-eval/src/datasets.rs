@@ -55,7 +55,9 @@ impl TokenSampler {
     /// Panics if `vocab < 8`.
     pub fn new(vocab: u32, seed: u64) -> TokenSampler {
         assert!(vocab >= 8, "TokenSampler: vocab too small");
-        let weights = (1..vocab).map(|k| 1.0 / f64::from(k + 1).powf(1.1)).collect();
+        let weights = (1..vocab)
+            .map(|k| 1.0 / f64::from(k + 1).powf(1.1))
+            .collect();
         TokenSampler {
             rng: Rng::new(seed),
             vocab,

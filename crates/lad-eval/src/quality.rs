@@ -67,12 +67,7 @@ pub fn label_choice_tasks(
         .collect()
 }
 
-fn best_option(
-    model: &Model,
-    kind: &AttentionKind,
-    prompt: &[u32],
-    options: &[Vec<u32>],
-) -> usize {
+fn best_option(model: &Model, kind: &AttentionKind, prompt: &[u32], options: &[Vec<u32>]) -> usize {
     let mut best = 0usize;
     let mut best_score = f64::NEG_INFINITY;
     for (i, option) in options.iter().enumerate() {
@@ -193,7 +188,10 @@ mod tests {
         assert_eq!(tasks.len(), 6);
         assert!(tasks.iter().all(|t| t.answer < 3));
         // Teacher gets 100% on its own labels.
-        assert_eq!(choice_accuracy(&teacher, &AttentionKind::Exact, &tasks), 1.0);
+        assert_eq!(
+            choice_accuracy(&teacher, &AttentionKind::Exact, &tasks),
+            1.0
+        );
         // A different student lands somewhere in [0, 1].
         let acc = choice_accuracy(&student, &AttentionKind::Exact, &tasks);
         assert!((0.0..=1.0).contains(&acc));

@@ -114,7 +114,11 @@ pub fn lcs_len(a: &[u32], b: &[u32]) -> usize {
 
 /// ROUGE-L: LCS-based F1.
 pub fn rouge_l(reference: &[u32], candidate: &[u32]) -> f64 {
-    f1(lcs_len(reference, candidate), candidate.len(), reference.len())
+    f1(
+        lcs_len(reference, candidate),
+        candidate.len(),
+        reference.len(),
+    )
 }
 
 /// ROUGE-Lsum: sequences are split into sentences at `separator`; the union
@@ -138,7 +142,11 @@ pub fn rouge_lsum(reference: &[u32], candidate: &[u32], separator: u32) -> f64 {
     // sentence, the common implementation simplification).
     let mut overlap = 0usize;
     for rs in &ref_sents {
-        let best = cand_sents.iter().map(|cs| lcs_len(rs, cs)).max().unwrap_or(0);
+        let best = cand_sents
+            .iter()
+            .map(|cs| lcs_len(rs, cs))
+            .max()
+            .unwrap_or(0);
         overlap += best;
     }
     let ref_total: usize = ref_sents.iter().map(Vec::len).sum();
@@ -217,6 +225,52 @@ mod tests {
         assert_eq!(rouge_n(&[], &[1], 1), 0.0);
         assert_eq!(rouge_l(&[1], &[]), 0.0);
         assert_eq!(rouge_lsum(&[], &[], 0), 0.0);
+    }
+
+    #[test]
+    fn empty_candidate_scores_zero_everywhere() {
+        let reference = vec![1u32, 2, 3, 0, 4];
+        let scores = RougeScores::compute(&reference, &[], Some(0));
+        assert_eq!(scores.rouge1, 0.0);
+        assert_eq!(scores.rouge2, 0.0);
+        assert_eq!(scores.rouge_l, 0.0);
+        assert_eq!(scores.rouge_lsum, 0.0);
+    }
+
+    #[test]
+    fn empty_reference_scores_zero_everywhere() {
+        let candidate = vec![7u32, 8, 0, 9];
+        let scores = RougeScores::compute(&[], &candidate, Some(0));
+        assert_eq!(scores.rouge1, 0.0);
+        assert_eq!(scores.rouge2, 0.0);
+        assert_eq!(scores.rouge_l, 0.0);
+        assert_eq!(scores.rouge_lsum, 0.0);
+    }
+
+    #[test]
+    fn single_token_sequences() {
+        // A matching single token is a perfect unigram/LCS match, but there
+        // is no bigram to count — ROUGE-2 must be 0, not NaN.
+        let matching = RougeScores::compute(&[5], &[5], Some(0));
+        assert_eq!(matching.rouge1, 1.0);
+        assert_eq!(matching.rouge2, 0.0);
+        assert_eq!(matching.rouge_l, 1.0);
+        assert_eq!(matching.rouge_lsum, 1.0);
+        let differing = RougeScores::compute(&[5], &[6], Some(0));
+        assert_eq!(differing.rouge1, 0.0);
+        assert_eq!(differing.rouge_l, 0.0);
+    }
+
+    #[test]
+    fn separator_only_sequences_score_zero() {
+        // Streams of nothing but sentence separators have no sentences at
+        // all; every variant must return a finite 0, not divide by zero.
+        let seps = vec![0u32, 0, 0];
+        assert_eq!(rouge_lsum(&seps, &seps, 0), 0.0);
+        let scores = RougeScores::compute(&seps, &[1u32, 0, 2], Some(0));
+        assert!(scores.rouge_lsum.is_finite());
+        assert_eq!(scores.rouge_lsum, 0.0);
+        assert_eq!(rouge_lsum(&[1u32, 0, 2], &seps, 0), 0.0);
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl Segment {
 ///
 /// Panics if `lo >= hi` or either bound is non-finite.
 pub fn fit_exp_segment(lo: f64, hi: f64) -> Segment {
-    assert!(lo.is_finite() && hi.is_finite(), "fit: bounds must be finite");
+    assert!(
+        lo.is_finite() && hi.is_finite(),
+        "fit: bounds must be finite"
+    );
     assert!(lo < hi, "fit: lo must be < hi");
     let s0 = hi - lo;
     let s1 = (hi * hi - lo * lo) / 2.0;

@@ -163,13 +163,7 @@ impl HeadState {
     }
 
     /// Executes one decoding step.
-    pub fn step(
-        &mut self,
-        q: &[f32],
-        k: Vec<f32>,
-        v: Vec<f32>,
-        record_scores: bool,
-    ) -> HeadStepOutput {
+    pub fn step(&mut self, q: &[f32], k: &[f32], v: &[f32], record_scores: bool) -> HeadStepOutput {
         match self {
             HeadState::Exact { kv } => {
                 kv.push(k, v);
@@ -179,8 +173,7 @@ impl HeadState {
                 HeadStepOutput {
                     output,
                     stats: None,
-                    shifted_scores: record_scores
-                        .then(|| scores.iter().map(|s| s - m).collect()),
+                    shifted_scores: record_scores.then(|| scores.iter().map(|s| s - m).collect()),
                 }
             }
             HeadState::Lad(head) => {
@@ -192,7 +185,7 @@ impl HeadState {
                 }
             }
             HeadState::Qserve { kv } => {
-                kv.push(quantize_int4(&k), quantize_int4(&v));
+                kv.push(&quantize_int4(k), &quantize_int4(v));
                 HeadStepOutput {
                     output: reference::exact_attention(q, kv),
                     stats: None,
@@ -222,10 +215,7 @@ impl HeadState {
                 }
                 let qs = reference::scale_query(q);
                 let live: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
-                let scores: Vec<f32> = live
-                    .iter()
-                    .map(|&i| vector::dot(&qs, kv.key(i)))
-                    .collect();
+                let scores: Vec<f32> = live.iter().map(|&i| vector::dot(&qs, kv.key(i))).collect();
                 let probs = softmax(&scores);
                 let mut output = vec![0.0f32; kv.dim()];
                 for (&i, &p) in live.iter().zip(&probs) {
@@ -242,7 +232,7 @@ impl HeadState {
 }
 
 impl H2oState {
-    fn step(&mut self, q: &[f32], k: Vec<f32>, v: Vec<f32>) -> Vec<f32> {
+    fn step(&mut self, q: &[f32], k: &[f32], v: &[f32]) -> Vec<f32> {
         self.kv.push(k, v);
         self.cumulative.push(0.0);
         self.alive.push(true);
@@ -337,8 +327,8 @@ mod tests {
                 rng.normal_vec(d, 1.0),
                 rng.normal_vec(d, 1.0),
             );
-            shadow.push(k.clone(), v.clone());
-            let out = head.step(&q, k, v, false);
+            shadow.push(&k, &v);
+            let out = head.step(&q, &k, &v, false);
             assert_eq!(out.output, reference::exact_attention(&q, &shadow));
         }
     }
@@ -346,7 +336,7 @@ mod tests {
     #[test]
     fn exact_backend_records_shifted_scores() {
         let mut head = HeadState::new(4, &AttentionKind::Exact);
-        let out = head.step(&[1.0; 4], vec![0.5; 4], vec![0.1; 4], true);
+        let out = head.step(&[1.0; 4], &[0.5; 4], &[0.1; 4], true);
         let scores = out.shifted_scores.expect("recording requested");
         assert_eq!(scores.len(), 1);
         assert!(scores[0] <= 0.0);
@@ -360,8 +350,8 @@ mod tests {
         for i in 0..30 {
             let out = head.step(
                 &rng.normal_vec(d, 1.0),
-                rng.normal_vec(d, 1.0),
-                rng.normal_vec(d, 1.0),
+                &rng.normal_vec(d, 1.0),
+                &rng.normal_vec(d, 1.0),
                 false,
             );
             let stats = out.stats.expect("lad backend reports stats");
@@ -383,8 +373,8 @@ mod tests {
                 rng.normal_vec(d, 1.0),
                 rng.normal_vec(d, 1.0),
             );
-            let e = exact.step(&q, k.clone(), v.clone(), false);
-            let s = qserve.step(&q, k, v, false);
+            let e = exact.step(&q, &k, &v, false);
+            let s = qserve.step(&q, &k, &v, false);
             worst = worst.max(vector::relative_l2(&s.output, &e.output));
         }
         assert!(worst > 1e-4, "KV4 must actually perturb outputs");
@@ -399,8 +389,8 @@ mod tests {
         for _ in 0..100 {
             head.step(
                 &rng.normal_vec(d, 1.0),
-                rng.normal_vec(d, 1.0),
-                rng.normal_vec(d, 1.0),
+                &rng.normal_vec(d, 1.0),
+                &rng.normal_vec(d, 1.0),
                 false,
             );
         }
@@ -417,8 +407,8 @@ mod tests {
         for _ in 0..50 {
             head.step(
                 &rng.normal_vec(d, 1.0),
-                rng.normal_vec(d, 1.0),
-                rng.normal_vec(d, 1.0),
+                &rng.normal_vec(d, 1.0),
+                &rng.normal_vec(d, 1.0),
                 false,
             );
         }
@@ -435,13 +425,16 @@ mod tests {
     fn streaming_window_keeps_sinks_and_recent() {
         let mut rng = Rng::new(48);
         let d = 4;
-        let kind = AttentionKind::StreamingWindow { sinks: 2, window: 8 };
+        let kind = AttentionKind::StreamingWindow {
+            sinks: 2,
+            window: 8,
+        };
         let mut head = HeadState::new(d, &kind);
         for _ in 0..40 {
             head.step(
                 &rng.normal_vec(d, 1.0),
-                rng.normal_vec(d, 1.0),
-                rng.normal_vec(d, 1.0),
+                &rng.normal_vec(d, 1.0),
+                &rng.normal_vec(d, 1.0),
                 false,
             );
         }
@@ -459,7 +452,10 @@ mod tests {
     fn streaming_matches_exact_while_window_covers_everything() {
         let mut rng = Rng::new(49);
         let d = 4;
-        let kind = AttentionKind::StreamingWindow { sinks: 4, window: 64 };
+        let kind = AttentionKind::StreamingWindow {
+            sinks: 4,
+            window: 64,
+        };
         let mut streaming = HeadState::new(d, &kind);
         let mut exact = HeadState::new(d, &AttentionKind::Exact);
         for _ in 0..30 {
@@ -468,8 +464,8 @@ mod tests {
                 rng.normal_vec(d, 1.0),
                 rng.normal_vec(d, 1.0),
             );
-            let a = streaming.step(&q, k.clone(), v.clone(), false);
-            let b = exact.step(&q, k, v, false);
+            let a = streaming.step(&q, &k, &v, false);
+            let b = exact.step(&q, &k, &v, false);
             assert!(vector::relative_l2(&a.output, &b.output) < 1e-5);
         }
     }
@@ -489,8 +485,8 @@ mod tests {
                 rng.normal_vec(d, 1.0),
                 rng.normal_vec(d, 1.0),
             );
-            let e = exact.step(&q, k.clone(), v.clone(), false);
-            let h = h2o.step(&q, k, v, false);
+            let e = exact.step(&q, &k, &v, false);
+            let h = h2o.step(&q, &k, &v, false);
             drift = drift.max(vector::relative_l2(&h.output, &e.output));
         }
         assert!(drift > 0.05, "H2O should diverge, drift = {drift}");

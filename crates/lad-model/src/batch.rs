@@ -59,7 +59,9 @@ pub fn decode_batch(
                     chunk_prompts
                         .iter()
                         .map(|prompt| {
-                            let mut session = Session::new(model, kind);
+                            // Samples already saturate the worker pool here;
+                            // nested per-head fan-out would only oversubscribe.
+                            let mut session = Session::with_parallelism(model, kind, 1);
                             let tokens = session.generate_greedy(prompt, steps);
                             (tokens, session.last_stats().to_vec())
                         })

@@ -248,9 +248,9 @@ mod tests {
         let cfg = ModelConfig::llama2_7b();
         let gib = cfg.layer_weight_bytes() as f64 / 1024f64.powi(3);
         assert!((0.28..0.40).contains(&gib), "got {gib} GiB");
-        let paper_gib =
-            ((4 * cfg.hidden * cfg.hidden + 2 * cfg.hidden * cfg.intermediate) * 2) as f64
-                / 1024f64.powi(3);
+        let paper_gib = ((4 * cfg.hidden * cfg.hidden + 2 * cfg.hidden * cfg.intermediate) * 2)
+            as f64
+            / 1024f64.powi(3);
         assert!((paper_gib - 0.29).abs() < 0.01, "got {paper_gib} GiB");
     }
 

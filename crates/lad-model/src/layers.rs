@@ -140,16 +140,27 @@ impl Linear {
 ///
 /// Panics if `x.len()` is odd.
 pub fn rope(x: &[f32], position: usize, base: f32) -> Vec<f32> {
+    let mut out = x.to_vec();
+    rope_in_place(&mut out, position, base);
+    out
+}
+
+/// In-place [`rope`]: rotates `x` directly, so per-head projection spans can
+/// be rotated inside their shared buffer without allocating.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is odd.
+pub fn rope_in_place(x: &mut [f32], position: usize, base: f32) {
     assert!(x.len().is_multiple_of(2), "rope: dimension must be even");
     let d = x.len();
-    let mut out = vec![0.0f32; d];
     for i in 0..d / 2 {
         let theta = (position as f32) * base.powf(-2.0 * i as f32 / d as f32);
         let (sin, cos) = theta.sin_cos();
-        out[2 * i] = x[2 * i] * cos - x[2 * i + 1] * sin;
-        out[2 * i + 1] = x[2 * i] * sin + x[2 * i + 1] * cos;
+        let (even, odd) = (x[2 * i], x[2 * i + 1]);
+        x[2 * i] = even * cos - odd * sin;
+        x[2 * i + 1] = even * sin + odd * cos;
     }
-    out
 }
 
 /// Standard RoPE base.
@@ -221,6 +232,16 @@ mod tests {
         let nx: f32 = x.iter().map(|v| v * v).sum();
         let ny: f32 = y.iter().map(|v| v * v).sum();
         assert!((nx - ny).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rope_in_place_matches_rope() {
+        let x = vec![0.9f32, -0.2, 1.3, 0.4, -0.8, 0.05];
+        for pos in [0usize, 1, 17, 999] {
+            let mut y = x.clone();
+            rope_in_place(&mut y, pos, ROPE_BASE);
+            assert_eq!(y, rope(&x, pos, ROPE_BASE));
+        }
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! different [`AttentionKind`]s are exactly the paper's comparison setup:
 //! the original model vs. its LAD/Qserve/H2O variants (Table I/II).
 
-use crate::backend::{AttentionKind, HeadState};
+use crate::backend::{AttentionKind, HeadState, HeadStepOutput};
 use crate::config::{MlpKind, ModelConfig, NormKind, PositionKind};
-use crate::layers::{gelu, rope, silu, LayerNorm, Linear, RmsNorm, ROPE_BASE};
+use crate::layers::{gelu, rope_in_place, silu, LayerNorm, Linear, RmsNorm, ROPE_BASE};
 use lad_core::audit::QkvStream;
 use lad_core::locality::LocalityAnalyzer;
 use lad_core::stats::StepStats;
@@ -167,6 +167,9 @@ pub struct Session<'m> {
     model: &'m Model,
     heads: Vec<Vec<HeadState>>,
     pos: usize,
+    /// Worker threads the per-layer head fan-out may use (`1` = fully
+    /// sequential). Outputs are bit-identical at any setting.
+    parallelism: usize,
     /// LAD step statistics of every (layer, head) at the latest step.
     last_stats: Vec<StepStats>,
     /// Locality analyzers per (layer, head), when score recording is on.
@@ -177,8 +180,25 @@ pub struct Session<'m> {
 }
 
 impl<'m> Session<'m> {
-    /// Opens a session over `model` with every head running `kind`.
+    /// Opens a session over `model` with every head running `kind`. Head
+    /// steps fan out over all available cores; see
+    /// [`Session::with_parallelism`] to pick the worker count explicitly.
     pub fn new(model: &'m Model, kind: &AttentionKind) -> Session<'m> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Session::with_parallelism(model, kind, workers)
+    }
+
+    /// Opens a session that uses at most `parallelism` worker threads for the
+    /// per-layer head fan-out (`1` runs every head inline; values are clamped
+    /// to at least 1). Heads within a layer are independent, so any setting
+    /// produces bit-identical logits.
+    pub fn with_parallelism(
+        model: &'m Model,
+        kind: &AttentionKind,
+        parallelism: usize,
+    ) -> Session<'m> {
         let d = model.cfg.head_dim();
         let heads = (0..model.cfg.layers)
             .map(|_| {
@@ -191,10 +211,21 @@ impl<'m> Session<'m> {
             model,
             heads,
             pos: 0,
+            parallelism: parallelism.max(1),
             last_stats: Vec::new(),
             analyzers: None,
             qkv_taps: None,
         }
+    }
+
+    /// Sets the worker-thread cap for subsequent steps (clamped to >= 1).
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.parallelism = parallelism.max(1);
+    }
+
+    /// The current worker-thread cap.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Enables recording of every head's per-step `(q, k, v)` triples
@@ -216,7 +247,11 @@ impl<'m> Session<'m> {
     /// (only effective on the exact backend, which computes dense scores).
     pub fn record_locality(&mut self, pwl: PwlExp) {
         let count = self.model.cfg.layers * self.model.cfg.heads;
-        self.analyzers = Some((0..count).map(|_| LocalityAnalyzer::new(pwl.clone())).collect());
+        self.analyzers = Some(
+            (0..count)
+                .map(|_| LocalityAnalyzer::new(pwl.clone()))
+                .collect(),
+        );
     }
 
     /// The locality analyzers, if recording was enabled.
@@ -256,23 +291,83 @@ impl<'m> Session<'m> {
         self.last_stats.clear();
         for (layer, block) in self.model.blocks.iter().enumerate() {
             let normed = block.norm1.forward(&x);
-            let q_full = block.wq.forward(&normed);
-            let k_full = block.wk.forward(&normed);
+            let mut q_full = block.wq.forward(&normed);
+            let mut k_full = block.wk.forward(&normed);
             let v_full = block.wv.forward(&normed);
 
+            // RoPE is applied in place on each head's span of the shared
+            // projection buffers, so the fan-out below can hand every worker
+            // plain sub-slices of immutable data.
+            if cfg.position == PositionKind::Rope {
+                for h in 0..cfg.heads {
+                    let span = h * d..(h + 1) * d;
+                    rope_in_place(&mut q_full[span.clone()], self.pos, ROPE_BASE);
+                    rope_in_place(&mut k_full[span], self.pos, ROPE_BASE);
+                }
+            }
+
+            // Heads within a layer are independent (only `x` is sequential,
+            // between layers), so their steps fan out over a scoped worker
+            // pool. Post-processing stays in head order below, making the
+            // logits bit-identical to the sequential path.
+            let head_row = &mut self.heads[layer];
+            let workers = self.parallelism.min(cfg.heads).max(1);
+            let outputs: Vec<HeadStepOutput> = if workers == 1 {
+                head_row
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(h, head)| {
+                        let span = h * d..(h + 1) * d;
+                        head.step(
+                            &q_full[span.clone()],
+                            &k_full[span.clone()],
+                            &v_full[span],
+                            record,
+                        )
+                    })
+                    .collect()
+            } else {
+                let chunk = cfg.heads.div_ceil(workers);
+                let mut slots: Vec<Option<HeadStepOutput>> = (0..cfg.heads).map(|_| None).collect();
+                std::thread::scope(|scope| {
+                    for (c, (heads_chunk, out_chunk)) in head_row
+                        .chunks_mut(chunk)
+                        .zip(slots.chunks_mut(chunk))
+                        .enumerate()
+                    {
+                        let (q_full, k_full, v_full) = (&q_full, &k_full, &v_full);
+                        scope.spawn(move || {
+                            for (i, (head, slot)) in
+                                heads_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
+                            {
+                                let h = c * chunk + i;
+                                let span = h * d..(h + 1) * d;
+                                *slot = Some(head.step(
+                                    &q_full[span.clone()],
+                                    &k_full[span.clone()],
+                                    &v_full[span],
+                                    record,
+                                ));
+                            }
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every head ran"))
+                    .collect()
+            };
+
             let mut attn_concat = vec![0.0f32; cfg.hidden];
-            for h in 0..cfg.heads {
+            for (h, out) in outputs.into_iter().enumerate() {
                 let span = h * d..(h + 1) * d;
-                let (mut q, mut k) = (q_full[span.clone()].to_vec(), k_full[span.clone()].to_vec());
-                if cfg.position == PositionKind::Rope {
-                    q = rope(&q, self.pos, ROPE_BASE);
-                    k = rope(&k, self.pos, ROPE_BASE);
-                }
-                let v = v_full[span.clone()].to_vec();
                 if let Some(taps) = self.qkv_taps.as_mut() {
-                    taps[layer * cfg.heads + h].push((q.clone(), k.clone(), v.clone()));
+                    taps[layer * cfg.heads + h].push((
+                        q_full[span.clone()].to_vec(),
+                        k_full[span.clone()].to_vec(),
+                        v_full[span.clone()].to_vec(),
+                    ));
                 }
-                let out = self.heads[layer][h].step(&q, k, v, record);
                 attn_concat[span].copy_from_slice(&out.output);
                 if let Some(stats) = out.stats {
                     self.last_stats.push(stats);
@@ -448,10 +543,48 @@ mod tests {
         let d = model.config().head_dim();
         for stream in streams {
             assert_eq!(stream.len(), 6);
-            assert!(stream.iter().all(|(q, k, v)| {
-                q.len() == d && k.len() == d && v.len() == d
-            }));
+            assert!(stream
+                .iter()
+                .all(|(q, k, v)| { q.len() == d && k.len() == d && v.len() == d }));
         }
+    }
+
+    #[test]
+    fn parallel_fanout_is_bit_identical_to_sequential() {
+        // The tentpole invariant: any parallelism setting yields exactly the
+        // same logits, for every backend.
+        let model = Model::random(ModelConfig::tiny("par", 2, 64, 8), 21);
+        let kinds = [
+            AttentionKind::Exact,
+            AttentionKind::Lad(LadConfig::new(PwlExp::accurate_default())),
+            AttentionKind::h2o_default(),
+        ];
+        for kind in &kinds {
+            let mut serial = Session::with_parallelism(&model, kind, 1);
+            let mut fanned = Session::with_parallelism(&model, kind, 4);
+            assert_eq!(serial.parallelism(), 1);
+            assert_eq!(fanned.parallelism(), 4);
+            for t in [3u32, 1, 4, 1, 5, 9, 2, 6] {
+                assert_eq!(serial.step(t), fanned.step(t), "kind {kind:?}");
+            }
+            assert_eq!(
+                serial.generate_greedy(&[7, 7], 24),
+                fanned.generate_greedy(&[7, 7], 24),
+                "kind {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallelism_knob_clamps_and_updates() {
+        let model = tiny_model();
+        let mut s = Session::with_parallelism(&model, &AttentionKind::Exact, 0);
+        assert_eq!(s.parallelism(), 1);
+        s.set_parallelism(0);
+        assert_eq!(s.parallelism(), 1);
+        s.set_parallelism(6);
+        assert_eq!(s.parallelism(), 6);
+        assert!(Session::new(&model, &AttentionKind::Exact).parallelism() >= 1);
     }
 
     #[test]

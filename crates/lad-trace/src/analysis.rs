@@ -126,10 +126,7 @@ pub fn analyze(trace: &ScoreTrace, pwl: &PwlExp, cfg: &AnalysisConfig) -> Vec<St
             }
         }
 
-        let new_active = active
-            .iter()
-            .filter(|j| !prev_active.contains(j))
-            .count();
+        let new_active = active.iter().filter(|j| !prev_active.contains(j)).count();
         prev_active = active.iter().copied().collect();
 
         out.push(StepStats {
@@ -142,6 +139,7 @@ pub fn analyze(trace: &ScoreTrace, pwl: &PwlExp, cfg: &AnalysisConfig) -> Vec<St
             new_active,
             false_negatives: 0,
             false_positives: 0,
+            den_fallbacks: 0,
         });
     }
     out

@@ -287,11 +287,7 @@ mod tests {
         }
         let report = analyzer.report(50);
         // Top-1 close to the stationary stability (drift adds slack).
-        assert!(
-            (report.top1 - 0.85).abs() < 0.08,
-            "top1 = {}",
-            report.top1
-        );
+        assert!((report.top1 - 0.85).abs() < 0.08, "top1 = {}", report.top1);
         // Paper: top-1 + top-2 exceeds 95 %.
         assert!(report.top2 > 0.93, "top2 = {}", report.top2);
     }

@@ -17,15 +17,20 @@ fn main() {
     println!("accelerator simulation: {} decode\n", model.name);
     println!(
         "{:>6} {:>5} | {:>12} {:>12} {:>9} | {:>12} {:>12} {:>9}",
-        "kv len", "batch", "GPU attn t/s", "LAD attn t/s", "speedup",
-        "GPU e2e t/s", "LAD e2e t/s", "speedup"
+        "kv len",
+        "batch",
+        "GPU attn t/s",
+        "LAD attn t/s",
+        "speedup",
+        "GPU e2e t/s",
+        "LAD e2e t/s",
+        "speedup"
     );
 
     for n in [512usize, 1024, 2048, 3072, 4096] {
         let stats = workload_stats(n, 1);
         let gpu = evaluate_best_batch(&Platform::Gpu(GpuBaseline::Vllm), &model, n, &stats);
-        let lad =
-            evaluate_best_batch(&Platform::Lad(AccelConfig::lad_3_5()), &model, n, &stats);
+        let lad = evaluate_best_batch(&Platform::Lad(AccelConfig::lad_3_5()), &model, n, &stats);
         println!(
             "{:>6} {:>5} | {:>12.0} {:>12.0} {:>8.1}x | {:>12.0} {:>12.0} {:>8.1}x",
             n,
@@ -44,10 +49,9 @@ fn main() {
     let gpu = evaluate_best_batch(&Platform::Gpu(GpuBaseline::Vllm), &model, 4096, &stats);
     for cfg in AccelConfig::paper_configs() {
         let lad = evaluate_best_batch(&Platform::Lad(cfg.clone()), &model, 4096, &stats);
-        let attn_eff = (lad.batch as f64 / lad.attn_energy_j)
-            / (gpu.batch as f64 / gpu.attn_energy_j);
-        let e2e_eff =
-            (lad.batch as f64 / lad.e2e_energy_j) / (gpu.batch as f64 / gpu.e2e_energy_j);
+        let attn_eff =
+            (lad.batch as f64 / lad.attn_energy_j) / (gpu.batch as f64 / gpu.attn_energy_j);
+        let e2e_eff = (lad.batch as f64 / lad.e2e_energy_j) / (gpu.batch as f64 / gpu.e2e_energy_j);
         println!(
             "  {:<8} attention energy efficiency {:>5.1}x, end-to-end {:>5.1}x \
              (HBM {:.0}% / SRAM {:.0}% / compute {:.0}%)",
@@ -59,5 +63,7 @@ fn main() {
             lad.energy.compute_j / lad.energy.total() * 100.0,
         );
     }
-    println!("\npaper headline: 10.7x attention / 2.3x e2e speedup, 52.4x / 13.4x energy (group 2)");
+    println!(
+        "\npaper headline: 10.7x attention / 2.3x e2e speedup, 52.4x / 13.4x energy (group 2)"
+    );
 }

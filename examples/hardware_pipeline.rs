@@ -39,8 +39,8 @@ fn main() {
             *slot += 0.03 * rng.normal() as f32;
         }
         let v = rng.normal_vec(d, 1.0);
-        shadow.push(k.clone(), v.clone());
-        let result = tile.step(&q, k, v);
+        shadow.push(&k, &v);
+        let result = tile.step(&q, &k, &v);
         let exact = reference::exact_attention(&q, &shadow);
         worst = worst.max(vector::relative_l2(&result.output, &exact));
         if (step + 1) % 40 == 0 {

@@ -43,8 +43,7 @@ fn main() {
                 reference = generated.clone();
                 println!("  {name:<13} -> {} tokens (reference)", generated.len());
             } else {
-                let scores =
-                    RougeScores::compute(&reference, &generated, Some(SEPARATOR_TOKEN));
+                let scores = RougeScores::compute(&reference, &generated, Some(SEPARATOR_TOKEN));
                 let agree = reference
                     .iter()
                     .zip(&generated)

@@ -41,9 +41,9 @@ fn main() {
             *slot += 0.05 * rng.normal() as f32;
         }
         let v = rng.normal_vec(dim, 1.0);
-        shadow.push(k.clone(), v.clone());
+        shadow.push(&k, &v);
 
-        let out = head.step(&q, k, v);
+        let out = head.step(&q, &k, &v);
         let exact = reference::exact_attention(&q, &shadow);
         worst_err = worst_err.max(vector::relative_l2(&out.output, &exact));
 

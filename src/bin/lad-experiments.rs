@@ -107,7 +107,14 @@ fn platforms() -> Vec<Platform> {
 fn run_throughput(out: &Path) -> std::io::Result<()> {
     let mut table = Table::new(
         "throughput",
-        &["model", "kv_len", "platform", "batch", "attn_tok_s", "e2e_tok_s"],
+        &[
+            "model",
+            "kv_len",
+            "platform",
+            "batch",
+            "attn_tok_s",
+            "e2e_tok_s",
+        ],
     );
     sweep(|model, n, stats| {
         for platform in platforms() {
@@ -135,8 +142,14 @@ fn run_energy(out: &Path) -> std::io::Result<()> {
     let mut table = Table::new(
         "energy",
         &[
-            "model", "kv_len", "platform", "attn_j_per_tok", "e2e_j_per_tok",
-            "hbm_j", "sram_j", "compute_j",
+            "model",
+            "kv_len",
+            "platform",
+            "attn_j_per_tok",
+            "e2e_j_per_tok",
+            "hbm_j",
+            "sram_j",
+            "compute_j",
         ],
     );
     sweep(|model, n, stats| {
@@ -177,11 +190,25 @@ fn sweep(mut f: impl FnMut(&ModelConfig, usize, &lad::core::stats::StatsSummary)
 fn run_fidelity(out: &Path) -> std::io::Result<()> {
     let mut table = Table::new(
         "fidelity",
-        &["family", "dataset", "backend", "rouge1", "rouge2", "rougeL", "rougeLsum"],
+        &[
+            "family",
+            "dataset",
+            "backend",
+            "rouge1",
+            "rouge2",
+            "rougeL",
+            "rougeLsum",
+        ],
     );
     let models = [
-        ("OPT-style", Model::random(ModelConfig::tiny_opt("opt-mini", 2, 64, 4), 301)),
-        ("LLaMA-style", Model::random(ModelConfig::tiny("llama-mini", 2, 64, 4), 302)),
+        (
+            "OPT-style",
+            Model::random(ModelConfig::tiny_opt("opt-mini", 2, 64, 4), 301),
+        ),
+        (
+            "LLaMA-style",
+            Model::random(ModelConfig::tiny("llama-mini", 2, 64, 4), 302),
+        ),
     ];
     for (family, model) in &models {
         for bench in generation_benchmarks(model.config().vocab as u32, 4, 77) {

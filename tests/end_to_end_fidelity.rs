@@ -45,7 +45,10 @@ fn perplexity_matches_table_ii() {
         (lad - original).abs() / original < 0.01,
         "original {original} vs LAD {lad}"
     );
-    assert!(h2o > original, "H2O {h2o} should exceed original {original}");
+    assert!(
+        h2o > original,
+        "H2O {h2o} should exceed original {original}"
+    );
 }
 
 #[test]
@@ -53,10 +56,7 @@ fn lad_sessions_expose_sublinear_kv_reads() {
     // The LAD backend's own instrumentation shows KV reads well below n on a
     // real decode once the cache warms up.
     let model = model();
-    let mut session = Session::new(
-        &model,
-        &AttentionKind::Lad(LadConfig::default()),
-    );
+    let mut session = Session::new(&model, &AttentionKind::Lad(LadConfig::default()));
     let prompt: Vec<u32> = (0..150).map(|i| (i * 11 + 1) % 256).collect();
     session.prefill(&prompt);
     let stats = session.last_stats();

@@ -60,8 +60,8 @@ fn tile_engine_on_real_transformer_streams() {
     let mut shadow = KvCache::new(d);
     let mut worst = 0.0f32;
     for (q, k, v) in stream {
-        shadow.push(k.clone(), v.clone());
-        let result = tile.step(q, k.clone(), v.clone());
+        shadow.push(k, v);
+        let result = tile.step(q, k, v);
         let exact = reference::exact_attention(q, &shadow);
         worst = worst.max(vector::relative_l2(&result.output, &exact));
     }
@@ -83,7 +83,10 @@ fn streaming_window_baseline_degrades_on_long_contexts() {
 
     let mut tight = Session::new(
         &model,
-        &AttentionKind::StreamingWindow { sinks: 2, window: 16 },
+        &AttentionKind::StreamingWindow {
+            sinks: 2,
+            window: 16,
+        },
     );
     let tight_tokens = tight.generate_greedy(&prompt, 48);
     let tight_agree = reference_tokens

@@ -53,7 +53,10 @@ fn lad_latency_below_ideal_and_attention_share_stays_flat() {
         let stats = workload_stats(n, 3);
         let ideal = evaluate(&Platform::Ideal(cfg.clone()), &model, n, &stats, 4);
         let lad = evaluate(&Platform::Lad(cfg.clone()), &model, n, &stats, 4);
-        assert!(lad.e2e_seconds < ideal.e2e_seconds, "LAD not below ideal at n={n}");
+        assert!(
+            lad.e2e_seconds < ideal.e2e_seconds,
+            "LAD not below ideal at n={n}"
+        );
         lad_shares.push(share(&lad));
         ideal_shares.push(share(&ideal));
     }
@@ -64,7 +67,10 @@ fn lad_latency_below_ideal_and_attention_share_stays_flat() {
         "LAD share grew {lad_growth:.3} vs ideal {ideal_growth:.3}"
     );
     // Paper: +3 % for LLaMA2-13B on LAD-3.5 from 512 to 4096.
-    assert!(lad_growth < 0.10, "LAD attention share grew {lad_growth:.3}");
+    assert!(
+        lad_growth < 0.10,
+        "LAD attention share grew {lad_growth:.3}"
+    );
 }
 
 #[test]

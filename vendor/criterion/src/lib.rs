@@ -1,0 +1,296 @@
+//! Workspace-local micro-benchmark harness.
+//!
+//! The build environment cannot fetch the real `criterion`, so this crate
+//! implements the subset of its API the repo's benches use: `Criterion`
+//! with `sample_size` / `measurement_time` / `warm_up_time`, benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is plain wall-clock sampling with a
+//! median-of-samples report (no statistical regression analysis or HTML
+//! output).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. All variants behave identically
+/// here (one routine call per setup); the distinction only matters for the
+/// real criterion's batching heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state (cloned fresh each iteration).
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered into the label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("lad", 128)` renders as `lad/128`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A bare parameter id (`from_parameter(128)` renders as `128`).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the most recent timing call.
+    sample_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records per-iteration latency.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = self.iters_per_sample.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed().as_secs_f64();
+        self.sample_ns.push(total * 1e9 / iters as f64);
+    }
+
+    /// Times `routine` on fresh state from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = self.iters_per_sample.max(1);
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.sample_ns
+            .push(total.as_secs_f64() * 1e9 / iters as f64);
+    }
+}
+
+/// Benchmark driver: collects samples and prints a one-line report per
+/// benchmark.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measurement samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up time before measurement starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        run_benchmark(self, name, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark identified by `id` with a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(self.criterion, &label, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion, &label, |b| f(b));
+        self
+    }
+
+    /// Ends the group (report lines are already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(criterion: &Criterion, label: &str, mut f: F) {
+    // Warm-up: run the closure with single-iteration samples until the
+    // warm-up budget is spent, calibrating iterations per sample.
+    let mut bencher = Bencher {
+        sample_ns: Vec::new(),
+        iters_per_sample: 1,
+    };
+    let warm_start = Instant::now();
+    let mut warm_runs = 0u64;
+    while warm_start.elapsed() < criterion.warm_up_time || warm_runs == 0 {
+        f(&mut bencher);
+        warm_runs += 1;
+        if warm_runs >= 10_000 {
+            break;
+        }
+    }
+    let observed_ns = median(&mut bencher.sample_ns).max(1.0);
+
+    // Calibrate so the full measurement fits the time budget.
+    let budget_ns = criterion.measurement_time.as_secs_f64() * 1e9;
+    let total_iters = (budget_ns / observed_ns).clamp(1.0, 1e9);
+    let iters_per_sample = (total_iters / criterion.sample_size as f64).max(1.0) as u64;
+
+    let mut bencher = Bencher {
+        sample_ns: Vec::new(),
+        iters_per_sample,
+    };
+    for _ in 0..criterion.sample_size {
+        f(&mut bencher);
+    }
+    let mid = median(&mut bencher.sample_ns);
+    println!("{label:<50} time: {:>12} /iter", format_ns(mid));
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    samples[samples.len() / 2]
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group entry point (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            sample_ns: Vec::new(),
+            iters_per_sample: 10,
+        };
+        b.iter(|| 1 + 1);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.sample_ns.len(), 2);
+        assert!(b.sample_ns.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let mut a = vec![3.0, 1.0, 2.0];
+        assert_eq!(median(&mut a), 2.0);
+        assert_eq!(median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("lad", 128).label, "lad/128");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+
+    #[test]
+    fn full_run_is_quick_with_tiny_budget() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("noop", |b| b.iter(|| 0u8));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 1), &1, |b, &x| b.iter(|| x));
+        group.finish();
+    }
+}

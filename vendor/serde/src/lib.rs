@@ -1,0 +1,22 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the real `serde` cannot be fetched. This repo uses serde purely as
+//! `#[derive(Serialize, Deserialize)]` markers on plain-old-data structs —
+//! nothing ever constructs a serializer — so a pair of marker traits and
+//! no-op derive macros satisfy every use site without touching the annotated
+//! source. If real serialization is ever needed, replace this crate with the
+//! actual `serde` in the workspace manifest.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! The real derive macros generate (de)serialization impls; this repo only
+//! uses the derives as markers on plain-old-data structs and never invokes a
+//! serializer, so the derives expand to nothing. Kept as a separate
+//! proc-macro crate so `#[derive(Serialize, Deserialize)]` resolves exactly
+//! like the real crate and the annotated source stays untouched.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
