@@ -19,4 +19,7 @@ cargo test -q
 echo "== workspace tests"
 cargo test --workspace --release -q
 
+echo "== slow tests (long-stream + differential grid, warnings are errors)"
+RUSTFLAGS="-D warnings" cargo test --workspace --release -q -- --ignored
+
 echo "CI green."

@@ -1,10 +1,19 @@
-//! Decode-step scaling of the per-head worker pool.
+//! Decode-step scaling of the shared worker pool.
 //!
-//! `Session` fans the heads of each layer over a scoped thread pool; this
-//! bench sweeps the `parallelism` knob over an 8-head preset and reports
-//! per-token decode latency and the speedup over the sequential path. The
-//! fan-out is required to be bit-identical to sequential decoding, so the
-//! sweep also cross-checks every configuration's output tokens.
+//! Two sweeps:
+//!
+//! 1. **Single-sequence head fan-out** — `Session` fans the heads of each
+//!    layer over the shared pool; the `parallelism` knob is swept over an
+//!    8-head preset, reporting per-token decode latency and speedup over the
+//!    sequential path.
+//! 2. **Batch × head fan-out** — `decode_batch_on` puts one sequence-level
+//!    task per sample and head-level tasks per step on the *same* pool; the
+//!    sweep crosses batch sizes 2–8 with head widths 1–4 and records the
+//!    pool's scheduling counters. The run is written to `BENCH_pool.json`
+//!    at the repo root as the committed baseline.
+//!
+//! The fan-out is required to be bit-identical to sequential decoding, so
+//! both sweeps also cross-check every configuration's output tokens.
 //!
 //! ```sh
 //! cargo bench --bench decode_parallelism
@@ -12,9 +21,12 @@
 
 use lad_bench::{print_table, section};
 use lad_core::decoder::LadConfig;
+use lad_core::pool::WorkerPool;
 use lad_model::backend::AttentionKind;
+use lad_model::batch::{decode_batch, decode_batch_on};
 use lad_model::config::ModelConfig;
 use lad_model::transformer::{Model, Session};
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Decodes `steps` tokens after `prompt` and returns (tokens, secs/token).
@@ -56,6 +68,128 @@ fn sweep(model: &Model, kind: &AttentionKind, label: &str, steps: usize) {
     print_table(&["threads", "ms/token", "speedup", "bit-identical"], &rows);
 }
 
+/// One measured point of the batch × head sweep, as written to the JSON
+/// baseline.
+struct PoolPoint {
+    kind: &'static str,
+    batch: usize,
+    heads: usize,
+    ms_per_token: f64,
+    speedup: f64,
+    tasks_executed: usize,
+    tasks_stolen: usize,
+    idle_wakeups: usize,
+}
+
+/// Sweeps `decode_batch_on` over batch sizes × head fan-out widths on one
+/// shared pool, cross-checking tokens against the sequential batch path.
+fn batch_sweep(
+    model: &Model,
+    kind: &AttentionKind,
+    label: &'static str,
+    steps: usize,
+    points: &mut Vec<PoolPoint>,
+) {
+    section(&format!(
+        "decode_parallelism: batched {label} (4-head preset)"
+    ));
+    let pool = WorkerPool::global();
+    let mut rows = Vec::new();
+    for batch in [2usize, 4, 8] {
+        let prompts: Vec<Vec<u32>> = (0..batch)
+            .map(|s| {
+                (0..64u32)
+                    .map(|i| (i * 31 + 5 + s as u32 * 17) % 256)
+                    .collect()
+            })
+            .collect();
+        let total_tokens = (batch * (64 + steps)) as f64;
+        let start = Instant::now();
+        let sequential = decode_batch(model, kind, &prompts, steps, 1);
+        let baseline = start.elapsed().as_secs_f64() / total_tokens;
+        for heads in [1usize, 2, 4] {
+            let start = Instant::now();
+            let pooled = decode_batch_on(pool, model, kind, &prompts, steps, heads);
+            let per_token = start.elapsed().as_secs_f64() / total_tokens;
+            assert_eq!(
+                pooled.sequences, sequential.sequences,
+                "batch={batch} heads={heads} diverged from sequential decoding"
+            );
+            rows.push(vec![
+                format!("{batch}"),
+                format!("{heads}"),
+                format!("{:.3}", per_token * 1e3),
+                format!("{:.2}x", baseline / per_token),
+                format!("{}", pooled.pool.tasks_executed),
+                format!("{}", pooled.pool.tasks_stolen),
+                format!("{}", pooled.pool.idle_wakeups),
+            ]);
+            points.push(PoolPoint {
+                kind: label,
+                batch,
+                heads,
+                ms_per_token: per_token * 1e3,
+                speedup: baseline / per_token,
+                tasks_executed: pooled.pool.tasks_executed,
+                tasks_stolen: pooled.pool.tasks_stolen,
+                idle_wakeups: pooled.pool.idle_wakeups,
+            });
+        }
+    }
+    print_table(
+        &[
+            "batch",
+            "heads",
+            "ms/token",
+            "speedup",
+            "tasks",
+            "stolen",
+            "idle-wakes",
+        ],
+        &rows,
+    );
+}
+
+/// Writes the batch-sweep baseline to `BENCH_pool.json` at the repo root.
+fn write_baseline(points: &[PoolPoint]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pool.json");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"decode_parallelism/batch_pool\",");
+    let _ = writeln!(
+        json,
+        "  \"model\": \"tiny pool preset (2 layers, 128 hidden, 4 heads)\","
+    );
+    let _ = writeln!(json, "  \"prompt_len\": 64,");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"kind\": \"{}\", \"batch\": {}, \"head_parallelism\": {}, \
+             \"ms_per_token\": {:.4}, \"speedup_vs_sequential\": {:.3}, \
+             \"pool_tasks_executed\": {}, \"pool_tasks_stolen\": {}, \
+             \"pool_idle_wakeups\": {}}}{comma}",
+            p.kind,
+            p.batch,
+            p.heads,
+            p.ms_per_token,
+            p.speedup,
+            p.tasks_executed,
+            p.tasks_stolen,
+            p.idle_wakeups,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("\nbaseline written to BENCH_pool.json"),
+        Err(e) => println!("\ncould not write BENCH_pool.json: {e}"),
+    }
+}
+
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("host cores: {cores} (speedup saturates at the core count)");
@@ -71,5 +205,19 @@ fn main() {
         steps,
     );
     println!("\noutputs are bit-identical across every thread count; the knob only");
-    println!("changes wall-clock, never results (see Session::set_parallelism).");
+    println!("changes wall-clock, never results (see Session::with_parallelism).");
+
+    // Batch × head sweep on the shared pool: sequence tasks and head tasks
+    // compete for the same workers, so small batches still fill the cores.
+    let pool_model = Model::random(ModelConfig::tiny("pool", 2, 128, 4), 7);
+    let mut points = Vec::new();
+    batch_sweep(&pool_model, &AttentionKind::Exact, "exact", 32, &mut points);
+    batch_sweep(
+        &pool_model,
+        &AttentionKind::Lad(LadConfig::default()),
+        "lad",
+        32,
+        &mut points,
+    );
+    write_baseline(&points);
 }

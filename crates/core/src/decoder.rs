@@ -155,6 +155,10 @@ struct StepScratch {
     active: Vec<usize>,
     corrected: Vec<bool>,
     next_active: HashSet<usize>,
+    /// `(position, exact score)` of every latest-window position, cached by
+    /// the window pass so the degenerate-denominator fallback can reuse the
+    /// slice instead of rescanning all `n` positions.
+    window_scores: Vec<(usize, f64)>,
 }
 
 impl LadAttention {
@@ -363,10 +367,15 @@ impl LadAttention {
         }
 
         // -- Step 5: window positions (not yet cached) computed directly.
+        // Their `(position, score)` pairs are cached in scratch: the
+        // degenerate-denominator fallback below feeds on the slice directly,
+        // so it costs O(window · d) instead of rescanning all n positions.
         let mut window_count = 0usize;
+        scratch.window_scores.clear();
         for (i, &score) in scores.iter().enumerate() {
             if self.cached_mode[i].is_none() {
                 window_count += 1;
+                scratch.window_scores.push((i, score));
                 let shifted = score - m;
                 let id = self.cfg.pwl.interval_of(shifted);
                 let (a, b) = self.cfg.pwl.coeffs(id);
@@ -395,22 +404,20 @@ impl LadAttention {
             num.iter().map(|&x| (x / den) as f32).collect()
         } else {
             den_fallbacks = 1;
+            // The window pass already collected every (position, exact score)
+            // pair; reuse the cached slice rather than rescanning `scores`.
             let mut m_w = f64::NEG_INFINITY;
-            for (i, &score) in scores.iter().enumerate() {
-                if self.cached_mode[i].is_none() {
-                    m_w = m_w.max(score);
-                }
+            for &(_, score) in &scratch.window_scores {
+                m_w = m_w.max(score);
             }
             num.clear();
             num.resize(d, 0.0);
             let mut w_den = 0.0f64;
-            for (i, &score) in scores.iter().enumerate() {
-                if self.cached_mode[i].is_none() {
-                    let w = (score - m_w).exp();
-                    w_den += w;
-                    for (slot, &vc) in num.iter_mut().zip(self.kv.value(i)) {
-                        *slot += w * f64::from(vc);
-                    }
+            for &(i, score) in &scratch.window_scores {
+                let w = (score - m_w).exp();
+                w_den += w;
+                for (slot, &vc) in num.iter_mut().zip(self.kv.value(i)) {
+                    *slot += w * f64::from(vc);
                 }
             }
             num.iter().map(|&x| (x / w_den) as f32).collect()
@@ -455,6 +462,9 @@ impl LadAttention {
                 false_negatives,
                 false_positives,
                 den_fallbacks,
+                // Scheduling metadata: the session that fanned this head out
+                // (if any) overwrites it with the scheduled width.
+                fanout_width: 0,
             },
         }
     }
@@ -699,5 +709,70 @@ mod tests {
         let exact = reference::exact_attention(&q, head.kv());
         let rel = vector::relative_l2(&last.output, &exact);
         assert!(rel < 1e-5, "fallback vs exact softmax: {rel}");
+    }
+
+    #[test]
+    fn den_fallback_matches_window_softmax_with_cached_positions() {
+        // Regression for the cached window-score-slice fast path: on a stream
+        // engineered to degenerate the denominator *after* positions have aged
+        // into the intermediate caches, the fallback must still equal the
+        // exact softmax over only the window positions — computed here
+        // independently from a shadow KV cache, in the same f64 op order, so
+        // the comparison is bit-exact. Any drift in what the fallback reads
+        // (e.g. the cached slice going stale) breaks this equality.
+        let pwl = PwlExp::with_boundaries(&[-100.0, 0.0]).unwrap();
+        let cfg = LadConfig {
+            window: 3,
+            ..LadConfig::new(pwl)
+        };
+        let d = 2;
+        let mut head = LadAttention::new(d, cfg);
+        let mut shadow = KvCache::new(d);
+        let q = [10.0f32, 0.0];
+        let scale = 1.0 / (d as f32).sqrt();
+        let q_scaled: Vec<f32> = q.iter().map(|&x| x * scale).collect();
+
+        let mut fallbacks_with_cache = 0usize;
+        for i in 0..12 {
+            // First key scores high (pins the max); the rest score ~-85
+            // shifted, where the coarse fit's weights go negative.
+            let k = if i == 0 { [2.0f32, 0.0] } else { [-12.0, 0.0] };
+            let v = [i as f32, 1.0 - i as f32];
+            shadow.push(&k, &v);
+            let out = head.step(&q, &k, &v);
+            assert!(out.output.iter().all(|x| x.is_finite()));
+            if out.stats.den_fallbacks == 0 {
+                continue;
+            }
+            // Window positions during step i (0-indexed): everything not yet
+            // aged into the caches, i.e. indices > i - 1 - window.
+            let n: usize = i + 1;
+            let first_window = n.saturating_sub(head.config().window + 1);
+            if first_window > 0 {
+                fallbacks_with_cache += 1;
+            }
+            let mut m_w = f64::NEG_INFINITY;
+            let scores: Vec<f64> = (first_window..n)
+                .map(|j| f64::from(vector::dot(&q_scaled, shadow.key(j))))
+                .collect();
+            for &s in &scores {
+                m_w = m_w.max(s);
+            }
+            let mut num = vec![0.0f64; d];
+            let mut den = 0.0f64;
+            for (j, &s) in (first_window..n).zip(&scores) {
+                let w = (s - m_w).exp();
+                den += w;
+                for (slot, &vc) in num.iter_mut().zip(shadow.value(j)) {
+                    *slot += w * f64::from(vc);
+                }
+            }
+            let expected: Vec<f32> = num.iter().map(|&x| (x / den) as f32).collect();
+            assert_eq!(out.output, expected, "step {i}: fallback diverged");
+        }
+        assert!(
+            fallbacks_with_cache > 0,
+            "stream never hit the fallback with cached positions present"
+        );
     }
 }

@@ -1,0 +1,494 @@
+//! Shared decode worker pool.
+//!
+//! Batch decoding (sequence-level tasks) and the per-layer head fan-out
+//! (head-level tasks) used to run on *separate* `std::thread::scope` spawns,
+//! which forced them to be mutually exclusive: batch workers pinned the head
+//! fan-out to `parallelism = 1` so the two scopes would not oversubscribe the
+//! machine. This module replaces both with one long-lived pool and a
+//! **two-level task queue**:
+//!
+//! * [`TaskLevel::Sequence`] — coarse tasks, one whole sequence of a batch.
+//! * [`TaskLevel::Head`] — fine tasks, a chunk of attention heads within one
+//!   decode step. Head tasks always dequeue first: they sit on the critical
+//!   path of a step that some sequence task is already blocked on.
+//!
+//! Scheduling is work-helping: a thread that waits on a [`WorkerPool::scope`]
+//! does not block — it keeps executing queued tasks (its own scope's or any
+//! other's) until its scope drains. This is what lets a small batch soak up
+//! leftover cores: while few sequence tasks are in flight, the waiting
+//! threads and idle workers pick up the head-level tasks those sequences
+//! spawn. It also makes the pool deadlock-free by construction at any worker
+//! count, including zero (everything help-runs inline), and keeps nested
+//! scopes (a sequence task stepping a session that fans out heads) safe.
+//!
+//! **Determinism.** The pool never influences results: every task writes to
+//! its own pre-assigned output slot and a scope only returns once all of its
+//! tasks completed, so outputs are collected in program order regardless of
+//! which thread ran what. The top-level differential harness
+//! (`tests/differential.rs`) pins this down against the sequential paths.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::{self, JoinHandle, ThreadId};
+
+/// Priority class of a pool task (the two queue levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskLevel {
+    /// Coarse-grained: decode one whole sequence of a batch.
+    Sequence,
+    /// Fine-grained: step a chunk of attention heads; dequeues before
+    /// sequence tasks because a sequence task is already waiting on it.
+    Head,
+}
+
+/// Snapshot of the pool's monotonic scheduling counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Tasks executed (by workers and by helping scope owners).
+    pub tasks_executed: usize,
+    /// Tasks executed by a thread other than the one that spawned them.
+    pub tasks_stolen: usize,
+    /// Times a worker woke from the condvar and found both queues empty.
+    pub idle_wakeups: usize,
+}
+
+impl PoolMetrics {
+    /// Counter increments since an `earlier` snapshot (saturating, so a
+    /// mismatched pair degrades to zeros instead of nonsense).
+    pub fn delta(self, earlier: PoolMetrics) -> PoolMetrics {
+        PoolMetrics {
+            tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
+            tasks_stolen: self.tasks_stolen.saturating_sub(earlier.tasks_stolen),
+            idle_wakeups: self.idle_wakeups.saturating_sub(earlier.idle_wakeups),
+        }
+    }
+}
+
+/// A task whose borrowed environment has been erased to `'static`; sound
+/// because the owning scope cannot return before the task completed.
+type TaskFn = Box<dyn FnOnce() + Send + 'static>;
+
+struct Task {
+    run: TaskFn,
+    scope: Arc<ScopeState>,
+    submitter: ThreadId,
+}
+
+#[derive(Default)]
+struct Queues {
+    head: VecDeque<Task>,
+    seq: VecDeque<Task>,
+}
+
+impl Queues {
+    fn pop(&mut self) -> Option<Task> {
+        self.head.pop_front().or_else(|| self.seq.pop_front())
+    }
+
+    fn is_empty(&self) -> bool {
+        self.head.is_empty() && self.seq.is_empty()
+    }
+}
+
+struct Shared {
+    queues: Mutex<Queues>,
+    /// Notified on new work, task completion and shutdown; workers and
+    /// helping scope owners both wait on it.
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    tasks_executed: AtomicUsize,
+    tasks_stolen: AtomicUsize,
+    idle_wakeups: AtomicUsize,
+}
+
+struct ScopeState {
+    /// Tasks spawned but not yet completed. Mutated under the queue lock so
+    /// the owner's check-then-wait cannot miss the final decrement.
+    pending: AtomicUsize,
+    /// First panic payload raised by any task of this scope.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Default for ScopeState {
+    fn default() -> ScopeState {
+        ScopeState {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        }
+    }
+}
+
+/// A long-lived two-level work-helping thread pool (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use lad_core::pool::{TaskLevel, WorkerPool};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = WorkerPool::new(2);
+/// let hits = AtomicUsize::new(0);
+/// pool.scope(|scope| {
+///     for _ in 0..8 {
+///         scope.spawn(TaskLevel::Head, || {
+///             hits.fetch_add(1, Ordering::Relaxed);
+///         });
+///     }
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 8);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .field("metrics", &self.metrics())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` long-lived background threads. `0` is
+    /// valid: scopes then execute every task inline while "waiting".
+    pub fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            queues: Mutex::new(Queues::default()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            tasks_executed: AtomicUsize::new(0),
+            tasks_stolen: AtomicUsize::new(0),
+            idle_wakeups: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("lad-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// The process-global pool shared by every decode session and batch:
+    /// `available_parallelism - 1` background workers (the scope-owning
+    /// thread always helps, so the machine is exactly saturated).
+    pub fn global() -> &'static Arc<WorkerPool> {
+        static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let cores = thread::available_parallelism().map_or(1, |n| n.get());
+            Arc::new(WorkerPool::new(cores.saturating_sub(1)))
+        })
+    }
+
+    /// Number of background worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Snapshot of the scheduling counters (monotonic; diff two snapshots
+    /// with [`PoolMetrics::delta`] to meter a region).
+    pub fn metrics(&self) -> PoolMetrics {
+        PoolMetrics {
+            tasks_executed: self.shared.tasks_executed.load(Ordering::Relaxed),
+            tasks_stolen: self.shared.tasks_stolen.load(Ordering::Relaxed),
+            idle_wakeups: self.shared.idle_wakeups.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `f`, which may spawn borrowing tasks on the scope, then
+    /// help-executes queued tasks until every task spawned in the scope has
+    /// completed. Panics from tasks are resumed on the caller.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&PoolScope<'_, 'env>) -> R) -> R {
+        let state = Arc::new(ScopeState::default());
+        let scope = PoolScope {
+            pool: self,
+            state: Arc::clone(&state),
+            _env: PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Wait (helping) even if `f` panicked: spawned tasks still borrow the
+        // environment and must finish before unwinding frees it.
+        self.help_until_done(&state);
+        if let Some(payload) = state.panic.lock().unwrap().take() {
+            panic::resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// Executes queued tasks (any scope's — that is the stealing) until
+    /// `state` has no pending tasks left.
+    fn help_until_done(&self, state: &Arc<ScopeState>) {
+        loop {
+            let task = {
+                let mut queues = self.shared.queues.lock().unwrap();
+                loop {
+                    if state.pending.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    if let Some(task) = queues.pop() {
+                        break task;
+                    }
+                    queues = self.shared.work_cv.wait(queues).unwrap();
+                }
+            };
+            execute(&self.shared, task);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            // Flag under the lock so no worker can check-then-sleep around it.
+            let _guard = self.shared.queues.lock().unwrap();
+            self.shared.shutdown.store(true, Ordering::Release);
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Spawn handle passed to the closure of [`WorkerPool::scope`].
+pub struct PoolScope<'pool, 'env> {
+    pool: &'pool WorkerPool,
+    state: Arc<ScopeState>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'pool, 'env> PoolScope<'pool, 'env> {
+    /// Queues `task` at `level`. The task may borrow from the environment;
+    /// the owning [`WorkerPool::scope`] call completes it before returning.
+    pub fn spawn<F>(&self, level: TaskLevel, task: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(task);
+        // SAFETY: the erased borrows live for 'env, and `scope` does not
+        // return (completing 'env's borrow region) until `pending` hits zero,
+        // i.e. until this task has run to completion or panicked — exactly
+        // the guarantee std::thread::scope encodes in types.
+        let run: TaskFn = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(boxed)
+        };
+        let task = Task {
+            run,
+            scope: Arc::clone(&self.state),
+            submitter: thread::current().id(),
+        };
+        {
+            let mut queues = self.pool.shared.queues.lock().unwrap();
+            self.state.pending.fetch_add(1, Ordering::AcqRel);
+            match level {
+                TaskLevel::Head => queues.head.push_back(task),
+                TaskLevel::Sequence => queues.seq.push_back(task),
+            }
+        }
+        self.pool.shared.work_cv.notify_one();
+    }
+}
+
+fn execute(shared: &Shared, task: Task) {
+    shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    if thread::current().id() != task.submitter {
+        shared.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+    }
+    let outcome = panic::catch_unwind(AssertUnwindSafe(task.run));
+    if let Err(payload) = outcome {
+        let mut slot = task.scope.panic.lock().unwrap();
+        slot.get_or_insert(payload);
+    }
+    {
+        // Decrement under the queue lock: scope owners check-then-wait under
+        // the same lock, so the final decrement can never slip between their
+        // check and their sleep.
+        let _guard = shared.queues.lock().unwrap();
+        task.scope.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+    shared.work_cv.notify_all();
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let task = {
+            let mut queues = shared.queues.lock().unwrap();
+            loop {
+                if let Some(task) = queues.pop() {
+                    break Some(task);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queues = shared.work_cv.wait(queues).unwrap();
+                if queues.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
+                    shared.idle_wakeups.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        };
+        match task {
+            Some(task) => execute(shared, task),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_runs_every_task() {
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for _ in 0..32 {
+                scope.spawn(TaskLevel::Head, || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+        assert!(pool.metrics().tasks_executed >= 32);
+    }
+
+    #[test]
+    fn zero_worker_pool_helps_inline() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 0);
+        let sum = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for i in 0..10usize {
+                let sum = &sum;
+                scope.spawn(TaskLevel::Sequence, move || {
+                    sum.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+        // Nobody else could have run them: no steals on an owner-only pool.
+        assert_eq!(pool.metrics().tasks_stolen, 0);
+    }
+
+    #[test]
+    fn nested_scopes_complete_at_any_worker_count() {
+        // A sequence task that itself fans out head tasks — the decode_batch
+        // + Session::step shape — must drain even on a worker-less pool.
+        for workers in [0usize, 1, 3] {
+            let pool = WorkerPool::new(workers);
+            let hits = AtomicUsize::new(0);
+            pool.scope(|outer| {
+                for _ in 0..4 {
+                    outer.spawn(TaskLevel::Sequence, || {
+                        pool.scope(|inner| {
+                            for _ in 0..4 {
+                                inner.spawn(TaskLevel::Head, || {
+                                    hits.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                    });
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 16, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn scope_returns_closure_value_and_borrows_work() {
+        let pool = WorkerPool::new(1);
+        let mut out = vec![0usize; 4];
+        let total = pool.scope(|scope| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                scope.spawn(TaskLevel::Head, move || {
+                    *slot = i + 1;
+                });
+            }
+            "done"
+        });
+        assert_eq!(total, "done");
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_scope_owner() {
+        let pool = WorkerPool::new(1);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(TaskLevel::Head, || panic!("boom in task"));
+            });
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("boom in task"), "payload: {msg}");
+        // The pool must stay usable after a task panic.
+        let ran = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            scope.spawn(TaskLevel::Head, || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn metrics_delta_is_saturating() {
+        let a = PoolMetrics {
+            tasks_executed: 5,
+            tasks_stolen: 1,
+            idle_wakeups: 0,
+        };
+        let b = PoolMetrics {
+            tasks_executed: 9,
+            tasks_stolen: 1,
+            idle_wakeups: 2,
+        };
+        let d = b.delta(a);
+        assert_eq!(d.tasks_executed, 4);
+        assert_eq!(d.tasks_stolen, 0);
+        assert_eq!(d.idle_wakeups, 2);
+        assert_eq!(a.delta(b), PoolMetrics::default());
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = Arc::as_ptr(WorkerPool::global());
+        let b = Arc::as_ptr(WorkerPool::global());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workers_steal_tasks_from_the_submitter() {
+        let pool = WorkerPool::new(2);
+        let before = pool.metrics();
+        pool.scope(|scope| {
+            for _ in 0..64 {
+                scope.spawn(TaskLevel::Head, || {
+                    // Enough work that background workers get a chance to
+                    // grab some tasks even on a loaded machine.
+                    std::hint::black_box((0..500).sum::<usize>());
+                });
+            }
+        });
+        let delta = pool.metrics().delta(before);
+        assert_eq!(delta.tasks_executed, 64);
+        // Steals are scheduling-dependent; just check the counter is sane.
+        assert!(delta.tasks_stolen <= 64);
+    }
+}

@@ -32,6 +32,10 @@ pub struct StepStats {
     /// 1 when the PWL denominator degenerated (near-zero / negative /
     /// non-finite) and the step fell back to exact window-only softmax.
     pub den_fallbacks: usize,
+    /// Width of the head fan-out this step was scheduled with (1 = inline
+    /// sequential, >1 = shared-pool fan-out, 0 = head stepped outside a
+    /// session). Scheduling metadata only — see [`StepStats::algorithmic`].
+    pub fanout_width: usize,
 }
 
 impl StepStats {
@@ -58,6 +62,16 @@ impl StepStats {
         }
         self.active as f64 / cached as f64
     }
+
+    /// The scheduling-independent view of this step: every field the LAD
+    /// algorithm itself determines, with scheduling metadata (the fan-out
+    /// width) zeroed. Two decodes of the same stream must agree on this view
+    /// *exactly*, whatever pool/parallelism they ran under — the invariant
+    /// the differential harness asserts.
+    pub fn algorithmic(mut self) -> StepStats {
+        self.fanout_width = 0;
+        self
+    }
 }
 
 /// Aggregate over many steps (and many heads) of [`StepStats`].
@@ -79,6 +93,21 @@ pub struct StatsSummary {
     pub mean_active_fraction: f64,
     /// Mean misidentification counts.
     pub mean_false_negatives: f64,
+    /// Mean harmless misidentifications (corrections of 0).
+    pub mean_false_positives: f64,
+    /// Mean per-step KV-cache reads (`active + window`, the `2|J|d` driver).
+    pub mean_kv_reads: f64,
+    /// Total degenerate-denominator fallbacks across the aggregated steps —
+    /// a *sum*, not a mean: a single fallback anywhere is worth surfacing.
+    pub total_den_fallbacks: usize,
+    /// Mean scheduled head fan-out width.
+    pub mean_fanout_width: f64,
+    /// Worker-pool tasks stolen while these steps decoded (0 unless injected
+    /// via [`StatsSummary::with_pool_metrics`]).
+    pub pool_tasks_stolen: usize,
+    /// Worker-pool idle wakeups while these steps decoded (0 unless injected
+    /// via [`StatsSummary::with_pool_metrics`]).
+    pub pool_idle_wakeups: usize,
 }
 
 impl StatsSummary {
@@ -94,6 +123,10 @@ impl StatsSummary {
             sum.mean_hit_ratio += s.hit_ratio();
             sum.mean_active_fraction += s.active_fraction();
             sum.mean_false_negatives += s.false_negatives as f64;
+            sum.mean_false_positives += s.false_positives as f64;
+            sum.mean_kv_reads += s.kv_reads() as f64;
+            sum.total_den_fallbacks += s.den_fallbacks;
+            sum.mean_fanout_width += s.fanout_width as f64;
         }
         if sum.steps > 0 {
             let n = sum.steps as f64;
@@ -104,8 +137,19 @@ impl StatsSummary {
             sum.mean_hit_ratio /= n;
             sum.mean_active_fraction /= n;
             sum.mean_false_negatives /= n;
+            sum.mean_false_positives /= n;
+            sum.mean_kv_reads /= n;
+            sum.mean_fanout_width /= n;
         }
         sum
+    }
+
+    /// Attaches worker-pool scheduling counters (metered around the decode
+    /// that produced these steps) to the summary.
+    pub fn with_pool_metrics(mut self, metrics: crate::pool::PoolMetrics) -> StatsSummary {
+        self.pool_tasks_stolen = metrics.tasks_stolen;
+        self.pool_idle_wakeups = metrics.idle_wakeups;
+        self
     }
 }
 
@@ -126,6 +170,7 @@ mod tests {
             false_negatives: 0,
             false_positives: 1,
             den_fallbacks: 0,
+            fanout_width: 1,
         };
         assert_eq!(s.kv_reads(), 27);
         assert!((s.hit_ratio() - 0.8).abs() < 1e-12);
@@ -168,5 +213,73 @@ mod tests {
         let sum = StatsSummary::from_steps(std::iter::empty());
         assert_eq!(sum.steps, 0);
         assert_eq!(sum.mean_active, 0.0);
+        assert_eq!(sum.total_den_fallbacks, 0);
+    }
+
+    #[test]
+    fn summary_does_not_drop_pr1_fields() {
+        // Audit: every per-step field with a nonzero value must be visible in
+        // the aggregate — den_fallbacks, false_positives and kv_reads used to
+        // be silently dropped by `from_steps`.
+        let a = StepStats {
+            n: 40,
+            active: 3,
+            window: 5,
+            den_fallbacks: 1,
+            false_positives: 2,
+            false_negatives: 1,
+            fanout_width: 4,
+            ..StepStats::default()
+        };
+        let b = StepStats {
+            n: 41,
+            active: 1,
+            window: 5,
+            den_fallbacks: 1,
+            fanout_width: 2,
+            ..StepStats::default()
+        };
+        let sum = StatsSummary::from_steps([&a, &b]);
+        assert_eq!(sum.total_den_fallbacks, 2, "den_fallbacks dropped");
+        assert!(
+            (sum.mean_false_positives - 1.0).abs() < 1e-12,
+            "false_positives dropped"
+        );
+        assert!((sum.mean_kv_reads - 7.0).abs() < 1e-12, "kv_reads dropped");
+        assert!((sum.mean_fanout_width - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn algorithmic_view_strips_scheduling_fields_only() {
+        let s = StepStats {
+            n: 9,
+            active: 2,
+            window: 3,
+            den_fallbacks: 1,
+            fanout_width: 8,
+            ..StepStats::default()
+        };
+        let algo = s.algorithmic();
+        assert_eq!(algo.fanout_width, 0);
+        assert_eq!(
+            StepStats {
+                fanout_width: 8,
+                ..algo
+            },
+            s,
+            "algorithmic() must not touch algorithm fields"
+        );
+    }
+
+    #[test]
+    fn pool_metrics_attach_to_summary() {
+        let metrics = crate::pool::PoolMetrics {
+            tasks_executed: 10,
+            tasks_stolen: 4,
+            idle_wakeups: 7,
+        };
+        let sum = StatsSummary::from_steps(std::iter::empty()).with_pool_metrics(metrics);
+        assert_eq!(sum.pool_tasks_stolen, 4);
+        assert_eq!(sum.pool_idle_wakeups, 7);
     }
 }

@@ -1,14 +1,23 @@
-//! Batched decoding across samples.
+//! Batched decoding across samples on the shared worker pool.
 //!
 //! The paper's throughput evaluation decodes batches of samples; each sample
 //! owns its per-head attention state but shares the model weights, so
-//! samples decode independently and in parallel. This module provides a
-//! thread-parallel batch decoder (plain `std::thread::scope` — the model is
-//! immutable shared state) plus aggregate LAD statistics across the batch.
+//! samples decode independently. Every sample becomes a *sequence-level*
+//! task on the shared [`WorkerPool`]; inside each sample, every decode step
+//! fans its attention heads out as *head-level* tasks on the **same** pool.
+//! That ends the old mutual exclusion where batch workers pinned
+//! `parallelism = 1`: a small batch's sequence tasks leave cores idle, and
+//! those cores now drain the head-level queue instead.
+//!
+//! Scheduling never changes results — samples are independent, each session
+//! is deterministic, and head outputs are collected in head order — which
+//! `tests/differential.rs` pins down against the sequential paths.
 
 use crate::backend::AttentionKind;
 use crate::transformer::{Model, Session};
+use lad_core::pool::{PoolMetrics, TaskLevel, WorkerPool};
 use lad_core::stats::{StatsSummary, StepStats};
+use std::sync::Arc;
 
 /// Result of decoding one batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,62 +27,98 @@ pub struct BatchResult {
     /// LAD step statistics of every (sample, layer, head) at the final step
     /// (empty for non-LAD backends).
     pub final_stats: Vec<StepStats>,
+    /// Worker-pool scheduling counters metered across the whole batch (zero
+    /// on the sequential path; best-effort on a pool shared with concurrent
+    /// decodes).
+    pub pool: PoolMetrics,
 }
 
 impl BatchResult {
-    /// Aggregate of the final-step LAD statistics.
+    /// Aggregate of the final-step LAD statistics, with the batch's pool
+    /// scheduling counters attached.
     pub fn stats_summary(&self) -> StatsSummary {
-        StatsSummary::from_steps(&self.final_stats)
+        StatsSummary::from_steps(&self.final_stats).with_pool_metrics(self.pool)
     }
 }
 
-/// Greedy-decodes every prompt for `steps` tokens, `threads`-wide.
+/// Greedy-decodes every prompt for `steps` tokens.
 ///
-/// Results are identical to sequential decoding (samples are independent and
-/// each session is deterministic).
+/// `parallelism == 1` is the sequential reference path: every sample decodes
+/// inline, one after the other, without touching the pool. Any larger value
+/// schedules the batch on the process-global [`WorkerPool`] and also serves
+/// as the per-step head fan-out width inside each sample. Results are
+/// identical in every configuration.
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0` or any prompt is empty.
+/// Panics if `parallelism == 0` or any prompt is empty.
 pub fn decode_batch(
     model: &Model,
     kind: &AttentionKind,
     prompts: &[Vec<u32>],
     steps: usize,
-    threads: usize,
+    parallelism: usize,
 ) -> BatchResult {
-    assert!(threads > 0, "decode_batch: threads must be positive");
+    assert!(parallelism > 0, "decode_batch: threads must be positive");
     assert!(
         prompts.iter().all(|p| !p.is_empty()),
         "decode_batch: empty prompt"
     );
-    let chunk = prompts.len().div_ceil(threads).max(1);
+    if parallelism == 1 {
+        let mut sequences = Vec::with_capacity(prompts.len());
+        let mut final_stats = Vec::new();
+        for prompt in prompts {
+            let mut session = Session::with_parallelism(model, kind, 1);
+            sequences.push(session.generate_greedy(prompt, steps));
+            final_stats.extend(session.last_stats().iter().copied());
+        }
+        return BatchResult {
+            sequences,
+            final_stats,
+            pool: PoolMetrics::default(),
+        };
+    }
+    decode_batch_on(
+        WorkerPool::global(),
+        model,
+        kind,
+        prompts,
+        steps,
+        parallelism,
+    )
+}
+
+/// Greedy-decodes every prompt for `steps` tokens on an explicit shared
+/// `pool`: one sequence-level task per sample, and up to `head_parallelism`
+/// head-level tasks per decode step inside each sample, all on the same
+/// two-level queue.
+///
+/// # Panics
+///
+/// Panics if any prompt is empty.
+pub fn decode_batch_on(
+    pool: &Arc<WorkerPool>,
+    model: &Model,
+    kind: &AttentionKind,
+    prompts: &[Vec<u32>],
+    steps: usize,
+    head_parallelism: usize,
+) -> BatchResult {
+    assert!(
+        prompts.iter().all(|p| !p.is_empty()),
+        "decode_batch: empty prompt"
+    );
+    let before = pool.metrics();
     let mut outputs: Vec<Option<(Vec<u32>, Vec<StepStats>)>> = vec![None; prompts.len()];
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (chunk_idx, chunk_prompts) in prompts.chunks(chunk).enumerate() {
-            handles.push((
-                chunk_idx,
-                scope.spawn(move || {
-                    chunk_prompts
-                        .iter()
-                        .map(|prompt| {
-                            // Samples already saturate the worker pool here;
-                            // nested per-head fan-out would only oversubscribe.
-                            let mut session = Session::with_parallelism(model, kind, 1);
-                            let tokens = session.generate_greedy(prompt, steps);
-                            (tokens, session.last_stats().to_vec())
-                        })
-                        .collect::<Vec<_>>()
-                }),
-            ));
-        }
-        for (chunk_idx, handle) in handles {
-            let results = handle.join().expect("decode worker panicked");
-            for (offset, result) in results.into_iter().enumerate() {
-                outputs[chunk_idx * chunk + offset] = Some(result);
-            }
+    pool.scope(|scope| {
+        for (prompt, slot) in prompts.iter().zip(outputs.iter_mut()) {
+            let task_pool = Arc::clone(pool);
+            scope.spawn(TaskLevel::Sequence, move || {
+                let mut session = Session::with_pool(model, kind, task_pool, head_parallelism);
+                let tokens = session.generate_greedy(prompt, steps);
+                *slot = Some((tokens, session.last_stats().to_vec()));
+            });
         }
     });
 
@@ -87,6 +132,7 @@ pub fn decode_batch(
     BatchResult {
         sequences,
         final_stats,
+        pool: pool.metrics().delta(before),
     }
 }
 
@@ -123,6 +169,25 @@ mod tests {
     }
 
     #[test]
+    fn dedicated_pool_matches_sequential() {
+        // An explicit pool (with background workers) must agree with the
+        // inline path token-for-token and stat-for-stat.
+        let model = model();
+        let pool = Arc::new(WorkerPool::new(2));
+        let kind = AttentionKind::Lad(LadConfig::default());
+        let sequential = decode_batch(&model, &kind, &prompts(), 8, 1);
+        let pooled = decode_batch_on(&pool, &model, &kind, &prompts(), 8, 2);
+        assert_eq!(sequential.sequences, pooled.sequences);
+        assert_eq!(sequential.final_stats.len(), pooled.final_stats.len());
+        for (a, b) in sequential.final_stats.iter().zip(&pooled.final_stats) {
+            assert_eq!(a.algorithmic(), b.algorithmic());
+        }
+        // The batch ran entirely through the dedicated pool: one sequence
+        // task per sample, head tasks on top.
+        assert!(pooled.pool.tasks_executed >= prompts().len());
+    }
+
+    #[test]
     fn lad_batch_collects_stats() {
         let model = model();
         let batch = decode_batch(
@@ -137,6 +202,9 @@ mod tests {
         let summary = batch.stats_summary();
         assert_eq!(summary.steps, 16);
         assert!(summary.mean_centers > 0.0);
+        // Heads fan out 2-wide inside each sequence task now (the old path
+        // pinned this to 1).
+        assert!(batch.final_stats.iter().all(|s| s.fanout_width == 2));
     }
 
     #[test]
@@ -158,5 +226,19 @@ mod tests {
     #[should_panic(expected = "threads must be positive")]
     fn zero_threads_rejected() {
         decode_batch(&model(), &AttentionKind::Exact, &prompts(), 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prompt")]
+    fn empty_prompt_rejected_on_pool_path() {
+        let pool = Arc::new(WorkerPool::new(0));
+        decode_batch_on(
+            &pool,
+            &model(),
+            &AttentionKind::Exact,
+            &[vec![1], vec![]],
+            2,
+            2,
+        );
     }
 }

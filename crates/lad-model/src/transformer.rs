@@ -11,9 +11,11 @@ use crate::config::{MlpKind, ModelConfig, NormKind, PositionKind};
 use crate::layers::{gelu, rope_in_place, silu, LayerNorm, Linear, RmsNorm, ROPE_BASE};
 use lad_core::audit::QkvStream;
 use lad_core::locality::LocalityAnalyzer;
+use lad_core::pool::{PoolMetrics, TaskLevel, WorkerPool};
 use lad_core::stats::StepStats;
 use lad_math::pwl::PwlExp;
 use lad_math::{vector, Matrix, Rng};
+use std::sync::Arc;
 
 /// Normalisation layer (LayerNorm or RMSNorm, per config).
 #[derive(Debug, Clone, PartialEq)]
@@ -167,9 +169,16 @@ pub struct Session<'m> {
     model: &'m Model,
     heads: Vec<Vec<HeadState>>,
     pos: usize,
-    /// Worker threads the per-layer head fan-out may use (`1` = fully
-    /// sequential). Outputs are bit-identical at any setting.
+    /// Fan-out width the per-layer head scheduling may use (`1` = fully
+    /// sequential, inline). Outputs are bit-identical at any setting.
     parallelism: usize,
+    /// Worker pool the head fan-out is scheduled on (`None` = the
+    /// process-global [`WorkerPool`]). Only touched when the effective
+    /// fan-out width exceeds 1.
+    pool: Option<Arc<WorkerPool>>,
+    /// Pool scheduling counters observed during the latest step (zero when
+    /// the step ran inline).
+    last_pool_metrics: PoolMetrics,
     /// LAD step statistics of every (layer, head) at the latest step.
     last_stats: Vec<StepStats>,
     /// Locality analyzers per (layer, head), when score recording is on.
@@ -190,14 +199,36 @@ impl<'m> Session<'m> {
         Session::with_parallelism(model, kind, workers)
     }
 
-    /// Opens a session that uses at most `parallelism` worker threads for the
-    /// per-layer head fan-out (`1` runs every head inline; values are clamped
-    /// to at least 1). Heads within a layer are independent, so any setting
-    /// produces bit-identical logits.
+    /// Opens a session whose per-layer head fan-out is at most `parallelism`
+    /// wide (`1` runs every head inline; values are clamped to at least 1).
+    /// Widths above 1 schedule head chunks on the process-global
+    /// [`WorkerPool`]. Heads within a layer are independent and outputs are
+    /// collected in head order, so any setting produces bit-identical logits.
     pub fn with_parallelism(
         model: &'m Model,
         kind: &AttentionKind,
         parallelism: usize,
+    ) -> Session<'m> {
+        Session::build(model, kind, parallelism, None)
+    }
+
+    /// Opens a session that schedules its head fan-out on an explicit shared
+    /// `pool` instead of the process-global one. Batch decoding uses this so
+    /// sequence-level and head-level tasks share one set of workers.
+    pub fn with_pool(
+        model: &'m Model,
+        kind: &AttentionKind,
+        pool: Arc<WorkerPool>,
+        parallelism: usize,
+    ) -> Session<'m> {
+        Session::build(model, kind, parallelism, Some(pool))
+    }
+
+    fn build(
+        model: &'m Model,
+        kind: &AttentionKind,
+        parallelism: usize,
+        pool: Option<Arc<WorkerPool>>,
     ) -> Session<'m> {
         let d = model.cfg.head_dim();
         let heads = (0..model.cfg.layers)
@@ -212,6 +243,8 @@ impl<'m> Session<'m> {
             heads,
             pos: 0,
             parallelism: parallelism.max(1),
+            pool,
+            last_pool_metrics: PoolMetrics::default(),
             last_stats: Vec::new(),
             analyzers: None,
             qkv_taps: None,
@@ -226,6 +259,14 @@ impl<'m> Session<'m> {
     /// The current worker-thread cap.
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// Pool scheduling counters (tasks executed/stolen, idle wakeups)
+    /// observed during the latest step. Zero when the step ran inline; on a
+    /// pool shared with other sessions the delta is best-effort (concurrent
+    /// decodes meter into the same counters).
+    pub fn last_pool_metrics(&self) -> PoolMetrics {
+        self.last_pool_metrics
     }
 
     /// Enables recording of every head's per-step `(q, k, v)` triples
@@ -283,6 +324,16 @@ impl<'m> Session<'m> {
         let d = cfg.head_dim();
         let record = self.analyzers.is_some();
 
+        // Resolve the fan-out width and pool once per step; `width == 1`
+        // never touches the pool (the pure sequential reference path).
+        let width = self.parallelism.min(cfg.heads).max(1);
+        let pool: Option<Arc<WorkerPool>> = (width > 1).then(|| {
+            self.pool
+                .clone()
+                .unwrap_or_else(|| Arc::clone(WorkerPool::global()))
+        });
+        let pool_before = pool.as_ref().map(|p| p.metrics());
+
         let mut x: Vec<f32> = self.model.embed.row(token as usize).to_vec();
         if let Some(pos_embed) = &self.model.pos_embed {
             vector::axpy(&mut x, 1.0, pos_embed.row(self.pos));
@@ -307,13 +358,14 @@ impl<'m> Session<'m> {
             }
 
             // Heads within a layer are independent (only `x` is sequential,
-            // between layers), so their steps fan out over a scoped worker
-            // pool. Post-processing stays in head order below, making the
-            // logits bit-identical to the sequential path.
+            // between layers), so their steps fan out as head-level tasks on
+            // the shared worker pool; this thread runs the first chunk itself
+            // and then help-executes queued tasks until the layer drains.
+            // Post-processing stays in head order below, making the logits
+            // bit-identical to the sequential path.
             let head_row = &mut self.heads[layer];
-            let workers = self.parallelism.min(cfg.heads).max(1);
-            let outputs: Vec<HeadStepOutput> = if workers == 1 {
-                head_row
+            let outputs: Vec<HeadStepOutput> = match &pool {
+                None => head_row
                     .iter_mut()
                     .enumerate()
                     .map(|(h, head)| {
@@ -325,37 +377,50 @@ impl<'m> Session<'m> {
                             record,
                         )
                     })
-                    .collect()
-            } else {
-                let chunk = cfg.heads.div_ceil(workers);
-                let mut slots: Vec<Option<HeadStepOutput>> = (0..cfg.heads).map(|_| None).collect();
-                std::thread::scope(|scope| {
-                    for (c, (heads_chunk, out_chunk)) in head_row
-                        .chunks_mut(chunk)
-                        .zip(slots.chunks_mut(chunk))
-                        .enumerate()
-                    {
-                        let (q_full, k_full, v_full) = (&q_full, &k_full, &v_full);
-                        scope.spawn(move || {
-                            for (i, (head, slot)) in
-                                heads_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
-                            {
-                                let h = c * chunk + i;
-                                let span = h * d..(h + 1) * d;
-                                *slot = Some(head.step(
-                                    &q_full[span.clone()],
-                                    &k_full[span.clone()],
-                                    &v_full[span],
+                    .collect(),
+                Some(pool) => {
+                    let chunk = cfg.heads.div_ceil(width);
+                    let mut slots: Vec<Option<HeadStepOutput>> =
+                        (0..cfg.heads).map(|_| None).collect();
+                    pool.scope(|scope| {
+                        let mut pieces = head_row
+                            .chunks_mut(chunk)
+                            .zip(slots.chunks_mut(chunk))
+                            .enumerate();
+                        let first = pieces.next();
+                        for (c, (heads_chunk, out_chunk)) in pieces {
+                            let (q_full, k_full, v_full) = (&q_full, &k_full, &v_full);
+                            scope.spawn(TaskLevel::Head, move || {
+                                step_head_chunk(
+                                    c * chunk,
+                                    d,
                                     record,
-                                ));
-                            }
-                        });
-                    }
-                });
-                slots
-                    .into_iter()
-                    .map(|slot| slot.expect("every head ran"))
-                    .collect()
+                                    heads_chunk,
+                                    out_chunk,
+                                    q_full,
+                                    k_full,
+                                    v_full,
+                                );
+                            });
+                        }
+                        if let Some((_, (heads_chunk, out_chunk))) = first {
+                            step_head_chunk(
+                                0,
+                                d,
+                                record,
+                                heads_chunk,
+                                out_chunk,
+                                &q_full,
+                                &k_full,
+                                &v_full,
+                            );
+                        }
+                    });
+                    slots
+                        .into_iter()
+                        .map(|slot| slot.expect("every head ran"))
+                        .collect()
+                }
             };
 
             let mut attn_concat = vec![0.0f32; cfg.hidden];
@@ -369,7 +434,8 @@ impl<'m> Session<'m> {
                     ));
                 }
                 attn_concat[span].copy_from_slice(&out.output);
-                if let Some(stats) = out.stats {
+                if let Some(mut stats) = out.stats {
+                    stats.fanout_width = width;
                     self.last_stats.push(stats);
                 }
                 if let (Some(analyzers), Some(scores)) =
@@ -386,6 +452,10 @@ impl<'m> Session<'m> {
             vector::axpy(&mut x, 1.0, &mlp_out);
         }
 
+        self.last_pool_metrics = match (&pool, pool_before) {
+            (Some(pool), Some(before)) => pool.metrics().delta(before),
+            _ => PoolMetrics::default(),
+        };
         self.pos += 1;
         let final_h = self.model.final_norm.forward(&x);
         self.model.embed.matvec(&final_h)
@@ -416,6 +486,32 @@ impl<'m> Session<'m> {
             logits = self.step(next);
         }
         out
+    }
+}
+
+/// Steps a contiguous chunk of heads starting at `first_head`, writing each
+/// head's output into its pre-assigned slot (the pool-task body of the
+/// per-layer fan-out).
+#[allow(clippy::too_many_arguments)]
+fn step_head_chunk(
+    first_head: usize,
+    d: usize,
+    record: bool,
+    heads: &mut [HeadState],
+    slots: &mut [Option<HeadStepOutput>],
+    q_full: &[f32],
+    k_full: &[f32],
+    v_full: &[f32],
+) {
+    for (i, (head, slot)) in heads.iter_mut().zip(slots.iter_mut()).enumerate() {
+        let h = first_head + i;
+        let span = h * d..(h + 1) * d;
+        *slot = Some(head.step(
+            &q_full[span.clone()],
+            &k_full[span.clone()],
+            &v_full[span],
+            record,
+        ));
     }
 }
 

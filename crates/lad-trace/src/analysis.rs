@@ -140,6 +140,7 @@ pub fn analyze(trace: &ScoreTrace, pwl: &PwlExp, cfg: &AnalysisConfig) -> Vec<St
             false_negatives: 0,
             false_positives: 0,
             den_fallbacks: 0,
+            fanout_width: 0,
         });
     }
     out
