@@ -19,6 +19,9 @@ cargo test -q
 echo "== workspace tests"
 cargo test --workspace --release -q
 
+echo "== benches compile (cargo bench --no-run)"
+cargo bench --workspace --no-run
+
 echo "== slow tests (long-stream + differential grid, warnings are errors)"
 RUSTFLAGS="-D warnings" cargo test --workspace --release -q -- --ignored
 

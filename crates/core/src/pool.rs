@@ -53,6 +53,10 @@ pub struct PoolMetrics {
     pub tasks_stolen: usize,
     /// Times a worker woke from the condvar and found both queues empty.
     pub idle_wakeups: usize,
+    /// Scopes fully drained ([`WorkerPool::scope`] returns). A step-synchronous
+    /// batch engine contributes one per per-layer fan-out, so this counts its
+    /// intra-step synchronisation points.
+    pub scopes_completed: usize,
 }
 
 impl PoolMetrics {
@@ -63,6 +67,9 @@ impl PoolMetrics {
             tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
             tasks_stolen: self.tasks_stolen.saturating_sub(earlier.tasks_stolen),
             idle_wakeups: self.idle_wakeups.saturating_sub(earlier.idle_wakeups),
+            scopes_completed: self
+                .scopes_completed
+                .saturating_sub(earlier.scopes_completed),
         }
     }
 }
@@ -102,6 +109,7 @@ struct Shared {
     tasks_executed: AtomicUsize,
     tasks_stolen: AtomicUsize,
     idle_wakeups: AtomicUsize,
+    scopes_completed: AtomicUsize,
 }
 
 struct ScopeState {
@@ -165,6 +173,7 @@ impl WorkerPool {
             tasks_executed: AtomicUsize::new(0),
             tasks_stolen: AtomicUsize::new(0),
             idle_wakeups: AtomicUsize::new(0),
+            scopes_completed: AtomicUsize::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -204,6 +213,7 @@ impl WorkerPool {
             tasks_executed: self.shared.tasks_executed.load(Ordering::Relaxed),
             tasks_stolen: self.shared.tasks_stolen.load(Ordering::Relaxed),
             idle_wakeups: self.shared.idle_wakeups.load(Ordering::Relaxed),
+            scopes_completed: self.shared.scopes_completed.load(Ordering::Relaxed),
         }
     }
 
@@ -221,6 +231,7 @@ impl WorkerPool {
         // Wait (helping) even if `f` panicked: spawned tasks still borrow the
         // environment and must finish before unwinding frees it.
         self.help_until_done(&state);
+        self.shared.scopes_completed.fetch_add(1, Ordering::Relaxed);
         if let Some(payload) = state.panic.lock().unwrap().take() {
             panic::resume_unwind(payload);
         }
@@ -453,17 +464,32 @@ mod tests {
             tasks_executed: 5,
             tasks_stolen: 1,
             idle_wakeups: 0,
+            scopes_completed: 2,
         };
         let b = PoolMetrics {
             tasks_executed: 9,
             tasks_stolen: 1,
             idle_wakeups: 2,
+            scopes_completed: 5,
         };
         let d = b.delta(a);
         assert_eq!(d.tasks_executed, 4);
         assert_eq!(d.tasks_stolen, 0);
         assert_eq!(d.idle_wakeups, 2);
+        assert_eq!(d.scopes_completed, 3);
         assert_eq!(a.delta(b), PoolMetrics::default());
+    }
+
+    #[test]
+    fn scope_counter_advances_per_drained_scope() {
+        let pool = WorkerPool::new(1);
+        let before = pool.metrics();
+        for _ in 0..3 {
+            pool.scope(|scope| {
+                scope.spawn(TaskLevel::Head, || {});
+            });
+        }
+        assert_eq!(pool.metrics().delta(before).scopes_completed, 3);
     }
 
     #[test]

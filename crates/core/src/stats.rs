@@ -74,6 +74,20 @@ impl StepStats {
     }
 }
 
+/// Scheduling counters of a step-synchronous batched decode: how many
+/// cross-sample GEMM calls ran and how many per-step synchronisation
+/// barriers the batch engine crossed. Like [`StepStats::fanout_width`] this
+/// is scheduling metadata — it never affects tokens or algorithmic stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GemmBatchMetrics {
+    /// Batched matrix-matrix projection calls (one per linear layer per
+    /// step on the batched path; 0 on per-sample paths).
+    pub gemm_calls: usize,
+    /// Step-synchronous barriers crossed (one per global decode step the
+    /// batch advanced through; 0 on per-sample paths).
+    pub sync_barriers: usize,
+}
+
 /// Aggregate over many steps (and many heads) of [`StepStats`].
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StatsSummary {
@@ -108,6 +122,12 @@ pub struct StatsSummary {
     /// Worker-pool idle wakeups while these steps decoded (0 unless injected
     /// via [`StatsSummary::with_pool_metrics`]).
     pub pool_idle_wakeups: usize,
+    /// Batched-GEMM projection calls during the decode (0 unless injected
+    /// via [`StatsSummary::with_gemm_metrics`]).
+    pub gemm_calls: usize,
+    /// Step-synchronous barriers during the decode (0 unless injected via
+    /// [`StatsSummary::with_gemm_metrics`]).
+    pub sync_barriers: usize,
 }
 
 impl StatsSummary {
@@ -149,6 +169,14 @@ impl StatsSummary {
     pub fn with_pool_metrics(mut self, metrics: crate::pool::PoolMetrics) -> StatsSummary {
         self.pool_tasks_stolen = metrics.tasks_stolen;
         self.pool_idle_wakeups = metrics.idle_wakeups;
+        self
+    }
+
+    /// Attaches the batched-decode scheduling counters (batched-GEMM calls
+    /// and step barriers) to the summary.
+    pub fn with_gemm_metrics(mut self, metrics: GemmBatchMetrics) -> StatsSummary {
+        self.gemm_calls = metrics.gemm_calls;
+        self.sync_barriers = metrics.sync_barriers;
         self
     }
 }
@@ -277,9 +305,23 @@ mod tests {
             tasks_executed: 10,
             tasks_stolen: 4,
             idle_wakeups: 7,
+            scopes_completed: 3,
         };
         let sum = StatsSummary::from_steps(std::iter::empty()).with_pool_metrics(metrics);
         assert_eq!(sum.pool_tasks_stolen, 4);
         assert_eq!(sum.pool_idle_wakeups, 7);
+    }
+
+    #[test]
+    fn gemm_metrics_attach_to_summary() {
+        let metrics = GemmBatchMetrics {
+            gemm_calls: 120,
+            sync_barriers: 20,
+        };
+        let sum = StatsSummary::from_steps(std::iter::empty()).with_gemm_metrics(metrics);
+        assert_eq!(sum.gemm_calls, 120);
+        assert_eq!(sum.sync_barriers, 20);
+        // Attaching scheduling metadata must not fabricate steps.
+        assert_eq!(sum.steps, 0);
     }
 }

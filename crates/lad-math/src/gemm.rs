@@ -1,0 +1,202 @@
+//! Cache-blocked GEMM kernels with a bit-exact accumulation contract.
+//!
+//! Decoding is memory-bandwidth bound: a per-sample `matvec` streams the full
+//! weight matrix once per sample per step, so at batch `b` every linear layer
+//! pays `b×` the weight traffic for the same arithmetic per byte. These
+//! kernels compute whole `batch × out` panels per weight fetch instead — the
+//! step-synchronous batch engine stacks the per-sample activation vectors
+//! into an `m × k` matrix `A` and runs one `C = A · Bᵀ` product per layer.
+//!
+//! **Accumulation contract.** Every output element is a dot product
+//! accumulated *sequentially in ascending `k` order* into a single
+//! accumulator:
+//!
+//! ```text
+//! c[i][j] = ((a[i][0]·b[j][0] + a[i][1]·b[j][1]) + a[i][2]·b[j][2]) + …
+//! ```
+//!
+//! That is exactly the order [`crate::Matrix::matvec`] (a row-wise
+//! [`crate::vector::dot`]) uses, so a batched projection is **bit-identical**
+//! to `batch` separate per-sample `matvec` calls, and the blocked kernel is
+//! bit-identical to a naive triple loop. Blocking therefore only reorders
+//! *which elements* are computed when (i/j tiling plus a transposed,
+//! `MR`-interleaved A panel that makes the micro-kernel's inner loop a
+//! contiguous `chunks_exact` walk) — never the adds within one element.
+//! The differential harness (`tests/differential.rs`) and the lad-math
+//! proptests pin this contract down.
+
+/// Register-block width over the `m` (batch/row) dimension: the micro-kernel
+/// keeps `MR` accumulators live and re-reads each `B` row once per `MR` rows
+/// of `A`, so a batch of ≤ `MR` samples streams the weights exactly once.
+pub const MR: usize = 8;
+
+/// `C = A · Bᵀ` where `a` is `m × k` row-major, `b_t` is `n × k` row-major
+/// (each of its rows is one *output* row of weights — the natural layout of a
+/// `Linear`'s `out × in` matrix), and `c` is `m × n` row-major.
+///
+/// Allocates its packing scratch internally; hot paths should hold a
+/// [`GemmScratch`] and call [`gemm_bt_into`].
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with `m`, `n`, `k`.
+pub fn gemm_bt(m: usize, n: usize, k: usize, a: &[f32], b_t: &[f32], c: &mut [f32]) {
+    gemm_bt_into(m, n, k, a, b_t, c, &mut GemmScratch::default());
+}
+
+/// Reusable packing buffer for [`gemm_bt_into`]: holds the transposed,
+/// `MR`-interleaved A panel so steady-state GEMM calls never allocate.
+#[derive(Debug, Clone, Default)]
+pub struct GemmScratch {
+    panel: Vec<f32>,
+}
+
+/// Allocation-free [`gemm_bt`]: packs row blocks of `a` into `scratch` and
+/// re-uses its buffer across calls.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with `m`, `n`, `k`.
+pub fn gemm_bt_into(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b_t: &[f32],
+    c: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    assert_eq!(a.len(), m * k, "gemm_bt: A size mismatch");
+    assert_eq!(b_t.len(), n * k, "gemm_bt: Bᵀ size mismatch");
+    assert_eq!(c.len(), m * n, "gemm_bt: C size mismatch");
+    if k == 0 {
+        c.fill(0.0);
+        return;
+    }
+    scratch.panel.clear();
+    scratch.panel.resize(MR * k, 0.0);
+    let panel = &mut scratch.panel[..];
+
+    let mut i0 = 0;
+    while i0 < m {
+        let mr = MR.min(m - i0);
+        // Pack the A row block transposed and interleaved: panel[l·MR + ii] =
+        // a[i0+ii][l]. The micro-kernel then walks it with chunks_exact(MR),
+        // one contiguous MR-vector per k index.
+        for (l, chunk) in panel.chunks_exact_mut(MR).enumerate().take(k) {
+            for (ii, slot) in chunk[..mr].iter_mut().enumerate() {
+                *slot = a[(i0 + ii) * k + l];
+            }
+        }
+        for (j, b_row) in b_t.chunks_exact(k).enumerate().take(n) {
+            // MR dot products in lockstep: acc[ii] accumulates c[i0+ii][j]
+            // sequentially over ascending l — the bit-exactness contract.
+            let mut acc = [0.0f32; MR];
+            for (chunk, &w) in panel.chunks_exact(MR).zip(b_row) {
+                for (slot, &x) in acc.iter_mut().zip(chunk) {
+                    *slot += x * w;
+                }
+            }
+            for (ii, &v) in acc[..mr].iter().enumerate() {
+                c[(i0 + ii) * n + j] = v;
+            }
+        }
+        i0 += mr;
+    }
+}
+
+/// Reference `C = A · Bᵀ` triple loop (one sequential dot per element) — the
+/// oracle the blocked kernel must match bit-for-bit. Kept public so tests
+/// and benches outside this crate can pin the equivalence too.
+pub fn gemm_bt_naive(m: usize, n: usize, k: usize, a: &[f32], b_t: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_bt_naive: A size mismatch");
+    assert_eq!(b_t.len(), n * k, "gemm_bt_naive: Bᵀ size mismatch");
+    assert_eq!(c.len(), m * n, "gemm_bt_naive: C size mismatch");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a[i * k + l] * b_t[j * k + l];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    fn random(len: usize, seed: u64) -> Vec<f32> {
+        Rng::new(seed).normal_vec(len, 1.0)
+    }
+
+    #[test]
+    fn blocked_equals_naive_bitwise() {
+        for (m, n, k, seed) in [
+            (1, 1, 1, 1u64),
+            (3, 5, 7, 2),
+            (8, 8, 8, 3),
+            (9, 17, 33, 4),
+            (16, 4, 64, 5),
+            (2, 256, 128, 6),
+        ] {
+            let a = random(m * k, seed);
+            let b_t = random(n * k, seed + 100);
+            let mut blocked = vec![0.0; m * n];
+            let mut naive = vec![0.0; m * n];
+            gemm_bt(m, n, k, &a, &b_t, &mut blocked);
+            gemm_bt_naive(m, n, k, &a, &b_t, &mut naive);
+            assert_eq!(blocked, naive, "m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn batched_rows_equal_per_sample_dots() {
+        // The tentpole contract: row i of the GEMM equals the per-sample
+        // matvec (sequential dots) of sample i, bit for bit.
+        let (m, n, k) = (5, 12, 31);
+        let a = random(m * k, 7);
+        let b_t = random(n * k, 8);
+        let mut c = vec![0.0; m * n];
+        gemm_bt(m, n, k, &a, &b_t, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let dot = crate::vector::dot(&a[i * k..(i + 1) * k], &b_t[j * k..(j + 1) * k]);
+                assert_eq!(c[i * n + j], dot, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_without_reallocation() {
+        let mut scratch = GemmScratch::default();
+        let (m, n, k) = (4, 6, 32);
+        let a = random(m * k, 9);
+        let b_t = random(n * k, 10);
+        let mut c = vec![0.0; m * n];
+        gemm_bt_into(m, n, k, &a, &b_t, &mut c, &mut scratch);
+        let cap = scratch.panel.capacity();
+        for _ in 0..5 {
+            gemm_bt_into(m, n, k, &a, &b_t, &mut c, &mut scratch);
+        }
+        assert_eq!(scratch.panel.capacity(), cap);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let mut c = vec![1.0; 0];
+        gemm_bt(0, 0, 0, &[], &[], &mut c);
+        let mut c = vec![9.0; 3];
+        gemm_bt(1, 3, 0, &[], &[], &mut c);
+        assert_eq!(c, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn shape_mismatch_panics() {
+        let mut c = vec![0.0; 4];
+        gemm_bt(2, 2, 3, &[0.0; 5], &[0.0; 6], &mut c);
+    }
+}

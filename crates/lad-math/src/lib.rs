@@ -10,6 +10,9 @@
 //!   scaled accumulation) over `f32` slices.
 //! * [`matrix`] — a row-major dense [`matrix::Matrix`] with the vector-matrix
 //!   and outer-product operations the intermediate caches need.
+//! * [`gemm`] — cache-blocked matrix-matrix kernels with a bit-exact
+//!   ascending-`k` accumulation contract, so batched projections agree with
+//!   per-sample `matvec` calls bit for bit.
 //! * [`pwl`] — piecewise-linear approximation of `exp` on `(-inf, 0]` with
 //!   closed-form least-squares segment fitting (paper Sec. III-A).
 //! * [`softmax`] — numerically stable softmax and its PWL counterpart.
@@ -29,6 +32,7 @@
 //! ```
 
 pub mod f16;
+pub mod gemm;
 pub mod matrix;
 pub mod pwl;
 pub mod rng;

@@ -136,14 +136,27 @@ impl Matrix {
     ///
     /// Panics if `x.len() != rows`.
     pub fn vecmat(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.rows, "vecmat: dimension mismatch");
         let mut out = vec![0.0; self.cols];
+        self.vecmat_into(x, &mut out);
+        out
+    }
+
+    /// In-place [`Matrix::vecmat`]: writes `x · M` into `out` (overwritten),
+    /// so hot paths reusing a scratch buffer never allocate. Bit-identical to
+    /// `vecmat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `out.len() != cols`.
+    pub fn vecmat_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.rows, "vecmat: dimension mismatch");
+        assert_eq!(out.len(), self.cols, "vecmat: output dimension mismatch");
+        out.fill(0.0);
         for (i, &xi) in x.iter().enumerate() {
             if xi != 0.0 {
-                vector::axpy(&mut out, xi, self.row(i));
+                vector::axpy(out, xi, self.row(i));
             }
         }
-        out
     }
 
     /// Matrix-vector product `M · x` where `x` has `cols` elements; the result
@@ -153,10 +166,29 @@ impl Matrix {
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// In-place [`Matrix::matvec`]: writes `M · x` into `out` (overwritten).
+    /// Each output element is a sequential ascending-`k` dot product — the
+    /// same accumulation order as the batched [`Matrix::matmul_bt`] kernel,
+    /// so per-sample and batched projections agree bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f32], out: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
-        (0..self.rows)
-            .map(|i| vector::dot(self.row(i), x))
-            .collect()
+        assert_eq!(out.len(), self.rows, "matvec: output dimension mismatch");
+        if self.cols == 0 {
+            out.fill(0.0);
+            return;
+        }
+        for (slot, row) in out.iter_mut().zip(self.iter_rows()) {
+            *slot = vector::dot(row, x);
+        }
     }
 
     /// Rank-1 update `M += scale · aᵀ b` (outer product of column vector `a`
@@ -177,21 +209,39 @@ impl Matrix {
         }
     }
 
-    /// General matrix product `self · other`.
+    /// General matrix product `self · other`, via the cache-blocked
+    /// [`crate::gemm`] kernel: `other` is transposed into contiguous panels
+    /// once, then every output element is one sequential ascending-`k` dot
+    /// product (see the [`crate::gemm`] accumulation contract).
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul: inner dim mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for (k, &lhs) in self.row(i).iter().enumerate() {
-                if lhs != 0.0 {
-                    vector::axpy(out.row_mut(i), lhs, other.row(k));
-                }
-            }
-        }
+        self.matmul_bt(&other.transpose())
+    }
+
+    /// Matrix product against a pre-transposed right-hand side:
+    /// `self · otherᵀ`, where `other` is `n × k` row-major (so each of its
+    /// rows is one output column's weights). This is the layout linear layers
+    /// store naturally (`out × in`), so batched projections skip the
+    /// transpose entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_bt: inner dim mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        crate::gemm::gemm_bt(
+            self.rows,
+            other.rows,
+            self.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         out
     }
 
@@ -269,6 +319,45 @@ mod tests {
         let c = a.matmul(&b);
         assert_eq!(c.row(0), &[19.0, 22.0]);
         assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-4.0, 0.5, 6.0]]);
+        let x2 = [0.5f32, -1.5];
+        let x3 = [2.0f32, 0.0, -1.0];
+        let mut out = vec![9.0f32; 3];
+        m.vecmat_into(&x2, &mut out);
+        assert_eq!(out, m.vecmat(&x2));
+        let mut out = vec![9.0f32; 2];
+        m.matvec_into(&x3, &mut out);
+        assert_eq!(out, m.matvec(&x3));
+    }
+
+    #[test]
+    fn matmul_bt_equals_matmul_of_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-1.0, 0.5, 2.0]]);
+        let b = Matrix::from_rows(&[vec![2.0, 0.0, 1.0], vec![1.0, -1.0, 3.0]]);
+        // a · bᵀ via the dedicated entry point vs the generic product.
+        assert_eq!(a.matmul_bt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_rows_equal_per_sample_matvec() {
+        // The batching contract: row i of A·Wᵀ is exactly W.matvec(row i).
+        let mut rng = crate::Rng::new(3);
+        let acts = Matrix::from_flat(5, 12, rng.normal_vec(5 * 12, 1.0));
+        let w = Matrix::from_flat(7, 12, rng.normal_vec(7 * 12, 1.0));
+        let batched = acts.matmul_bt(&w);
+        for i in 0..5 {
+            assert_eq!(batched.row(i), &w.matvec(acts.row(i))[..], "row {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output dimension mismatch")]
+    fn matvec_into_wrong_out_len_panics() {
+        Matrix::zeros(2, 3).matvec_into(&[1.0, 2.0, 3.0], &mut [0.0; 3]);
     }
 
     #[test]

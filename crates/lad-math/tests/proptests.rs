@@ -95,6 +95,68 @@ proptest! {
         }
     }
 
+    /// The blocked GEMM kernel equals the naive triple loop bit-for-bit on
+    /// arbitrary shapes, including ragged tails around the MR register block.
+    #[test]
+    fn blocked_gemm_equals_naive_exactly(
+        m in 1usize..20,
+        n in 1usize..20,
+        k in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = lad_math::Rng::new(seed);
+        let a = rng.normal_vec(m * k, 1.0);
+        let b_t = rng.normal_vec(n * k, 1.0);
+        let mut blocked = vec![0.0f32; m * n];
+        let mut naive = vec![0.0f32; m * n];
+        lad_math::gemm::gemm_bt(m, n, k, &a, &b_t, &mut blocked);
+        lad_math::gemm::gemm_bt_naive(m, n, k, &a, &b_t, &mut naive);
+        prop_assert_eq!(blocked, naive);
+    }
+
+    /// Matrix::matmul (through the blocked kernel) equals a locally computed
+    /// naive ascending-k product bit-for-bit.
+    #[test]
+    fn matmul_equals_naive_exactly(
+        m in 1usize..10,
+        n in 1usize..10,
+        k in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = lad_math::Rng::new(seed);
+        let a = Matrix::from_flat(m, k, rng.normal_vec(m * k, 1.0));
+        let b = Matrix::from_flat(k, n, rng.normal_vec(k * n, 1.0));
+        let c = a.matmul(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for l in 0..k {
+                    acc += a.get(i, l) * b.get(l, j);
+                }
+                prop_assert_eq!(c.get(i, j), acc);
+            }
+        }
+    }
+
+    /// Every row of a batched activation × weightᵀ product is bit-identical
+    /// to the per-sample matvec — the step-synchronous batch engine's
+    /// correctness contract.
+    #[test]
+    fn batched_projection_rows_equal_matvec(
+        batch in 1usize..12,
+        out_dim in 1usize..16,
+        in_dim in 1usize..32,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = lad_math::Rng::new(seed);
+        let acts = Matrix::from_flat(batch, in_dim, rng.normal_vec(batch * in_dim, 1.0));
+        let w = Matrix::from_flat(out_dim, in_dim, rng.normal_vec(out_dim * in_dim, 1.0));
+        let batched = acts.matmul_bt(&w);
+        for s in 0..batch {
+            prop_assert_eq!(batched.row(s), &w.matvec(acts.row(s))[..]);
+        }
+    }
+
     /// Rank-1 updates commute with explicit outer-product construction.
     #[test]
     fn rank1_matches_outer_product(dim in 1usize..6, seed in 0u64..1000, scale in -2.0f32..2.0) {

@@ -12,11 +12,23 @@
 //! Scheduling never changes results — samples are independent, each session
 //! is deterministic, and head outputs are collected in head order — which
 //! `tests/differential.rs` pins down against the sequential paths.
+//!
+//! [`BatchSession`] / [`decode_batch_gemm`] go one step further: instead of
+//! one independent session per sample, all samples advance **one token per
+//! global step**, their activation vectors stacked into a `batch × hidden`
+//! matrix so every linear layer runs as a single cross-sample blocked GEMM
+//! ([`lad_math::gemm`]) — the weights stream once per step instead of once
+//! per sample. The GEMM's ascending-`k` accumulation contract keeps this
+//! bit-identical to the per-sample paths.
 
-use crate::backend::AttentionKind;
-use crate::transformer::{Model, Session};
+use crate::backend::{AttentionKind, HeadState, HeadStepOutput};
+use crate::config::{MlpKind, PositionKind};
+use crate::layers::{gelu, rope_in_place, silu, ROPE_BASE};
+use crate::transformer::{argmax, Model, Session};
 use lad_core::pool::{PoolMetrics, TaskLevel, WorkerPool};
-use lad_core::stats::{StatsSummary, StepStats};
+use lad_core::stats::{GemmBatchMetrics, StatsSummary, StepStats};
+use lad_math::gemm::{gemm_bt_into, GemmScratch};
+use lad_math::vector;
 use std::sync::Arc;
 
 /// Result of decoding one batch.
@@ -31,13 +43,18 @@ pub struct BatchResult {
     /// on the sequential path; best-effort on a pool shared with concurrent
     /// decodes).
     pub pool: PoolMetrics,
+    /// Batched-GEMM calls and step barriers (zero on the per-sample paths;
+    /// populated by [`decode_batch_gemm`]).
+    pub gemm: GemmBatchMetrics,
 }
 
 impl BatchResult {
     /// Aggregate of the final-step LAD statistics, with the batch's pool
-    /// scheduling counters attached.
+    /// and batched-GEMM scheduling counters attached.
     pub fn stats_summary(&self) -> StatsSummary {
-        StatsSummary::from_steps(&self.final_stats).with_pool_metrics(self.pool)
+        StatsSummary::from_steps(&self.final_stats)
+            .with_pool_metrics(self.pool)
+            .with_gemm_metrics(self.gemm)
     }
 }
 
@@ -76,6 +93,7 @@ pub fn decode_batch(
             sequences,
             final_stats,
             pool: PoolMetrics::default(),
+            gemm: GemmBatchMetrics::default(),
         };
     }
     decode_batch_on(
@@ -133,6 +151,521 @@ pub fn decode_batch_on(
         sequences,
         final_stats,
         pool: pool.metrics().delta(before),
+        gemm: GemmBatchMetrics::default(),
+    }
+}
+
+/// Reused activation matrices of a [`BatchSession`]: every buffer holds
+/// `active` stacked per-sample rows, so after the first step the batched hot
+/// path performs no per-projection allocation.
+#[derive(Debug, Clone, Default)]
+struct BatchScratch {
+    x: Vec<f32>,
+    normed: Vec<f32>,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    attn: Vec<f32>,
+    proj: Vec<f32>,
+    up: Vec<f32>,
+    gate: Vec<f32>,
+    final_h: Vec<f32>,
+    logits: Vec<f32>,
+    gemm: GemmScratch,
+}
+
+impl BatchScratch {
+    fn resize(&mut self, active: usize, hidden: usize, intermediate: usize, vocab: usize) {
+        for buf in [
+            &mut self.x,
+            &mut self.normed,
+            &mut self.q,
+            &mut self.k,
+            &mut self.v,
+            &mut self.attn,
+            &mut self.proj,
+            &mut self.final_h,
+        ] {
+            buf.resize(active * hidden, 0.0);
+        }
+        self.up.resize(active * intermediate, 0.0);
+        self.gate.resize(active * intermediate, 0.0);
+        self.logits.resize(active * vocab, 0.0);
+    }
+}
+
+/// Step-synchronous batched decode session (the cross-sample GEMM engine).
+///
+/// Where [`decode_batch`] runs one independent [`Session`] per sample (each
+/// streaming every weight matrix once per sample per step), a `BatchSession`
+/// advances **all** samples one token per global step: the per-sample
+/// activation vectors are stacked into a `batch × hidden` matrix and every
+/// linear layer runs as *one* matrix-matrix product
+/// ([`lad_math::gemm`]) — the weights stream once per step, not once per
+/// sample. The attention heads, which own per-sample state, fan out as one
+/// pool task per (sample-chunk, layer) on the shared [`WorkerPool`].
+///
+/// The GEMM kernel's ascending-`k` accumulation contract makes every row of
+/// a batched projection bit-identical to the per-sample `matvec`, so tokens
+/// and algorithmic stats are exactly those of [`Session`] /
+/// [`decode_batch`]; `tests/differential.rs` pins this down.
+#[derive(Debug)]
+pub struct BatchSession<'m> {
+    model: &'m Model,
+    /// Attention state, indexed `[sample][layer][head]`.
+    heads: Vec<Vec<Vec<HeadState>>>,
+    /// Tokens consumed so far, per sample.
+    pos: Vec<usize>,
+    /// Fan-out width of the per-layer sample-chunk scheduling.
+    parallelism: usize,
+    /// Explicit pool override (`None` = the process-global pool).
+    pool: Option<Arc<WorkerPool>>,
+    /// Per-sample LAD statistics from each sample's latest step, in
+    /// (layer, head) order (empty for non-LAD backends).
+    last_stats: Vec<Vec<StepStats>>,
+    scratch: BatchScratch,
+    gemm_metrics: GemmBatchMetrics,
+    pool_metrics: PoolMetrics,
+}
+
+impl<'m> BatchSession<'m> {
+    /// Opens a step-synchronous session for `batch` samples over `model`,
+    /// with every head running `kind`. Fan-out widths above 1 schedule
+    /// sample chunks on the process-global [`WorkerPool`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or `parallelism == 0`.
+    pub fn new(
+        model: &'m Model,
+        kind: &AttentionKind,
+        batch: usize,
+        parallelism: usize,
+    ) -> BatchSession<'m> {
+        BatchSession::build(model, kind, batch, parallelism, None)
+    }
+
+    /// Like [`BatchSession::new`] but scheduling on an explicit shared pool.
+    pub fn with_pool(
+        model: &'m Model,
+        kind: &AttentionKind,
+        batch: usize,
+        pool: Arc<WorkerPool>,
+        parallelism: usize,
+    ) -> BatchSession<'m> {
+        BatchSession::build(model, kind, batch, parallelism, Some(pool))
+    }
+
+    fn build(
+        model: &'m Model,
+        kind: &AttentionKind,
+        batch: usize,
+        parallelism: usize,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> BatchSession<'m> {
+        assert!(batch > 0, "BatchSession: batch must be positive");
+        assert!(parallelism > 0, "BatchSession: threads must be positive");
+        let d = model.cfg.head_dim();
+        let heads = (0..batch)
+            .map(|_| {
+                (0..model.cfg.layers)
+                    .map(|_| {
+                        (0..model.cfg.heads)
+                            .map(|_| HeadState::new(d, kind))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        BatchSession {
+            model,
+            heads,
+            pos: vec![0; batch],
+            parallelism,
+            pool,
+            last_stats: vec![Vec::new(); batch],
+            scratch: BatchScratch::default(),
+            gemm_metrics: GemmBatchMetrics::default(),
+            pool_metrics: PoolMetrics::default(),
+        }
+    }
+
+    /// Number of samples this session was opened for.
+    pub fn batch(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Tokens consumed so far by `sample`.
+    pub fn position(&self, sample: usize) -> usize {
+        self.pos[sample]
+    }
+
+    /// LAD statistics of `sample` from its latest step, in (layer, head)
+    /// order (empty for non-LAD backends).
+    pub fn last_stats(&self, sample: usize) -> &[StepStats] {
+        &self.last_stats[sample]
+    }
+
+    /// Next-token logits of the `active_idx`-th entry of the token list fed
+    /// to the latest [`BatchSession::step`].
+    pub fn logits(&self, active_idx: usize) -> &[f32] {
+        let vocab = self.model.cfg.vocab;
+        &self.scratch.logits[active_idx * vocab..(active_idx + 1) * vocab]
+    }
+
+    /// Batched-GEMM calls and step barriers accumulated so far.
+    pub fn gemm_metrics(&self) -> GemmBatchMetrics {
+        self.gemm_metrics
+    }
+
+    /// Pool scheduling counters accumulated across this session's steps
+    /// (best-effort on a pool shared with concurrent decodes).
+    pub fn pool_metrics(&self) -> PoolMetrics {
+        self.pool_metrics
+    }
+
+    /// Advances every listed sample by one token — one step-synchronous
+    /// global step. `tokens` pairs each active sample index with the token
+    /// it consumes, in strictly increasing sample order; inactive samples
+    /// (already finished their ragged tail) are simply omitted. Logits land
+    /// row-per-entry in [`BatchSession::logits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty, out of order, names a sample out of
+    /// range, a token outside the vocabulary, or a sample past the model's
+    /// maximum sequence length.
+    pub fn step(&mut self, tokens: &[(usize, u32)]) {
+        let cfg = &self.model.cfg;
+        assert!(!tokens.is_empty(), "BatchSession::step: no active samples");
+        for pair in tokens.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "BatchSession::step: sample indices must be strictly increasing"
+            );
+        }
+        for &(s, t) in tokens {
+            assert!(s < self.pos.len(), "sample index out of range");
+            assert!((t as usize) < cfg.vocab, "token out of vocabulary");
+            assert!(self.pos[s] < cfg.max_seq, "sequence length exceeded");
+        }
+        let active = tokens.len();
+        let hidden = cfg.hidden;
+        let d = cfg.head_dim();
+        let heads_n = cfg.heads;
+
+        let width = self.parallelism.min(active).max(1);
+        let pool: Option<Arc<WorkerPool>> = (width > 1).then(|| {
+            self.pool
+                .clone()
+                .unwrap_or_else(|| Arc::clone(WorkerPool::global()))
+        });
+        let pool_before = pool.as_ref().map(|p| p.metrics());
+        let mut gemm_calls = 0usize;
+
+        // The scratch matrices move out of `self` for the step so the head
+        // states below can be borrowed mutably alongside them.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.resize(active, hidden, cfg.intermediate, cfg.vocab);
+        let BatchScratch {
+            x,
+            normed,
+            q,
+            k,
+            v,
+            attn,
+            proj,
+            up,
+            gate,
+            final_h,
+            logits,
+            gemm,
+        } = &mut scratch;
+
+        for (a, &(s, token)) in tokens.iter().enumerate() {
+            let row = &mut x[a * hidden..(a + 1) * hidden];
+            row.copy_from_slice(self.model.embed.row(token as usize));
+            if let Some(pos_embed) = &self.model.pos_embed {
+                vector::axpy(row, 1.0, pos_embed.row(self.pos[s]));
+            }
+            self.last_stats[s].clear();
+        }
+
+        let mut slots: Vec<Option<HeadStepOutput>> = Vec::new();
+        for (layer, block) in self.model.blocks.iter().enumerate() {
+            for a in 0..active {
+                block.norm1.forward_into(
+                    &x[a * hidden..(a + 1) * hidden],
+                    &mut normed[a * hidden..(a + 1) * hidden],
+                );
+            }
+            // One cross-sample GEMM per projection: the whole batch shares a
+            // single streaming pass over each weight matrix.
+            block.wq.forward_batch_into(active, normed, q, gemm);
+            block.wk.forward_batch_into(active, normed, k, gemm);
+            block.wv.forward_batch_into(active, normed, v, gemm);
+            gemm_calls += 3;
+
+            if cfg.position == PositionKind::Rope {
+                for (a, &(s, _)) in tokens.iter().enumerate() {
+                    for h in 0..heads_n {
+                        let span = a * hidden + h * d..a * hidden + (h + 1) * d;
+                        rope_in_place(&mut q[span.clone()], self.pos[s], ROPE_BASE);
+                        rope_in_place(&mut k[span], self.pos[s], ROPE_BASE);
+                    }
+                }
+            }
+
+            // Gather each active sample's head row for this layer, in token
+            // order, so chunks of samples can fan out as pool tasks.
+            let mut layer_heads: Vec<&mut [HeadState]> = Vec::with_capacity(active);
+            {
+                let mut rows = self.heads.iter_mut().enumerate();
+                for &(s, _) in tokens {
+                    let row = loop {
+                        let (i, row) = rows.next().expect("sample index in range");
+                        if i == s {
+                            break row;
+                        }
+                    };
+                    layer_heads.push(&mut row[layer][..]);
+                }
+            }
+
+            slots.clear();
+            slots.resize_with(active * heads_n, || None);
+            match &pool {
+                None => {
+                    step_sample_chunk(0, hidden, d, heads_n, &mut layer_heads, &mut slots, q, k, v)
+                }
+                Some(pool) => {
+                    let chunk = active.div_ceil(width);
+                    pool.scope(|scope| {
+                        let mut pieces = layer_heads
+                            .chunks_mut(chunk)
+                            .zip(slots.chunks_mut(chunk * heads_n))
+                            .enumerate();
+                        let first = pieces.next();
+                        for (c, (samples, out_chunk)) in pieces {
+                            let (q, k, v) = (&q, &k, &v);
+                            scope.spawn(TaskLevel::Head, move || {
+                                step_sample_chunk(
+                                    c * chunk,
+                                    hidden,
+                                    d,
+                                    heads_n,
+                                    samples,
+                                    out_chunk,
+                                    q,
+                                    k,
+                                    v,
+                                );
+                            });
+                        }
+                        if let Some((_, (samples, out_chunk))) = first {
+                            step_sample_chunk(0, hidden, d, heads_n, samples, out_chunk, q, k, v);
+                        }
+                    });
+                }
+            }
+
+            for (a, &(s, _)) in tokens.iter().enumerate() {
+                for h in 0..heads_n {
+                    let out = slots[a * heads_n + h].take().expect("every head ran");
+                    attn[a * hidden + h * d..a * hidden + (h + 1) * d].copy_from_slice(&out.output);
+                    if let Some(mut stats) = out.stats {
+                        stats.fanout_width = width;
+                        self.last_stats[s].push(stats);
+                    }
+                }
+            }
+
+            block.wo.forward_batch_into(active, attn, proj, gemm);
+            gemm_calls += 1;
+            for a in 0..active {
+                vector::axpy(
+                    &mut x[a * hidden..(a + 1) * hidden],
+                    1.0,
+                    &proj[a * hidden..(a + 1) * hidden],
+                );
+            }
+
+            for a in 0..active {
+                block.norm2.forward_into(
+                    &x[a * hidden..(a + 1) * hidden],
+                    &mut normed[a * hidden..(a + 1) * hidden],
+                );
+            }
+            match cfg.mlp {
+                MlpKind::Gelu => {
+                    block.w_up.forward_batch_into(active, normed, up, gemm);
+                    for val in up.iter_mut() {
+                        *val = gelu(*val);
+                    }
+                    block.w_down.forward_batch_into(active, up, proj, gemm);
+                    gemm_calls += 2;
+                }
+                MlpKind::SwiGlu => {
+                    let w_gate = block
+                        .w_gate
+                        .as_ref()
+                        .expect("SwiGLU blocks carry a gate projection");
+                    w_gate.forward_batch_into(active, normed, gate, gemm);
+                    block.w_up.forward_batch_into(active, normed, up, gemm);
+                    for (g, &u) in gate.iter_mut().zip(up.iter()) {
+                        *g = silu(*g) * u;
+                    }
+                    block.w_down.forward_batch_into(active, gate, proj, gemm);
+                    gemm_calls += 3;
+                }
+            }
+            for a in 0..active {
+                vector::axpy(
+                    &mut x[a * hidden..(a + 1) * hidden],
+                    1.0,
+                    &proj[a * hidden..(a + 1) * hidden],
+                );
+            }
+        }
+
+        for a in 0..active {
+            self.model.final_norm.forward_into(
+                &x[a * hidden..(a + 1) * hidden],
+                &mut final_h[a * hidden..(a + 1) * hidden],
+            );
+        }
+        // The unembedding is one more cross-sample GEMM against the tied
+        // embedding matrix.
+        gemm_bt_into(
+            active,
+            cfg.vocab,
+            hidden,
+            final_h,
+            self.model.embed.as_slice(),
+            logits,
+            gemm,
+        );
+        gemm_calls += 1;
+
+        for &(s, _) in tokens {
+            self.pos[s] += 1;
+        }
+        self.scratch = scratch;
+        self.gemm_metrics.gemm_calls += gemm_calls;
+        self.gemm_metrics.sync_barriers += 1;
+        if let (Some(pool), Some(before)) = (&pool, pool_before) {
+            let delta = pool.metrics().delta(before);
+            self.pool_metrics.tasks_executed += delta.tasks_executed;
+            self.pool_metrics.tasks_stolen += delta.tasks_stolen;
+            self.pool_metrics.idle_wakeups += delta.idle_wakeups;
+            self.pool_metrics.scopes_completed += delta.scopes_completed;
+        }
+    }
+}
+
+/// Steps every head of a contiguous chunk of active samples starting at
+/// `first_active`, writing each head's output into its pre-assigned slot
+/// (the pool-task body of the per-(sample-chunk, layer) fan-out).
+#[allow(clippy::too_many_arguments)]
+fn step_sample_chunk(
+    first_active: usize,
+    hidden: usize,
+    d: usize,
+    heads_n: usize,
+    samples: &mut [&mut [HeadState]],
+    slots: &mut [Option<HeadStepOutput>],
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+) {
+    for (i, sample_heads) in samples.iter_mut().enumerate() {
+        let row = (first_active + i) * hidden;
+        for (h, head) in sample_heads.iter_mut().enumerate() {
+            let span = row + h * d..row + (h + 1) * d;
+            slots[i * heads_n + h] =
+                Some(head.step(&q[span.clone()], &k[span.clone()], &v[span], false));
+        }
+    }
+}
+
+/// Greedy-decodes every prompt for `steps` tokens through a step-synchronous
+/// [`BatchSession`]: all samples advance one token per global step with
+/// cross-sample batched GEMMs; ragged prompts are handled by shrinking the
+/// active set as samples finish. Tokens and algorithmic stats are
+/// bit-identical to [`decode_batch`] at any `parallelism`.
+///
+/// # Panics
+///
+/// Panics if `parallelism == 0` or any prompt is empty.
+pub fn decode_batch_gemm(
+    model: &Model,
+    kind: &AttentionKind,
+    prompts: &[Vec<u32>],
+    steps: usize,
+    parallelism: usize,
+) -> BatchResult {
+    assert!(
+        parallelism > 0,
+        "decode_batch_gemm: threads must be positive"
+    );
+    assert!(
+        prompts.iter().all(|p| !p.is_empty()),
+        "decode_batch_gemm: empty prompt"
+    );
+    if prompts.is_empty() {
+        return BatchResult {
+            sequences: Vec::new(),
+            final_stats: Vec::new(),
+            pool: PoolMetrics::default(),
+            gemm: GemmBatchMetrics::default(),
+        };
+    }
+    let n = prompts.len();
+    let lens: Vec<usize> = prompts.iter().map(|p| p.len()).collect();
+    let horizon = lens.iter().copied().max().unwrap_or(0) + steps;
+    let mut session = BatchSession::new(model, kind, n, parallelism);
+    let mut next_token = vec![0u32; n];
+    let mut generated: Vec<Vec<u32>> = vec![Vec::with_capacity(steps); n];
+    let mut tokens: Vec<(usize, u32)> = Vec::with_capacity(n);
+
+    #[allow(clippy::needless_range_loop)] // `t` is a global step counter, not a prompt index
+    for t in 0..horizon {
+        tokens.clear();
+        for s in 0..n {
+            // Sample `s` stays active while it still has prompt tokens to
+            // consume or generated tokens to feed back — the same
+            // `len + steps` consumption as `Session::generate_greedy`.
+            if t < lens[s] + steps {
+                let tok = if t < lens[s] {
+                    prompts[s][t]
+                } else {
+                    next_token[s]
+                };
+                tokens.push((s, tok));
+            }
+        }
+        if tokens.is_empty() {
+            break;
+        }
+        session.step(&tokens);
+        for (a, &(s, _)) in tokens.iter().enumerate() {
+            if t + 1 >= lens[s] && generated[s].len() < steps {
+                let next = argmax(session.logits(a));
+                generated[s].push(next);
+                next_token[s] = next;
+            }
+        }
+    }
+
+    let mut final_stats = Vec::new();
+    for s in 0..n {
+        final_stats.extend(session.last_stats(s).iter().copied());
+    }
+    BatchResult {
+        sequences: generated,
+        final_stats,
+        pool: session.pool_metrics(),
+        gemm: session.gemm_metrics(),
     }
 }
 
@@ -226,6 +759,84 @@ mod tests {
     #[should_panic(expected = "threads must be positive")]
     fn zero_threads_rejected() {
         decode_batch(&model(), &AttentionKind::Exact, &prompts(), 2, 0);
+    }
+
+    #[test]
+    fn gemm_batch_matches_sequential_exactly() {
+        // The tentpole invariant: the step-synchronous batched engine emits
+        // bit-identical tokens and algorithmic stats to the per-sample
+        // sequential reference, for exact and LAD backends, ragged prompts
+        // included.
+        let model = model();
+        for kind in [
+            AttentionKind::Exact,
+            AttentionKind::Lad(LadConfig::default()),
+        ] {
+            let reference = decode_batch(&model, &kind, &prompts(), 10, 1);
+            let batched = decode_batch_gemm(&model, &kind, &prompts(), 10, 1);
+            assert_eq!(reference.sequences, batched.sequences);
+            assert_eq!(reference.final_stats.len(), batched.final_stats.len());
+            for (a, b) in reference.final_stats.iter().zip(&batched.final_stats) {
+                assert_eq!(a.algorithmic(), b.algorithmic());
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_batch_opt_style_matches_sequential() {
+        // Learned positions + LayerNorm + GELU exercise the other batched
+        // code paths (pos-embed add, gelu loop, no RoPE).
+        let model = Model::random(ModelConfig::tiny_opt("opt-batch", 2, 32, 2), 77);
+        let reference = decode_batch(&model, &AttentionKind::Exact, &prompts(), 8, 1);
+        let batched = decode_batch_gemm(&model, &AttentionKind::Exact, &prompts(), 8, 1);
+        assert_eq!(reference.sequences, batched.sequences);
+    }
+
+    #[test]
+    fn gemm_batch_fanout_is_bit_identical_to_inline() {
+        let model = model();
+        let kind = AttentionKind::Lad(LadConfig::default());
+        let inline = decode_batch_gemm(&model, &kind, &prompts(), 10, 1);
+        let fanned = decode_batch_gemm(&model, &kind, &prompts(), 10, 4);
+        assert_eq!(inline.sequences, fanned.sequences);
+        for (a, b) in inline.final_stats.iter().zip(&fanned.final_stats) {
+            assert_eq!(a.algorithmic(), b.algorithmic());
+        }
+        // The fanned run scheduled head chunks on the pool.
+        assert!(fanned.pool.tasks_executed > 0);
+    }
+
+    #[test]
+    fn gemm_batch_counts_calls_and_barriers() {
+        let model = model(); // tiny: 2 layers, SwiGLU -> 7 GEMMs/layer + unembed.
+        let steps = 6;
+        let batched = decode_batch_gemm(&model, &AttentionKind::Exact, &prompts(), steps, 1);
+        let max_len = prompts().iter().map(Vec::len).max().unwrap();
+        let barriers = max_len + steps;
+        assert_eq!(batched.gemm.sync_barriers, barriers);
+        assert_eq!(batched.gemm.gemm_calls, barriers * (2 * 7 + 1));
+        let summary = batched.stats_summary();
+        assert_eq!(summary.sync_barriers, barriers);
+        assert_eq!(summary.gemm_calls, batched.gemm.gemm_calls);
+        // The per-sample paths never report batched-GEMM activity.
+        let reference = decode_batch(&model, &AttentionKind::Exact, &prompts(), steps, 1);
+        assert_eq!(reference.gemm, GemmBatchMetrics::default());
+    }
+
+    #[test]
+    fn batch_session_rejects_unsorted_samples() {
+        let model = model();
+        let mut session = BatchSession::new(&model, &AttentionKind::Exact, 3, 1);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            session.step(&[(1, 2), (0, 3)]);
+        }));
+        assert!(caught.is_err(), "unsorted sample list must panic");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prompt")]
+    fn empty_prompt_rejected_on_gemm_path() {
+        decode_batch_gemm(&model(), &AttentionKind::Exact, &[vec![1], vec![]], 2, 1);
     }
 
     #[test]

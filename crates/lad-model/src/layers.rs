@@ -5,6 +5,7 @@
 //! (paper Sec. IV-B): LayerNorm/RMSNorm, RoPE, GELU/SiLU and dense
 //! projections.
 
+use lad_math::gemm::{gemm_bt_into, GemmScratch};
 use lad_math::{vector, Matrix, Rng};
 
 /// LayerNorm with learned scale (`gamma`) and shift (`beta`).
@@ -31,16 +32,30 @@ impl LayerNorm {
     ///
     /// Panics if `x.len()` differs from the layer width.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; x.len()];
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// In-place [`LayerNorm::forward`]: writes into `out` (overwritten), so
+    /// reused scratch rows never allocate. Bit-identical to `forward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `out.len()` differs from the layer width.
+    pub fn forward_into(&self, x: &[f32], out: &mut [f32]) {
         assert_eq!(x.len(), self.gamma.len(), "layernorm: width mismatch");
+        assert_eq!(out.len(), self.gamma.len(), "layernorm: output mismatch");
         let n = x.len() as f32;
         let mean = x.iter().sum::<f32>() / n;
         let var = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
         let inv = 1.0 / (var + self.eps).sqrt();
-        x.iter()
-            .zip(&self.gamma)
-            .zip(&self.beta)
-            .map(|((&v, &g), &b)| g * (v - mean) * inv + b)
-            .collect()
+        for (slot, ((&v, &g), &b)) in out
+            .iter_mut()
+            .zip(x.iter().zip(&self.gamma).zip(&self.beta))
+        {
+            *slot = g * (v - mean) * inv + b;
+        }
     }
 }
 
@@ -66,14 +81,26 @@ impl RmsNorm {
     ///
     /// Panics if `x.len()` differs from the layer width.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; x.len()];
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// In-place [`RmsNorm::forward`]: writes into `out` (overwritten), so
+    /// reused scratch rows never allocate. Bit-identical to `forward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `out.len()` differs from the layer width.
+    pub fn forward_into(&self, x: &[f32], out: &mut [f32]) {
         assert_eq!(x.len(), self.gamma.len(), "rmsnorm: width mismatch");
+        assert_eq!(out.len(), self.gamma.len(), "rmsnorm: output mismatch");
         let n = x.len() as f32;
         let ms = x.iter().map(|&v| v * v).sum::<f32>() / n;
         let inv = 1.0 / (ms + self.eps).sqrt();
-        x.iter()
-            .zip(&self.gamma)
-            .map(|(&v, &g)| g * v * inv)
-            .collect()
+        for (slot, (&v, &g)) in out.iter_mut().zip(x.iter().zip(&self.gamma)) {
+            *slot = g * v * inv;
+        }
     }
 }
 
@@ -127,6 +154,45 @@ impl Linear {
     /// Panics if `x.len() != in_dim()`.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
         self.weight.matvec(x)
+    }
+
+    /// Allocation-free [`Linear::forward`]: writes `W · x` into `out`
+    /// (overwritten). Bit-identical to `forward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim()` or `out.len() != out_dim()`.
+    pub fn forward_into(&self, x: &[f32], out: &mut [f32]) {
+        self.weight.matvec_into(x, out);
+    }
+
+    /// Cross-sample batched projection: treats `x` as a row-major
+    /// `batch × in_dim` activation matrix and writes the row-major
+    /// `batch × out_dim` result into `out` with **one** blocked GEMM, so the
+    /// weight matrix is streamed once per `lad_math::gemm::MR`-row block
+    /// instead of once per sample. Row `s` of the result is bit-identical to
+    /// `forward(row s)` (the [`lad_math::gemm`] accumulation contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != batch * in_dim()` or
+    /// `out.len() != batch * out_dim()`.
+    pub fn forward_batch_into(
+        &self,
+        batch: usize,
+        x: &[f32],
+        out: &mut [f32],
+        scratch: &mut GemmScratch,
+    ) {
+        gemm_bt_into(
+            batch,
+            self.out_dim(),
+            self.in_dim(),
+            x,
+            self.weight.as_slice(),
+            out,
+            scratch,
+        );
     }
 }
 
@@ -223,6 +289,40 @@ mod tests {
         assert_eq!(a.out_dim(), 3);
         assert_eq!(a.in_dim(), 2);
         assert_eq!(a.forward(&[1.0, 0.0]).len(), 3);
+    }
+
+    #[test]
+    fn forward_into_variants_match_allocating_forward() {
+        let mut rng = Rng::new(9);
+        let x: Vec<f32> = rng.normal_vec(6, 1.0);
+        let ln = LayerNorm::new(6);
+        let mut out = vec![7.0f32; 6];
+        ln.forward_into(&x, &mut out);
+        assert_eq!(out, ln.forward(&x));
+        let rn = RmsNorm::new(6);
+        rn.forward_into(&x, &mut out);
+        assert_eq!(out, rn.forward(&x));
+        let lin = Linear::random(4, 6, &mut rng);
+        let mut out = vec![7.0f32; 4];
+        lin.forward_into(&x, &mut out);
+        assert_eq!(out, lin.forward(&x));
+    }
+
+    #[test]
+    fn batched_projection_rows_match_per_sample_forward() {
+        let mut rng = Rng::new(10);
+        let lin = Linear::random(5, 8, &mut rng);
+        let batch = 3;
+        let x: Vec<f32> = rng.normal_vec(batch * 8, 1.0);
+        let mut out = vec![0.0f32; batch * 5];
+        lin.forward_batch_into(batch, &x, &mut out, &mut GemmScratch::default());
+        for s in 0..batch {
+            assert_eq!(
+                &out[s * 5..(s + 1) * 5],
+                &lin.forward(&x[s * 8..(s + 1) * 8])[..],
+                "sample {s}"
+            );
+        }
     }
 
     #[test]

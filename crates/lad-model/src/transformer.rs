@@ -41,20 +41,28 @@ impl Norm {
             Norm::Rms(rn) => rn.forward(x),
         }
     }
+
+    /// Allocation-free [`Norm::forward`] into a scratch row (overwritten).
+    pub fn forward_into(&self, x: &[f32], out: &mut [f32]) {
+        match self {
+            Norm::Layer(ln) => ln.forward_into(x, out),
+            Norm::Rms(rn) => rn.forward_into(x, out),
+        }
+    }
 }
 
 /// Weights of one transformer block.
 #[derive(Debug, Clone)]
 pub struct BlockWeights {
-    norm1: Norm,
-    norm2: Norm,
-    wq: Linear,
-    wk: Linear,
-    wv: Linear,
-    wo: Linear,
-    w_up: Linear,
-    w_down: Linear,
-    w_gate: Option<Linear>,
+    pub(crate) norm1: Norm,
+    pub(crate) norm2: Norm,
+    pub(crate) wq: Linear,
+    pub(crate) wk: Linear,
+    pub(crate) wv: Linear,
+    pub(crate) wo: Linear,
+    pub(crate) w_up: Linear,
+    pub(crate) w_down: Linear,
+    pub(crate) w_gate: Option<Linear>,
 }
 
 impl BlockWeights {
@@ -76,29 +84,74 @@ impl BlockWeights {
         }
     }
 
-    fn mlp(&self, x: &[f32], kind: MlpKind) -> Vec<f32> {
+    /// Feed-forward with caller-provided intermediate scratch (`up`, `gate`)
+    /// and output row — the allocation-free form both the per-sample step and
+    /// the batch engine share. Bit-identical to the old allocating `mlp`.
+    pub(crate) fn mlp_into(
+        &self,
+        x: &[f32],
+        kind: MlpKind,
+        up: &mut [f32],
+        gate: &mut [f32],
+        out: &mut [f32],
+    ) {
         match kind {
             MlpKind::Gelu => {
-                let mut up = self.w_up.forward(x);
-                for v in &mut up {
+                self.w_up.forward_into(x, up);
+                for v in up.iter_mut() {
                     *v = gelu(*v);
                 }
-                self.w_down.forward(&up)
+                self.w_down.forward_into(up, out);
             }
             MlpKind::SwiGlu => {
-                let gate = self
+                let w_gate = self
                     .w_gate
                     .as_ref()
                     .expect("SwiGLU blocks carry a gate projection");
-                let mut g = gate.forward(x);
-                for v in &mut g {
-                    *v = silu(*v);
+                w_gate.forward_into(x, gate);
+                self.w_up.forward_into(x, up);
+                for (g, &u) in gate.iter_mut().zip(up.iter()) {
+                    *g = silu(*g) * u;
                 }
-                let up = self.w_up.forward(x);
-                let mixed = vector::elementwise_mul(&g, &up);
-                self.w_down.forward(&mixed)
+                self.w_down.forward_into(gate, out);
             }
         }
+    }
+}
+
+/// Reused per-step activation buffers of a [`Session`]: after the first step
+/// the decode hot path performs no per-projection allocation (the returned
+/// logits vector is the only fresh allocation per step).
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    x: Vec<f32>,
+    normed: Vec<f32>,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    attn: Vec<f32>,
+    proj: Vec<f32>,
+    up: Vec<f32>,
+    gate: Vec<f32>,
+    final_h: Vec<f32>,
+}
+
+impl StepScratch {
+    fn resize(&mut self, hidden: usize, intermediate: usize) {
+        for buf in [
+            &mut self.x,
+            &mut self.normed,
+            &mut self.q,
+            &mut self.k,
+            &mut self.v,
+            &mut self.attn,
+            &mut self.proj,
+            &mut self.final_h,
+        ] {
+            buf.resize(hidden, 0.0);
+        }
+        self.up.resize(intermediate, 0.0);
+        self.gate.resize(intermediate, 0.0);
     }
 }
 
@@ -118,11 +171,11 @@ impl BlockWeights {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Model {
-    cfg: ModelConfig,
-    embed: Matrix,
-    pos_embed: Option<Matrix>,
-    blocks: Vec<BlockWeights>,
-    final_norm: Norm,
+    pub(crate) cfg: ModelConfig,
+    pub(crate) embed: Matrix,
+    pub(crate) pos_embed: Option<Matrix>,
+    pub(crate) blocks: Vec<BlockWeights>,
+    pub(crate) final_norm: Norm,
 }
 
 impl Model {
@@ -186,6 +239,8 @@ pub struct Session<'m> {
     /// Per-head (q, k, v) streams, when QKV recording is on: indexed by
     /// `layer * heads + head`, one triple per step.
     qkv_taps: Option<Vec<QkvStream>>,
+    /// Reused per-step activation buffers (see [`StepScratch`]).
+    scratch: StepScratch,
 }
 
 impl<'m> Session<'m> {
@@ -248,6 +303,7 @@ impl<'m> Session<'m> {
             last_stats: Vec::new(),
             analyzers: None,
             qkv_taps: None,
+            scratch: StepScratch::default(),
         }
     }
 
@@ -334,17 +390,34 @@ impl<'m> Session<'m> {
         });
         let pool_before = pool.as_ref().map(|p| p.metrics());
 
-        let mut x: Vec<f32> = self.model.embed.row(token as usize).to_vec();
+        // The scratch buffers move out of `self` for the step so the head
+        // states below can be borrowed mutably alongside them; every buffer
+        // is overwritten before use.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.resize(cfg.hidden, cfg.intermediate);
+        let StepScratch {
+            x,
+            normed,
+            q: q_full,
+            k: k_full,
+            v: v_full,
+            attn,
+            proj,
+            up,
+            gate,
+            final_h,
+        } = &mut scratch;
+        x.copy_from_slice(self.model.embed.row(token as usize));
         if let Some(pos_embed) = &self.model.pos_embed {
-            vector::axpy(&mut x, 1.0, pos_embed.row(self.pos));
+            vector::axpy(x, 1.0, pos_embed.row(self.pos));
         }
 
         self.last_stats.clear();
         for (layer, block) in self.model.blocks.iter().enumerate() {
-            let normed = block.norm1.forward(&x);
-            let mut q_full = block.wq.forward(&normed);
-            let mut k_full = block.wk.forward(&normed);
-            let v_full = block.wv.forward(&normed);
+            block.norm1.forward_into(x, normed);
+            block.wq.forward_into(normed, q_full);
+            block.wk.forward_into(normed, k_full);
+            block.wv.forward_into(normed, v_full);
 
             // RoPE is applied in place on each head's span of the shared
             // projection buffers, so the fan-out below can hand every worker
@@ -410,9 +483,9 @@ impl<'m> Session<'m> {
                                 record,
                                 heads_chunk,
                                 out_chunk,
-                                &q_full,
-                                &k_full,
-                                &v_full,
+                                q_full,
+                                k_full,
+                                v_full,
                             );
                         }
                     });
@@ -423,7 +496,6 @@ impl<'m> Session<'m> {
                 }
             };
 
-            let mut attn_concat = vec![0.0f32; cfg.hidden];
             for (h, out) in outputs.into_iter().enumerate() {
                 let span = h * d..(h + 1) * d;
                 if let Some(taps) = self.qkv_taps.as_mut() {
@@ -433,7 +505,7 @@ impl<'m> Session<'m> {
                         v_full[span.clone()].to_vec(),
                     ));
                 }
-                attn_concat[span].copy_from_slice(&out.output);
+                attn[span].copy_from_slice(&out.output);
                 if let Some(mut stats) = out.stats {
                     stats.fanout_width = width;
                     self.last_stats.push(stats);
@@ -444,12 +516,12 @@ impl<'m> Session<'m> {
                     analyzers[layer * cfg.heads + h].observe_step(&scores);
                 }
             }
-            let attn_out = block.wo.forward(&attn_concat);
-            vector::axpy(&mut x, 1.0, &attn_out);
+            block.wo.forward_into(attn, proj);
+            vector::axpy(x, 1.0, proj);
 
-            let normed2 = block.norm2.forward(&x);
-            let mlp_out = block.mlp(&normed2, cfg.mlp);
-            vector::axpy(&mut x, 1.0, &mlp_out);
+            block.norm2.forward_into(x, normed);
+            block.mlp_into(normed, cfg.mlp, up, gate, proj);
+            vector::axpy(x, 1.0, proj);
         }
 
         self.last_pool_metrics = match (&pool, pool_before) {
@@ -457,8 +529,10 @@ impl<'m> Session<'m> {
             _ => PoolMetrics::default(),
         };
         self.pos += 1;
-        let final_h = self.model.final_norm.forward(&x);
-        self.model.embed.matvec(&final_h)
+        self.model.final_norm.forward_into(x, final_h);
+        let logits = self.model.embed.matvec(final_h);
+        self.scratch = scratch;
+        logits
     }
 
     /// Feeds a prompt token-by-token; returns the logits after the last one.

@@ -7,7 +7,10 @@
 //! — must be token-exact against (a) the sequential LAD path and (b) the
 //! exact-softmax reference decoder run sequentially, and must report
 //! identical per-step `StepStats` (including `den_fallbacks`) up to the
-//! scheduling metadata that `StepStats::algorithmic()` strips.
+//! scheduling metadata that `StepStats::algorithmic()` strips. The same
+//! holds for the step-synchronous batched engine (`decode_batch_gemm`),
+//! whose cross-sample blocked GEMMs carry a bit-exact ascending-`k`
+//! accumulation contract: batching must never change a token or a stat.
 //!
 //! The harness decodes seeded random models under a grid of
 //! {parallelism × batch size × window size × stream length} and asserts all
@@ -23,7 +26,7 @@ use lad::core::pool::WorkerPool;
 use lad::core::stats::StepStats;
 use lad::math::pwl::PwlExp;
 use lad::model::backend::AttentionKind;
-use lad::model::batch::{decode_batch, decode_batch_on};
+use lad::model::batch::{decode_batch, decode_batch_gemm, decode_batch_on};
 use lad::model::config::ModelConfig;
 use lad::model::transformer::{argmax, Model, Session};
 use std::sync::Arc;
@@ -175,6 +178,47 @@ fn run_config(pool: &Arc<WorkerPool>, cfg: &DiffConfig) -> usize {
             kind_name,
             &sequential.final_stats,
             &pooled.final_stats,
+        );
+
+        // Leg 3 — step-synchronous batched GEMM engine: cross-sample
+        // matrix-matrix projections (inline and pool-fanned) vs the
+        // per-sample reference, token- and stats-exact.
+        let gemm_inline = decode_batch_gemm(&model, kind, &prompts, cfg.steps, 1);
+        let gemm_fanned = decode_batch_gemm(&model, kind, &prompts, cfg.steps, cfg.parallelism);
+        assert_eq!(
+            gemm_inline.sequences, expected,
+            "{}/{kind_name}: inline batched-GEMM decode diverged from single sessions",
+            cfg.label
+        );
+        assert_eq!(
+            gemm_fanned.sequences, expected,
+            "{}/{kind_name}: fanned batched-GEMM decode diverged from single sessions",
+            cfg.label
+        );
+        assert_stats_match(
+            cfg.label,
+            kind_name,
+            &sequential.final_stats,
+            &gemm_inline.final_stats,
+        );
+        assert_stats_match(
+            cfg.label,
+            kind_name,
+            &sequential.final_stats,
+            &gemm_fanned.final_stats,
+        );
+        // Every prompt in this harness has the same length, so the batched
+        // engine crosses exactly one barrier per consumed token.
+        assert_eq!(
+            gemm_inline.gemm.sync_barriers,
+            cfg.prompt_len + cfg.steps,
+            "{}/{kind_name}: barrier count off",
+            cfg.label
+        );
+        assert!(
+            gemm_inline.gemm.gemm_calls >= gemm_inline.gemm.sync_barriers,
+            "{}/{kind_name}: batched decode reported no GEMM calls",
+            cfg.label
         );
     }
 
