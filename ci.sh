@@ -22,6 +22,12 @@ cargo test --workspace --release -q
 echo "== benches compile (cargo bench --no-run)"
 cargo bench --workspace --no-run
 
+echo "== observability smoke (trace_decode example; validates trace + JSONL)"
+cargo run --release --example trace_decode
+
+echo "== bench regression gate (ratios vs committed BENCH_*.json floors)"
+cargo run --release -p lad-bench --bin bench_check
+
 echo "== slow tests (long-stream + differential grid, warnings are errors)"
 RUSTFLAGS="-D warnings" cargo test --workspace --release -q -- --ignored
 

@@ -1,0 +1,183 @@
+//! Bench regression gate: `cargo run -p lad-bench --bin bench_check`.
+//!
+//! Reads the committed `BENCH_*.json` baselines at the repo root, validates
+//! their schemas, then re-runs the gated measurement (the `gemm_batch`
+//! batch-8 per-sample vs batched-GEMM comparison) in quick mode and fails —
+//! nonzero exit — if the measured per-token speedup falls below the
+//! baseline's recorded acceptance floor of 1.3x.
+//!
+//! The gate compares **ratios, not absolute times**: both decode paths run
+//! in the same process on the same machine back to back, so CI noise that
+//! slows the box slows both paths and cancels out. That is what makes this
+//! a non-flaky smoke — a 4.9x effect gated at 1.3x, measured as a ratio.
+
+use lad_bench::section;
+use lad_model::backend::AttentionKind;
+use lad_model::batch::{decode_batch, decode_batch_gemm};
+use lad_model::config::ModelConfig;
+use lad_model::transformer::Model;
+use lad_obs::json::{self, Value};
+use std::time::Instant;
+
+/// Acceptance floor the `gemm_batch` bench commits to (batch-8 exact).
+const SPEEDUP_FLOOR: f64 = 1.3;
+
+/// Quick-mode decode length: half the committed run, same prompt length.
+/// Only the ratio matters, so the shorter run does not move the gate.
+const PROMPT_LEN: usize = 32;
+const STEPS: usize = 16;
+const BATCH: usize = 8;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn load(name: &str) -> Value {
+    let path = repo_root().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    json::parse(&text).unwrap_or_else(|e| fail(&format!("{name}: {e}")))
+}
+
+/// Requires `doc` to carry the common baseline envelope plus, per result
+/// row, every field in `required` with a numeric value. Returns the rows.
+fn check_schema<'a>(name: &str, doc: &'a Value, required: &[&str]) -> &'a [Value] {
+    for field in ["bench", "model"] {
+        if doc.get(field).and_then(Value::as_str).is_none() {
+            fail(&format!("{name}: missing string field '{field}'"));
+        }
+    }
+    if doc.get("host_cores").and_then(Value::as_u64).is_none() {
+        fail(&format!("{name}: missing numeric field 'host_cores'"));
+    }
+    let results = doc
+        .get("results")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(&format!("{name}: missing results array")));
+    if results.is_empty() {
+        fail(&format!("{name}: empty results array"));
+    }
+    for (i, row) in results.iter().enumerate() {
+        if row.get("kind").and_then(Value::as_str).is_none() {
+            fail(&format!("{name}: results[{i}]: missing string 'kind'"));
+        }
+        for field in required {
+            match row.get(field).and_then(Value::as_f64) {
+                Some(v) if v.is_finite() => {}
+                _ => fail(&format!(
+                    "{name}: results[{i}]: missing/invalid numeric '{field}'"
+                )),
+            }
+        }
+    }
+    results
+}
+
+/// The committed batch-8 exact speedup from `BENCH_gemm.json`.
+fn recorded_speedup(results: &[Value]) -> f64 {
+    let row = results
+        .iter()
+        .find(|r| {
+            r.get("kind").and_then(Value::as_str) == Some("exact")
+                && r.get("batch").and_then(Value::as_u64) == Some(BATCH as u64)
+        })
+        .unwrap_or_else(|| fail("BENCH_gemm.json: no exact batch-8 row"));
+    row.get("speedup")
+        .and_then(Value::as_f64)
+        .expect("validated above")
+}
+
+/// Best-of-3 wall-clock seconds per token for one decode closure.
+fn time_per_token<R>(total_tokens: f64, mut f: impl FnMut() -> R) -> (R, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() / total_tokens);
+        out = Some(r);
+    }
+    (out.expect("at least one timed run"), best)
+}
+
+fn main() {
+    section("bench_check: committed baseline schemas");
+    let gemm_doc = load("BENCH_gemm.json");
+    let gemm_results = check_schema(
+        "BENCH_gemm.json",
+        &gemm_doc,
+        &[
+            "batch",
+            "per_sample_ms_per_token",
+            "batched_ms_per_token",
+            "speedup",
+            "gemm_calls",
+            "sync_barriers",
+        ],
+    );
+    let pool_doc = load("BENCH_pool.json");
+    check_schema(
+        "BENCH_pool.json",
+        &pool_doc,
+        &[
+            "batch",
+            "head_parallelism",
+            "ms_per_token",
+            "speedup_vs_sequential",
+            "pool_tasks_executed",
+            "pool_tasks_stolen",
+            "pool_idle_wakeups",
+        ],
+    );
+    println!("BENCH_gemm.json / BENCH_pool.json: schemas ok");
+
+    let recorded = recorded_speedup(gemm_results);
+    println!("recorded batch-8 exact speedup: {recorded:.2}x (floor {SPEEDUP_FLOOR:.2}x)");
+    if recorded < SPEEDUP_FLOOR {
+        fail(&format!(
+            "committed baseline records {recorded:.2}x, below the {SPEEDUP_FLOOR:.2}x floor — \
+             the baseline itself regressed"
+        ));
+    }
+
+    section("bench_check: quick re-measurement (gemm_batch, exact, batch 8)");
+    // Same model, seed and prompts as the committed `gemm_batch` bench.
+    let model = Model::random(ModelConfig::tiny("gemm", 2, 256, 4), 7);
+    let kind = AttentionKind::Exact;
+    let prompts: Vec<Vec<u32>> = (0..BATCH)
+        .map(|s| {
+            (0..PROMPT_LEN as u32)
+                .map(|i| (i * 31 + 5 + s as u32 * 17) % 256)
+                .collect()
+        })
+        .collect();
+    let total_tokens = (BATCH * (PROMPT_LEN + STEPS)) as f64;
+    let (per_sample, per_sample_t) = time_per_token(total_tokens, || {
+        decode_batch(&model, &kind, &prompts, STEPS, 1)
+    });
+    let (batched, batched_t) = time_per_token(total_tokens, || {
+        decode_batch_gemm(&model, &kind, &prompts, STEPS, 1)
+    });
+    if per_sample.sequences != batched.sequences {
+        fail("batched-GEMM decode diverged from per-sample decoding");
+    }
+    let measured = per_sample_t / batched_t;
+    println!(
+        "per-sample {:.3} ms/tok, batched {:.3} ms/tok -> speedup {measured:.2}x \
+         (recorded {recorded:.2}x, floor {SPEEDUP_FLOOR:.2}x)",
+        per_sample_t * 1e3,
+        batched_t * 1e3,
+    );
+    if measured < SPEEDUP_FLOOR {
+        fail(&format!(
+            "measured speedup {measured:.2}x regressed below the {SPEEDUP_FLOOR:.2}x floor \
+             (baseline recorded {recorded:.2}x)"
+        ));
+    }
+    println!("\nbench_check: OK");
+}

@@ -256,6 +256,7 @@ impl LadAttention {
         let exact = &mut scratch.exact;
         let mut large_mode_exact = 0usize;
 
+        let identify_span = lad_obs::span("lad.identify");
         match self.cfg.identification {
             Identification::Oracle => {
                 for i in 0..n {
@@ -281,6 +282,7 @@ impl LadAttention {
                 }
                 // EAS.3: exact scores for large-mode cached positions.
                 if self.cfg.exact_large_modes {
+                    let _large_mode_span = lad_obs::span("lad.large_mode_exact");
                     for i in 0..n {
                         if !exact[i]
                             && self.cached_mode[i].is_some()
@@ -317,12 +319,17 @@ impl LadAttention {
                 }
             }
         }
+        drop(identify_span);
 
         // -- AC.1/AC.2: mode-based numerator and denominator from the caches.
-        let mut den = self.cache.evaluate_into(q_scaled, m, &mut scratch.num);
+        let mut den = {
+            let _mode_eval_span = lad_obs::span("lad.mode_eval");
+            self.cache.evaluate_into(q_scaled, m, &mut scratch.num)
+        };
         let num = &mut scratch.num;
 
         // -- MD + AC.3: correction computations for active positions.
+        let correct_span = lad_obs::span("lad.correct");
         let mut mode_updates = 0usize;
         let mut new_active = 0usize;
         scratch.next_active.clear();
@@ -365,11 +372,13 @@ impl LadAttention {
                 mode_updates += 1;
             }
         }
+        drop(correct_span);
 
         // -- Step 5: window positions (not yet cached) computed directly.
         // Their `(position, score)` pairs are cached in scratch: the
         // degenerate-denominator fallback below feeds on the slice directly,
         // so it costs O(window · d) instead of rescanning all n positions.
+        let window_span = lad_obs::span("lad.window");
         let mut window_count = 0usize;
         scratch.window_scores.clear();
         for (i, &score) in scores.iter().enumerate() {
@@ -393,6 +402,7 @@ impl LadAttention {
                 self.tracker.record_mode_hit(i);
             }
         }
+        drop(window_span);
 
         // -- Degenerate-denominator guard: the PWL weights can go negative
         // (the least-squares fit dips below zero near interval edges), so
@@ -403,6 +413,7 @@ impl LadAttention {
         let output: Vec<f32> = if den.is_finite() && den > DEN_EPSILON {
             num.iter().map(|&x| (x / den) as f32).collect()
         } else {
+            let _fallback_span = lad_obs::span("lad.den_fallback");
             den_fallbacks = 1;
             // The window pass already collected every (position, exact score)
             // pair; reuse the cached slice rather than rescanning `scores`.
@@ -432,6 +443,7 @@ impl LadAttention {
             };
 
         // -- Aging: the oldest window position joins the caches (Eq. 5).
+        let _mode_update_span = lad_obs::span("lad.mode_update");
         if n > self.cfg.window {
             let aged = n - 1 - self.cfg.window;
             if self.cached_mode[aged].is_none() {

@@ -30,9 +30,10 @@
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::{self, JoinHandle, ThreadId};
+use std::time::Instant;
 
 /// Priority class of a pool task (the two queue levels).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +58,10 @@ pub struct PoolMetrics {
     /// batch engine contributes one per per-layer fan-out, so this counts its
     /// intra-step synchronisation points.
     pub scopes_completed: usize,
+    /// Cumulative nanoseconds workers (and helping scope owners) spent parked
+    /// on the work condvar. Distinguishes "no contention" from "workers
+    /// starved" even when `tasks_stolen == 0` (e.g. single-core runs).
+    pub park_nanos: u64,
 }
 
 impl PoolMetrics {
@@ -70,6 +75,7 @@ impl PoolMetrics {
             scopes_completed: self
                 .scopes_completed
                 .saturating_sub(earlier.scopes_completed),
+            park_nanos: self.park_nanos.saturating_sub(earlier.park_nanos),
         }
     }
 }
@@ -110,6 +116,7 @@ struct Shared {
     tasks_stolen: AtomicUsize,
     idle_wakeups: AtomicUsize,
     scopes_completed: AtomicUsize,
+    park_nanos: AtomicU64,
 }
 
 struct ScopeState {
@@ -174,6 +181,7 @@ impl WorkerPool {
             tasks_stolen: AtomicUsize::new(0),
             idle_wakeups: AtomicUsize::new(0),
             scopes_completed: AtomicUsize::new(0),
+            park_nanos: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -214,6 +222,7 @@ impl WorkerPool {
             tasks_stolen: self.shared.tasks_stolen.load(Ordering::Relaxed),
             idle_wakeups: self.shared.idle_wakeups.load(Ordering::Relaxed),
             scopes_completed: self.shared.scopes_completed.load(Ordering::Relaxed),
+            park_nanos: self.shared.park_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -254,7 +263,7 @@ impl WorkerPool {
                     if let Some(task) = queues.pop() {
                         break task;
                     }
-                    queues = self.shared.work_cv.wait(queues).unwrap();
+                    queues = parked_wait(&self.shared, queues, "pool.help_wait");
                 }
             };
             execute(&self.shared, task);
@@ -316,9 +325,11 @@ impl<'pool, 'env> PoolScope<'pool, 'env> {
 }
 
 fn execute(shared: &Shared, task: Task) {
+    let _task_span = lad_obs::span("pool.task");
     shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
     if thread::current().id() != task.submitter {
         shared.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+        lad_obs::instant("pool.steal");
     }
     let outcome = panic::catch_unwind(AssertUnwindSafe(task.run));
     if let Err(payload) = outcome {
@@ -335,6 +346,25 @@ fn execute(shared: &Shared, task: Task) {
     shared.work_cv.notify_all();
 }
 
+/// One condvar wait with park accounting: the blocked interval is added to
+/// the pool's cumulative `park_nanos` and recorded as a span (`pool.park`
+/// for idle workers, `pool.help_wait` for scope owners waiting on remote
+/// tasks). The clock reads happen only on the about-to-sleep path, never
+/// per task.
+fn parked_wait<'q>(
+    shared: &Shared,
+    queues: std::sync::MutexGuard<'q, Queues>,
+    span_name: &'static str,
+) -> std::sync::MutexGuard<'q, Queues> {
+    let _span = lad_obs::span(span_name);
+    let parked_at = Instant::now();
+    let queues = shared.work_cv.wait(queues).unwrap();
+    shared
+        .park_nanos
+        .fetch_add(parked_at.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    queues
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let task = {
@@ -346,7 +376,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     break None;
                 }
-                queues = shared.work_cv.wait(queues).unwrap();
+                queues = parked_wait(shared, queues, "pool.park");
                 if queues.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
                     shared.idle_wakeups.fetch_add(1, Ordering::Relaxed);
                 }
@@ -465,18 +495,21 @@ mod tests {
             tasks_stolen: 1,
             idle_wakeups: 0,
             scopes_completed: 2,
+            park_nanos: 100,
         };
         let b = PoolMetrics {
             tasks_executed: 9,
             tasks_stolen: 1,
             idle_wakeups: 2,
             scopes_completed: 5,
+            park_nanos: 350,
         };
         let d = b.delta(a);
         assert_eq!(d.tasks_executed, 4);
         assert_eq!(d.tasks_stolen, 0);
         assert_eq!(d.idle_wakeups, 2);
         assert_eq!(d.scopes_completed, 3);
+        assert_eq!(d.park_nanos, 250);
         assert_eq!(a.delta(b), PoolMetrics::default());
     }
 
@@ -490,6 +523,31 @@ mod tests {
             });
         }
         assert_eq!(pool.metrics().delta(before).scopes_completed, 3);
+    }
+
+    #[test]
+    fn idle_workers_accumulate_park_time() {
+        let pool = WorkerPool::new(1);
+        // Run one task so the worker is definitely up, then leave it idle.
+        pool.scope(|scope| {
+            scope.spawn(TaskLevel::Head, || {});
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Poke the worker so its current park interval gets accounted; the
+        // accounting lands when the worker wakes, so poll briefly.
+        pool.scope(|scope| {
+            scope.spawn(TaskLevel::Head, || {});
+        });
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while pool.metrics().park_nanos < 10_000_000 {
+            assert!(
+                Instant::now() < deadline,
+                "idle worker accumulated only {}ns of park time",
+                pool.metrics().park_nanos
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            pool.shared.work_cv.notify_all();
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! `|M|`, `|J|`, `|U|` and prefetch-hit quantities that drive the pipeline
 //! latency (paper Eq. 7) and the HBM traffic model.
 
+use lad_obs::StageBreakdown;
 use serde::{Deserialize, Serialize};
 
 /// Statistics of a single LAD decoding step for one attention head.
@@ -122,12 +123,22 @@ pub struct StatsSummary {
     /// Worker-pool idle wakeups while these steps decoded (0 unless injected
     /// via [`StatsSummary::with_pool_metrics`]).
     pub pool_idle_wakeups: usize,
+    /// Cumulative nanoseconds pool workers spent parked while these steps
+    /// decoded (0 unless injected via [`StatsSummary::with_pool_metrics`]).
+    /// Nonzero with `pool_tasks_stolen == 0` means workers starved rather
+    /// than never contended — the single-core diagnostic.
+    pub pool_park_nanos: u64,
     /// Batched-GEMM projection calls during the decode (0 unless injected
     /// via [`StatsSummary::with_gemm_metrics`]).
     pub gemm_calls: usize,
     /// Step-synchronous barriers during the decode (0 unless injected via
     /// [`StatsSummary::with_gemm_metrics`]).
     pub sync_barriers: usize,
+    /// Per-stage latency histograms (p50/p95/p99 per span name), built from
+    /// a recorder capture of the decode (empty unless injected via
+    /// [`StatsSummary::with_stage_latencies`]). Timing metadata only: like
+    /// the pool/GEMM counters it never affects tokens or algorithmic stats.
+    pub stage_latencies: StageBreakdown,
 }
 
 impl StatsSummary {
@@ -169,7 +180,32 @@ impl StatsSummary {
     pub fn with_pool_metrics(mut self, metrics: crate::pool::PoolMetrics) -> StatsSummary {
         self.pool_tasks_stolen = metrics.tasks_stolen;
         self.pool_idle_wakeups = metrics.idle_wakeups;
+        self.pool_park_nanos = metrics.park_nanos;
         self
+    }
+
+    /// Attaches per-stage latency histograms (aggregated from a recorder
+    /// capture of the decode) to the summary.
+    pub fn with_stage_latencies(mut self, stages: StageBreakdown) -> StatsSummary {
+        self.stage_latencies = stages;
+        self
+    }
+
+    /// The human-readable stage-breakdown table: per-stage count and
+    /// p50/p95/p99/total latencies, followed by the pool park-time line.
+    /// Empty string when no stage latencies were attached.
+    pub fn stage_table(&self) -> String {
+        if self.stage_latencies.is_empty() {
+            return String::new();
+        }
+        let mut table = self.stage_latencies.render();
+        table.push_str(&format!(
+            "pool: park {} total, {} steals, {} idle wakeups\n",
+            lad_obs::breakdown::fmt_ns(self.pool_park_nanos),
+            self.pool_tasks_stolen,
+            self.pool_idle_wakeups,
+        ));
+        table
     }
 
     /// Attaches the batched-decode scheduling counters (batched-GEMM calls
@@ -306,10 +342,116 @@ mod tests {
             tasks_stolen: 4,
             idle_wakeups: 7,
             scopes_completed: 3,
+            park_nanos: 1_500,
         };
         let sum = StatsSummary::from_steps(std::iter::empty()).with_pool_metrics(metrics);
         assert_eq!(sum.pool_tasks_stolen, 4);
         assert_eq!(sum.pool_idle_wakeups, 7);
+        assert_eq!(sum.pool_park_nanos, 1_500);
+    }
+
+    #[test]
+    fn stage_latencies_attach_to_summary() {
+        let mut stages = StageBreakdown::new();
+        for v in [1_000u64, 3_000, 9_000] {
+            stages.record("lad.identify", v);
+        }
+        let sum = StatsSummary::from_steps(std::iter::empty())
+            .with_stage_latencies(stages)
+            .with_pool_metrics(crate::pool::PoolMetrics {
+                park_nanos: 2_000_000,
+                ..crate::pool::PoolMetrics::default()
+            });
+        let hist = sum.stage_latencies.get("lad.identify").unwrap();
+        assert_eq!(hist.count(), 3);
+        assert!(hist.p50() >= 1_000 && hist.p99() >= 9_000 / 2);
+        let table = sum.stage_table();
+        assert!(table.contains("lad.identify"));
+        assert!(table.contains("p95"));
+        assert!(table.contains("park 2.00ms"));
+        // No latencies attached -> no table.
+        assert_eq!(StatsSummary::default().stage_table(), "");
+    }
+
+    /// Stats-field audit: every field of [`StepStats`] and [`StatsSummary`]
+    /// must be explicitly classified below as **algorithmic** (determined by
+    /// the LAD algorithm alone — must survive `algorithmic()` untouched and
+    /// match bit-exactly across schedules) or **metadata**
+    /// (scheduling/timing — must be stripped by `algorithmic()` or live
+    /// outside `StepStats` entirely). The exhaustive destructurings have no
+    /// `..` rest pattern on purpose: adding a field without extending this
+    /// test is a compile error, not a silently unclassified field.
+    #[test]
+    fn every_stats_field_is_classified() {
+        let step = StepStats {
+            n: 1,
+            centers: 2,
+            large_mode_exact: 3,
+            active: 4,
+            window: 5,
+            mode_updates: 6,
+            new_active: 7,
+            false_negatives: 8,
+            false_positives: 9,
+            den_fallbacks: 10,
+            fanout_width: 11,
+        };
+        let StepStats {
+            // Algorithmic fields: `algorithmic()` must preserve them.
+            n,
+            centers,
+            large_mode_exact,
+            active,
+            window,
+            mode_updates,
+            new_active,
+            false_negatives,
+            false_positives,
+            den_fallbacks,
+            // Metadata fields: `algorithmic()` must zero them.
+            fanout_width,
+        } = step.algorithmic();
+        assert_eq!(
+            (n, centers, large_mode_exact, active, window),
+            (1, 2, 3, 4, 5)
+        );
+        assert_eq!(
+            (
+                mode_updates,
+                new_active,
+                false_negatives,
+                false_positives,
+                den_fallbacks
+            ),
+            (6, 7, 8, 9, 10)
+        );
+        assert_eq!(fanout_width, 0, "metadata must not survive algorithmic()");
+
+        let StatsSummary {
+            // Algorithmic aggregates (means/sums of algorithmic StepStats
+            // fields): compared across schedules by the differential tests.
+            steps: _,
+            mean_centers: _,
+            mean_large_mode: _,
+            mean_active: _,
+            mean_mode_updates: _,
+            mean_hit_ratio: _,
+            mean_active_fraction: _,
+            mean_false_negatives: _,
+            mean_false_positives: _,
+            mean_kv_reads: _,
+            total_den_fallbacks: _,
+            // Scheduling metadata: injected via with_pool_metrics /
+            // with_gemm_metrics or aggregated from StepStats metadata.
+            mean_fanout_width: _,
+            pool_tasks_stolen: _,
+            pool_idle_wakeups: _,
+            pool_park_nanos: _,
+            gemm_calls: _,
+            sync_barriers: _,
+            // Timing metadata: injected via with_stage_latencies.
+            stage_latencies: _,
+        } = StatsSummary::default();
     }
 
     #[test]

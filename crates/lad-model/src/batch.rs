@@ -336,6 +336,7 @@ impl<'m> BatchSession<'m> {
     /// range, a token outside the vocabulary, or a sample past the model's
     /// maximum sequence length.
     pub fn step(&mut self, tokens: &[(usize, u32)]) {
+        let _step_span = lad_obs::span("batch.step");
         let cfg = &self.model.cfg;
         assert!(!tokens.is_empty(), "BatchSession::step: no active samples");
         for pair in tokens.windows(2) {
@@ -393,6 +394,7 @@ impl<'m> BatchSession<'m> {
 
         let mut slots: Vec<Option<HeadStepOutput>> = Vec::new();
         for (layer, block) in self.model.blocks.iter().enumerate() {
+            let qkv_span = lad_obs::span("batch.qkv_gemm");
             for a in 0..active {
                 block.norm1.forward_into(
                     &x[a * hidden..(a + 1) * hidden],
@@ -405,6 +407,7 @@ impl<'m> BatchSession<'m> {
             block.wk.forward_batch_into(active, normed, k, gemm);
             block.wv.forward_batch_into(active, normed, v, gemm);
             gemm_calls += 3;
+            drop(qkv_span);
 
             if cfg.position == PositionKind::Rope {
                 for (a, &(s, _)) in tokens.iter().enumerate() {
@@ -434,6 +437,7 @@ impl<'m> BatchSession<'m> {
 
             slots.clear();
             slots.resize_with(active * heads_n, || None);
+            let attn_span = lad_obs::span("batch.attn_fanout");
             match &pool {
                 None => {
                     step_sample_chunk(0, hidden, d, heads_n, &mut layer_heads, &mut slots, q, k, v)
@@ -479,17 +483,22 @@ impl<'m> BatchSession<'m> {
                     }
                 }
             }
+            drop(attn_span);
 
-            block.wo.forward_batch_into(active, attn, proj, gemm);
-            gemm_calls += 1;
-            for a in 0..active {
-                vector::axpy(
-                    &mut x[a * hidden..(a + 1) * hidden],
-                    1.0,
-                    &proj[a * hidden..(a + 1) * hidden],
-                );
+            {
+                let _out_span = lad_obs::span("batch.out_gemm");
+                block.wo.forward_batch_into(active, attn, proj, gemm);
+                gemm_calls += 1;
+                for a in 0..active {
+                    vector::axpy(
+                        &mut x[a * hidden..(a + 1) * hidden],
+                        1.0,
+                        &proj[a * hidden..(a + 1) * hidden],
+                    );
+                }
             }
 
+            let _mlp_span = lad_obs::span("batch.mlp_gemm");
             for a in 0..active {
                 block.norm2.forward_into(
                     &x[a * hidden..(a + 1) * hidden],
@@ -528,6 +537,7 @@ impl<'m> BatchSession<'m> {
             }
         }
 
+        let logits_span = lad_obs::span("batch.logits_gemm");
         for a in 0..active {
             self.model.final_norm.forward_into(
                 &x[a * hidden..(a + 1) * hidden],
@@ -546,6 +556,7 @@ impl<'m> BatchSession<'m> {
             gemm,
         );
         gemm_calls += 1;
+        drop(logits_span);
 
         for &(s, _) in tokens {
             self.pos[s] += 1;
@@ -559,6 +570,7 @@ impl<'m> BatchSession<'m> {
             self.pool_metrics.tasks_stolen += delta.tasks_stolen;
             self.pool_metrics.idle_wakeups += delta.idle_wakeups;
             self.pool_metrics.scopes_completed += delta.scopes_completed;
+            self.pool_metrics.park_nanos += delta.park_nanos;
         }
     }
 }

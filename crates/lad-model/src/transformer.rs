@@ -374,6 +374,7 @@ impl<'m> Session<'m> {
     /// Panics if `token` is outside the vocabulary or the maximum sequence
     /// length is exceeded.
     pub fn step(&mut self, token: u32) -> Vec<f32> {
+        let _step_span = lad_obs::span("session.step");
         let cfg = &self.model.cfg;
         assert!((token as usize) < cfg.vocab, "token out of vocabulary");
         assert!(self.pos < cfg.max_seq, "sequence length exceeded");
@@ -414,6 +415,7 @@ impl<'m> Session<'m> {
 
         self.last_stats.clear();
         for (layer, block) in self.model.blocks.iter().enumerate() {
+            let qkv_span = lad_obs::span("layer.qkv_proj");
             block.norm1.forward_into(x, normed);
             block.wq.forward_into(normed, q_full);
             block.wk.forward_into(normed, k_full);
@@ -429,6 +431,8 @@ impl<'m> Session<'m> {
                     rope_in_place(&mut k_full[span], self.pos, ROPE_BASE);
                 }
             }
+            drop(qkv_span);
+            let attn_span = lad_obs::span("layer.attn");
 
             // Heads within a layer are independent (only `x` is sequential,
             // between layers), so their steps fan out as head-level tasks on
@@ -516,9 +520,14 @@ impl<'m> Session<'m> {
                     analyzers[layer * cfg.heads + h].observe_step(&scores);
                 }
             }
-            block.wo.forward_into(attn, proj);
-            vector::axpy(x, 1.0, proj);
+            drop(attn_span);
+            {
+                let _out_proj_span = lad_obs::span("layer.out_proj");
+                block.wo.forward_into(attn, proj);
+                vector::axpy(x, 1.0, proj);
+            }
 
+            let _mlp_span = lad_obs::span("layer.mlp");
             block.norm2.forward_into(x, normed);
             block.mlp_into(normed, cfg.mlp, up, gate, proj);
             vector::axpy(x, 1.0, proj);
@@ -529,8 +538,10 @@ impl<'m> Session<'m> {
             _ => PoolMetrics::default(),
         };
         self.pos += 1;
+        let logits_span = lad_obs::span("session.logits");
         self.model.final_norm.forward_into(x, final_h);
         let logits = self.model.embed.matvec(final_h);
+        drop(logits_span);
         self.scratch = scratch;
         logits
     }

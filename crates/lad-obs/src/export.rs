@@ -1,0 +1,375 @@
+//! Trace exporters and validators.
+//!
+//! Two formats, both built from the [`ThreadEvents`] streams returned by
+//! [`crate::drain`]:
+//!
+//! * **Chrome trace-event JSON** ([`chrome_trace`]): an object with a
+//!   `traceEvents` array of `B`/`E`/`i` events plus `thread_name` metadata,
+//!   one track per recording thread, timestamps in microseconds. Loadable in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//! * **Flat JSONL** ([`jsonl`]): one JSON object per line per event, raw
+//!   nanosecond timestamps — trivially greppable / parseable downstream.
+//!
+//! The matching validators ([`validate_chrome_trace`], [`validate_jsonl`])
+//! re-parse the emitted text with [`crate::json`] and check the structural
+//! invariants CI relies on: valid JSON, required fields with the right
+//! types, non-negative durations, and properly nested B/E pairs per track.
+
+use crate::json::{self, Value};
+use crate::{EventKind, ThreadEvents};
+use std::fmt::Write as _;
+
+/// Process id used for every track (the recorder is single-process).
+const TRACE_PID: u64 = 1;
+
+/// Renders Chrome trace-event JSON from drained per-thread streams.
+///
+/// Each thread becomes one track: a `thread_name` metadata record followed
+/// by its events in time order. Ring overflow can leave a stream unbalanced
+/// (a span's `B` overwritten while its `E` survived, or a drain taken while
+/// spans were still open); those are repaired so the output always nests —
+/// orphaned `E` events are dropped and unclosed `B` events get a synthetic
+/// `E` at the thread's last timestamp.
+pub fn chrome_trace(threads: &[ThreadEvents]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |out: &mut String, record: &str| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(record);
+    };
+    for t in threads {
+        emit(
+            &mut out,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{TRACE_PID},\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                t.tid,
+                json::escape(&t.label)
+            ),
+        );
+        let last_ts = t.events.iter().map(|e| e.t_ns).max().unwrap_or(0);
+        let mut open: Vec<&'static str> = Vec::new();
+        for ev in &t.events {
+            match ev.kind {
+                EventKind::Begin => {
+                    open.push(ev.name);
+                    emit(&mut out, &event_record("B", ev.name, ev.t_ns, t.tid, false));
+                }
+                EventKind::End => {
+                    // Drop ends whose begin was lost to ring overflow.
+                    if open.pop().is_some() {
+                        emit(&mut out, &event_record("E", ev.name, ev.t_ns, t.tid, false));
+                    }
+                }
+                EventKind::Instant => {
+                    emit(&mut out, &event_record("i", ev.name, ev.t_ns, t.tid, true));
+                }
+            }
+        }
+        // Close any spans still open at drain time.
+        while let Some(name) = open.pop() {
+            emit(&mut out, &event_record("E", name, last_ts, t.tid, false));
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn event_record(ph: &str, name: &str, t_ns: u64, tid: u64, instant_scope: bool) -> String {
+    let scope = if instant_scope { ",\"s\":\"t\"" } else { "" };
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{TRACE_PID},\"tid\":{tid}{scope}}}",
+        json::escape(name),
+        micros(t_ns)
+    )
+}
+
+/// Formats nanoseconds as a decimal-microsecond literal (`1234567` ns →
+/// `1234.567`), keeping full nanosecond precision in the trace.
+fn micros(t_ns: u64) -> String {
+    format!("{}.{:03}", t_ns / 1000, t_ns % 1000)
+}
+
+/// Renders the flat JSONL stream: one object per event, in thread order
+/// then time order, with raw nanosecond timestamps. Every line carries the
+/// full schema: `tid` (number), `thread` (string), `name` (string), `kind`
+/// (`"B"`/`"E"`/`"I"`), `t_ns` (number).
+pub fn jsonl(threads: &[ThreadEvents]) -> String {
+    let mut out = String::new();
+    for t in threads {
+        for ev in &t.events {
+            let _ = writeln!(
+                out,
+                "{{\"tid\":{},\"thread\":\"{}\",\"name\":\"{}\",\"kind\":\"{}\",\"t_ns\":{}}}",
+                t.tid,
+                json::escape(&t.label),
+                json::escape(ev.name),
+                ev.kind.code(),
+                ev.t_ns
+            );
+        }
+    }
+    out
+}
+
+/// Checks that `trace` is a loadable Chrome trace: a valid JSON object with
+/// a `traceEvents` array whose events have the required fields and types,
+/// with B/E properly nested per `(pid, tid)` track (matching names, ends
+/// never before begins — i.e. all durations non-negative) and every track
+/// fully closed.
+pub fn validate_chrome_trace(trace: &str) -> Result<(), String> {
+    let doc = json::parse(trace).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing traceEvents array")?;
+    // Per-(pid, tid) stack of (name, begin ts).
+    let mut stacks: std::collections::BTreeMap<(u64, u64), Vec<(String, f64)>> =
+        std::collections::BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let name = ev
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        if ph == "M" {
+            continue;
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        if ts < 0.0 {
+            return Err(format!("event {i} ({name}): negative timestamp {ts}"));
+        }
+        let stack = stacks.entry((pid, tid)).or_default();
+        match ph {
+            "B" => stack.push((name.to_owned(), ts)),
+            "E" => {
+                let (open_name, begin_ts) = stack.pop().ok_or_else(|| {
+                    format!("event {i} ({name}): E without open B on track {tid}")
+                })?;
+                if open_name != name {
+                    return Err(format!(
+                        "event {i}: E '{name}' closes B '{open_name}' on track {tid}"
+                    ));
+                }
+                if ts < begin_ts {
+                    return Err(format!(
+                        "event {i} ({name}): negative duration ({begin_ts} -> {ts})"
+                    ));
+                }
+            }
+            "i" => {}
+            other => return Err(format!("event {i} ({name}): unexpected phase '{other}'")),
+        }
+    }
+    for ((_, tid), stack) in &stacks {
+        if let Some((name, _)) = stack.last() {
+            return Err(format!("track {tid}: span '{name}' never closed"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks every non-empty line of `text` against the JSONL event schema:
+/// valid JSON object with `tid` (non-negative number), `thread` (string),
+/// `name` (non-empty string), `kind` (`"B"`/`"E"`/`"I"`), `t_ns`
+/// (non-negative number), and per-tid non-decreasing timestamps.
+pub fn validate_jsonl(text: &str) -> Result<(), String> {
+    let mut last_ts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut lines = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let err = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        let v = json::parse(line).map_err(|e| err(&e.to_string()))?;
+        let tid = v
+            .get("tid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| err("missing/invalid tid"))?;
+        v.get("thread")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("missing/invalid thread"))?;
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("missing/invalid name"))?;
+        if name.is_empty() {
+            return Err(err("empty name"));
+        }
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("missing/invalid kind"))?;
+        if !matches!(kind, "B" | "E" | "I") {
+            return Err(err(&format!("kind '{kind}' not one of B/E/I")));
+        }
+        let t_ns = v
+            .get("t_ns")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| err("missing/invalid t_ns"))?;
+        if let Some(&prev) = last_ts.get(&tid) {
+            if t_ns < prev {
+                return Err(err(&format!(
+                    "timestamp went backwards on tid {tid} ({prev} -> {t_ns})"
+                )));
+            }
+        }
+        last_ts.insert(tid, t_ns);
+    }
+    if lines == 0 {
+        return Err("no events".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+
+    fn thread(tid: u64, label: &str, events: Vec<Event>) -> ThreadEvents {
+        ThreadEvents {
+            label: label.to_owned(),
+            tid,
+            dropped: 0,
+            events,
+        }
+    }
+
+    fn ev(name: &'static str, kind: EventKind, t_ns: u64) -> Event {
+        Event { name, kind, t_ns }
+    }
+
+    #[test]
+    fn chrome_trace_of_balanced_spans_validates() {
+        let threads = vec![
+            thread(
+                0,
+                "main",
+                vec![
+                    ev("step", EventKind::Begin, 1_000),
+                    ev("identify", EventKind::Begin, 1_100),
+                    ev("identify", EventKind::End, 1_900),
+                    ev("mark", EventKind::Instant, 1_950),
+                    ev("step", EventKind::End, 2_500),
+                ],
+            ),
+            thread(
+                3,
+                "lad-pool-2",
+                vec![
+                    ev("pool.task", EventKind::Begin, 1_200),
+                    ev("pool.task", EventKind::End, 1_800),
+                ],
+            ),
+        ];
+        let trace = chrome_trace(&threads);
+        validate_chrome_trace(&trace).unwrap();
+        assert!(trace.contains("\"thread_name\""));
+        assert!(trace.contains("lad-pool-2"));
+        // ns -> us conversion keeps sub-microsecond precision.
+        assert!(trace.contains("\"ts\":1.100"));
+    }
+
+    #[test]
+    fn chrome_trace_repairs_unbalanced_streams() {
+        // Orphaned E (begin lost to ring overflow) and an unclosed B.
+        let threads = vec![thread(
+            0,
+            "main",
+            vec![
+                ev("lost", EventKind::End, 500),
+                ev("open", EventKind::Begin, 600),
+                ev("inner", EventKind::Begin, 700),
+                ev("inner", EventKind::End, 800),
+            ],
+        )];
+        let trace = chrome_trace(&threads);
+        validate_chrome_trace(&trace).unwrap();
+        // The orphan is dropped, the unclosed span is synthetically ended.
+        assert_eq!(trace.matches("\"ph\":\"E\"").count(), 2);
+    }
+
+    #[test]
+    fn validator_rejects_bad_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        // E without B.
+        let orphan = r#"{"traceEvents":[{"name":"x","ph":"E","ts":1.0,"pid":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(orphan).is_err());
+        // Mismatched close.
+        let crossed = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1.0,"pid":1,"tid":0},
+            {"name":"b","ph":"E","ts":2.0,"pid":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(crossed).is_err());
+        // Negative duration.
+        let backwards = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":5.0,"pid":1,"tid":0},
+            {"name":"a","ph":"E","ts":2.0,"pid":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(backwards).is_err());
+        // Never closed.
+        let open = r#"{"traceEvents":[{"name":"a","ph":"B","ts":1.0,"pid":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(open).is_err());
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_validator() {
+        let threads = vec![thread(
+            2,
+            "lad-pool-1",
+            vec![
+                ev("pool.task", EventKind::Begin, 10),
+                ev("pool.steal", EventKind::Instant, 15),
+                ev("pool.task", EventKind::End, 20),
+            ],
+        )];
+        let text = jsonl(&threads);
+        assert_eq!(text.lines().count(), 3);
+        validate_jsonl(&text).unwrap();
+        let first = json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(first.get("tid").unwrap().as_u64(), Some(2));
+        assert_eq!(first.get("thread").unwrap().as_str(), Some("lad-pool-1"));
+        assert_eq!(first.get("kind").unwrap().as_str(), Some("B"));
+        assert_eq!(first.get("t_ns").unwrap().as_u64(), Some(10));
+    }
+
+    #[test]
+    fn jsonl_validator_rejects_schema_violations() {
+        assert!(validate_jsonl("").is_err());
+        assert!(validate_jsonl("not json\n").is_err());
+        assert!(validate_jsonl(
+            "{\"tid\":0,\"thread\":\"t\",\"name\":\"x\",\"kind\":\"Q\",\"t_ns\":1}\n"
+        )
+        .is_err());
+        assert!(
+            validate_jsonl("{\"tid\":0,\"thread\":\"t\",\"kind\":\"B\",\"t_ns\":1}\n").is_err()
+        );
+        // Backwards time on one tid.
+        let backwards = "{\"tid\":0,\"thread\":\"t\",\"name\":\"x\",\"kind\":\"I\",\"t_ns\":5}\n\
+                         {\"tid\":0,\"thread\":\"t\",\"name\":\"x\",\"kind\":\"I\",\"t_ns\":3}\n";
+        assert!(validate_jsonl(backwards).is_err());
+        // ...but independent tids may interleave freely.
+        let interleaved = "{\"tid\":0,\"thread\":\"a\",\"name\":\"x\",\"kind\":\"I\",\"t_ns\":5}\n\
+                           {\"tid\":1,\"thread\":\"b\",\"name\":\"x\",\"kind\":\"I\",\"t_ns\":3}\n";
+        validate_jsonl(interleaved).unwrap();
+    }
+}

@@ -1,0 +1,264 @@
+//! Log-bucket (power-of-two) latency histograms.
+//!
+//! A [`Histogram`] is a constant-size 64-bucket array: bucket 0 holds the
+//! value 0, bucket `i` (1..=63) holds values in `[2^(i-1), 2^i - 1]` (the
+//! last bucket is open-ended). That makes `record` a leading-zeros count and
+//! an increment — no allocation, no branching on data — and two histograms
+//! merge by element-wise addition, so per-head and per-worker histograms
+//! aggregate exactly (count-preserving, commutative, associative; the
+//! property tests pin all three).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets in every [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A mergeable power-of-two-bucket histogram of `u64` samples (typically
+/// span durations in nanoseconds).
+///
+/// # Example
+///
+/// ```
+/// use lad_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [100u64, 200, 400, 800, 100_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.p50() >= 200 && h.p50() <= 511);
+/// assert!(h.p99() >= 100_000 / 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    total: u64,
+    /// Saturating sum of every recorded value.
+    sum: u64,
+    /// Smallest recorded value (`u64::MAX` while empty).
+    min: u64,
+    /// Largest recorded value (0 while empty).
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index `value` falls into (the last bucket is open-ended,
+    /// absorbing everything from `2^62` up).
+    pub fn bucket_index(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The inclusive `[low, high]` value range of bucket `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= HISTOGRAM_BUCKETS`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < HISTOGRAM_BUCKETS, "bucket index out of range");
+        match index {
+            0 => (0, 0),
+            63 => (1 << 62, u64::MAX),
+            i => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self` (count-preserving; commutative and
+    /// associative up to sum saturation, which is itself associative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.total = self.total.saturating_add(other.total);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Saturating sum of every recorded value.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean recorded value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// An upper bound on the `q`-quantile (`q` clamped to `[0, 1]`): the
+    /// high edge of the bucket holding the `ceil(q·count)`-th smallest
+    /// sample, clamped to the observed maximum. Returns 0 when empty.
+    ///
+    /// Guarantees, for any recorded multiset: the true `q`-quantile value
+    /// `v` satisfies `bucket_low(v) <= quantile(q) <= max()`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= target {
+                let (_, high) = Self::bucket_bounds(i);
+                return high.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile upper bound.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_tile_the_u64_line() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi), i);
+            if i > 0 {
+                let (_, prev_hi) = Histogram::bucket_bounds(i - 1);
+                assert_eq!(lo, prev_hi + 1, "buckets must tile without gaps");
+            }
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        for v in [5u64, 0, 1000, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1012);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 253.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_of_a_known_stream() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50's sample is 50 (bucket [32,63]); upper bound 63.
+        assert_eq!(h.p50(), 63);
+        // p95's sample is 95 (bucket [64,127]); clamped to max 100.
+        assert_eq!(h.p95(), 100);
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn merge_is_count_preserving() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [1000u64, 2000] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 5);
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+        assert_eq!(merged.min(), 1);
+        assert_eq!(merged.max(), 2000);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests of the log-bucket histogram: the algebraic laws that make
+//! per-head / per-worker histograms safe to aggregate, plus quantile and
+//! bucket-shape guarantees.
+
+use lad_obs::{Histogram, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Sample durations spanning sub-ns ticks to multi-second outliers.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..5_000_000_000, 0..64)
+}
+
+proptest! {
+    /// merge is commutative: a ⊕ b == b ⊕ a, field for field.
+    #[test]
+    fn merge_is_commutative(xs in samples(), ys in samples()) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative(xs in samples(), ys in samples(), zs in samples()) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging preserves counts, per bucket and in total, and a merged
+    /// histogram equals the histogram of the concatenated stream.
+    #[test]
+    fn merge_preserves_counts(xs in samples(), ys in samples()) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.count(), a.count() + b.count());
+        for i in 0..HISTOGRAM_BUCKETS {
+            prop_assert_eq!(merged.buckets()[i], a.buckets()[i] + b.buckets()[i]);
+        }
+        let mut concat = xs.clone();
+        concat.extend_from_slice(&ys);
+        prop_assert_eq!(merged, hist_of(&concat));
+    }
+
+    /// Bucketing is monotone: a larger value never lands in a smaller
+    /// bucket, and every value falls inside its bucket's bounds.
+    #[test]
+    fn bucket_index_is_monotone_and_consistent(x in 0u64..=u64::MAX, y in 0u64..=u64::MAX) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(Histogram::bucket_index(lo) <= Histogram::bucket_index(hi));
+        let i = Histogram::bucket_index(x);
+        let (blo, bhi) = Histogram::bucket_bounds(i);
+        prop_assert!(blo <= x && x <= bhi, "value {x} outside bucket {i} [{blo}, {bhi}]");
+    }
+
+    /// quantile(q) brackets the true q-quantile: it is at least the low
+    /// edge of the true quantile's bucket and at most the observed max,
+    /// and it is monotone in q.
+    #[test]
+    fn quantile_brackets_true_quantile(xs in samples(), q in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        prop_assume!(!xs.is_empty());
+        let h = hist_of(&xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = h.quantile(q);
+        let (true_lo, _) = Histogram::bucket_bounds(Histogram::bucket_index(truth));
+        prop_assert!(est >= true_lo, "estimate {est} below bucket floor {true_lo} of true {truth}");
+        prop_assert!(est <= h.max(), "estimate {est} above max {}", h.max());
+        let (qa, qb) = if q <= q2 { (q, q2) } else { (q2, q) };
+        prop_assert!(h.quantile(qa) <= h.quantile(qb));
+    }
+
+    /// min/max/sum/mean agree with the raw stream (sum saturates, but these
+    /// inputs cannot overflow: 64 samples < 2^33 each).
+    #[test]
+    fn summary_fields_match_stream(xs in samples()) {
+        prop_assume!(!xs.is_empty());
+        let h = hist_of(&xs);
+        prop_assert_eq!(h.min(), *xs.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *xs.iter().max().unwrap());
+        let sum: u64 = xs.iter().sum();
+        prop_assert_eq!(h.sum(), sum);
+        prop_assert!((h.mean() - sum as f64 / xs.len() as f64).abs() < 1e-6);
+    }
+}

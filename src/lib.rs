@@ -9,10 +9,13 @@
 //! * [`trace`] — synthetic attention-trace generation and statistics.
 //! * [`accel`] — the LAD accelerator simulator and GPU baselines.
 //! * [`eval`] — ROUGE / perplexity / dataset tooling.
+//! * [`obs`] — zero-cost-when-off tracing spans, latency histograms and
+//!   Chrome-trace / JSONL exporters.
 
 pub use lad_accel as accel;
 pub use lad_core as core;
 pub use lad_eval as eval;
 pub use lad_math as math;
 pub use lad_model as model;
+pub use lad_obs as obs;
 pub use lad_trace as trace;

@@ -393,6 +393,79 @@ fn differential_grid() {
     assert!(fallbacks > 0, "no grid point exercised the den fallback");
 }
 
+/// Recorder leg: the observability layer must never perturb decoding. The
+/// same stream is decoded with the recorder in its default (disabled) state,
+/// with it enabled (spans actually recorded), and again after it has been
+/// enabled and disabled — all three must agree token-for-token and on every
+/// `algorithmic()` stat. Runs a slice of the default grid covering the
+/// LLaMA-style, OPT-style and den-fallback points, plus the batched-GEMM
+/// engine (so the `batch.*` spans are exercised under the toggle too).
+#[test]
+fn recorder_toggle_never_changes_results() {
+    let pool = Arc::new(WorkerPool::new(3));
+    let grid = default_grid();
+    let legs: Vec<&DiffConfig> = grid
+        .iter()
+        .filter(|cfg| {
+            matches!(
+                cfg.label,
+                "p2-b2-w16-s8" | "opt-p2-b2-w16-s8" | "denfb-p4-b1-w2-s48"
+            )
+        })
+        .collect();
+    assert_eq!(legs.len(), 3, "recorder leg lost a grid point");
+
+    for cfg in legs {
+        let model = cfg.model();
+        let kind = AttentionKind::Lad(cfg.lad_config());
+        let prompts = cfg.prompts();
+        let run = |pool: &Arc<WorkerPool>| {
+            let mut session = Session::with_pool(&model, &kind, Arc::clone(pool), cfg.parallelism);
+            let single = decode_all(&mut session, &prompts[0], cfg.steps);
+            let batched = decode_batch_gemm(&model, &kind, &prompts, cfg.steps, cfg.parallelism);
+            (single, batched)
+        };
+
+        lad::obs::set_enabled(false);
+        let (base, base_batch) = run(&pool);
+
+        lad::obs::set_enabled(true);
+        let (on, on_batch) = run(&pool);
+        lad::obs::set_enabled(false);
+        let recorded = lad::obs::drain();
+        assert!(
+            recorded.iter().any(|t| !t.events.is_empty()),
+            "{}: enabled recorder captured nothing",
+            cfg.label
+        );
+
+        let (off_again, off_again_batch) = run(&pool);
+
+        for (state, (single, batched)) in [
+            ("enabled", (&on, &on_batch)),
+            ("re-disabled", (&off_again, &off_again_batch)),
+        ] {
+            assert_eq!(
+                base.tokens, single.tokens,
+                "{}: recorder {state} changed decoded tokens",
+                cfg.label
+            );
+            assert_stats_match(cfg.label, state, &base.stats, &single.stats);
+            assert_eq!(
+                base_batch.sequences, batched.sequences,
+                "{}: recorder {state} changed batched-GEMM tokens",
+                cfg.label
+            );
+            assert_stats_match(
+                cfg.label,
+                state,
+                &base_batch.final_stats,
+                &batched.final_stats,
+            );
+        }
+    }
+}
+
 /// The long grid: longer streams (past the window by a large margin), wider
 /// batches, and the den-fallback partition under batch + pool pressure.
 /// Heavy — run with `cargo test --release -- --ignored` (the CI slow job).
