@@ -19,6 +19,9 @@ cargo test -q
 echo "== workspace tests"
 cargo test --workspace --release -q
 
+echo "== serving differential grid (continuous batching vs solo decode)"
+cargo test --release --test serving -q
+
 echo "== benches compile (cargo bench --no-run)"
 cargo bench --workspace --no-run
 

@@ -1,0 +1,263 @@
+//! Continuous batching vs the naive fixed-batch baseline: goodput.
+//!
+//! Both engines serve the same staggered, ragged workload at an equal batch
+//! budget. The fixed-batch baseline groups requests FIFO, waits for every
+//! group member to arrive, and holds each group open until its slowest
+//! member retires — batch-forming waits plus ragged-shrink straggler steps.
+//! The continuous engine admits requests the step they arrive (slots and
+//! pool permitting) and back-fills retired slots immediately, so the batch
+//! stays dense and the same workload finishes in fewer global steps.
+//!
+//! **Goodput** is tokens/s counting only requests that met their deadline.
+//! Deadlines are calibrated from a warmup run (a per-step wall-time probe on
+//! this machine), sized so a promptly-scheduled request meets its deadline
+//! with a comfortable margin while a request stuck behind whole earlier
+//! batches does not. The gated quantity is the continuous/fixed goodput
+//! *ratio* — both engines run in the same process back to back, so machine
+//! noise cancels; the ratio floor is 1.0 (continuous must never lose).
+//!
+//! The run is written to `BENCH_serve.json` at the repo root as the
+//! committed baseline (validated and re-measured by `bench_check`).
+//!
+//! ```sh
+//! cargo bench --bench serve_goodput
+//! ```
+
+use lad_accel::paged::{BlockPool, BLOCK_TOKENS};
+use lad_bench::{print_table, section};
+use lad_model::backend::AttentionKind;
+use lad_model::config::ModelConfig;
+use lad_model::transformer::Model;
+use lad_obs::Histogram;
+use lad_serve::baseline::serve_fixed_batches;
+use lad_serve::{Engine, Request, ServeConfig, ServeReport};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Batch budget shared by both engines.
+const MAX_ACTIVE: usize = 4;
+/// KV pool capacity in blocks (ample: this sweep isolates scheduling, the
+/// preemption path is pinned differentially in `tests/serving.rs`).
+const POOL_BLOCKS: usize = 256;
+/// Deadline slack: a request may take this many times its solo step count
+/// (arrival to retirement, in engine steps) before it misses.
+const DEADLINE_SLACK: f64 = 3.0;
+
+/// (id, prompt_len, max_tokens, arrival_step) — four staggered waves of
+/// four, ragged lengths inside each wave.
+const WORKLOAD: [(u64, usize, usize, usize); 16] = [
+    (0, 12, 24, 0),
+    (1, 8, 8, 0),
+    (2, 14, 40, 1),
+    (3, 9, 12, 2),
+    (4, 10, 16, 8),
+    (5, 12, 32, 8),
+    (6, 7, 8, 9),
+    (7, 11, 20, 10),
+    (8, 8, 28, 16),
+    (9, 13, 10, 16),
+    (10, 9, 36, 17),
+    (11, 10, 14, 18),
+    (12, 12, 8, 24),
+    (13, 7, 24, 24),
+    (14, 11, 18, 25),
+    (15, 8, 30, 26),
+];
+
+fn model_cfg() -> ModelConfig {
+    ModelConfig::tiny("serve-bench", 2, 256, 4)
+}
+
+fn pool() -> BlockPool {
+    let cfg = model_cfg();
+    let block_bytes = cfg.layers * 2 * cfg.hidden * 2 * BLOCK_TOKENS;
+    BlockPool::new(&cfg, POOL_BLOCKS * block_bytes)
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        max_active: MAX_ACTIVE,
+        prefill_chunk: 1,
+        eos: None,
+        parallelism: 1,
+    }
+}
+
+fn prompt(id: u64, len: usize) -> Vec<u32> {
+    (0..len)
+        .map(|i| ((i as u64 * 37 + 5 + id * 13) % 256) as u32)
+        .collect()
+}
+
+fn requests(deadline_per_step: Option<Duration>) -> Vec<Request> {
+    WORKLOAD
+        .iter()
+        .map(|&(id, plen, max, at)| {
+            let mut req = Request::new(id, prompt(id, plen), max).arriving_at(at);
+            if let Some(per_step) = deadline_per_step {
+                // Solo budget: prompt prefill + decode, stretched by slack.
+                let steps = ((plen + max) as f64 * DEADLINE_SLACK).ceil() as u32;
+                req = req.with_deadline(per_step * steps);
+            }
+            req
+        })
+        .collect()
+}
+
+fn run_continuous(model: &Model, deadline_per_step: Option<Duration>) -> ServeReport {
+    let mut engine = Engine::new(model, &AttentionKind::Exact, pool(), serve_cfg());
+    for req in requests(deadline_per_step) {
+        engine.submit(req);
+    }
+    engine.run()
+}
+
+fn run_fixed(model: &Model, deadline_per_step: Option<Duration>) -> ServeReport {
+    serve_fixed_batches(
+        model,
+        &AttentionKind::Exact,
+        &serve_cfg(),
+        requests(deadline_per_step),
+    )
+}
+
+/// Best goodput over three runs (same-process, ratio-friendly).
+fn best_of_3(mut run: impl FnMut() -> ServeReport) -> ServeReport {
+    let mut best: Option<ServeReport> = None;
+    for _ in 0..3 {
+        let report = run();
+        if best.as_ref().is_none_or(|b| report.goodput() > b.goodput()) {
+            best = Some(report);
+        }
+    }
+    best.expect("at least one run")
+}
+
+struct EngineRow {
+    kind: &'static str,
+    report: ServeReport,
+    goodput_ratio: f64,
+}
+
+fn quantiles_us(h: &Histogram) -> (f64, f64, f64) {
+    (
+        h.p50() as f64 / 1e3,
+        h.p95() as f64 / 1e3,
+        h.p99() as f64 / 1e3,
+    )
+}
+
+fn write_baseline(rows: &[EngineRow]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"serve_goodput/continuous_vs_fixed\",");
+    let _ = writeln!(
+        json,
+        "  \"model\": \"tiny serve preset (2 layers, 256 hidden, 4 heads)\","
+    );
+    let _ = writeln!(json, "  \"requests\": {},", WORKLOAD.len());
+    let _ = writeln!(json, "  \"batch_budget\": {MAX_ACTIVE},");
+    let _ = writeln!(json, "  \"deadline_slack\": {DEADLINE_SLACK},");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let r = &row.report;
+        let met = r.outcomes.iter().filter(|o| o.met_deadline).count();
+        let (t50, t95, t99) = quantiles_us(&r.ttft);
+        let (i50, i95, i99) = quantiles_us(&r.itl);
+        let _ = writeln!(
+            json,
+            "    {{\"kind\": \"{}\", \"goodput_tok_per_s\": {:.1}, \
+             \"throughput_tok_per_s\": {:.1}, \"goodput_ratio_vs_fixed\": {:.3}, \
+             \"steps\": {}, \"idle_steps\": {}, \"deadline_hits\": {}, \
+             \"ttft_p50_us\": {t50:.1}, \"ttft_p95_us\": {t95:.1}, \"ttft_p99_us\": {t99:.1}, \
+             \"itl_p50_us\": {i50:.1}, \"itl_p95_us\": {i95:.1}, \"itl_p99_us\": {i99:.1}}}{comma}",
+            row.kind,
+            r.goodput(),
+            r.throughput(),
+            row.goodput_ratio,
+            r.steps,
+            r.idle_steps,
+            met,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("\nbaseline written to BENCH_serve.json"),
+        Err(e) => println!("\ncould not write BENCH_serve.json: {e}"),
+    }
+}
+
+fn main() {
+    let model = Model::random(model_cfg(), 7);
+
+    // Warmup + deadline calibration: probe this machine's per-step wall
+    // time with a deadline-free continuous run.
+    section("serve_goodput: calibration");
+    let warmup = run_continuous(&model, None);
+    let per_step = warmup.wall / warmup.steps.max(1) as u32;
+    println!(
+        "calibrated {:.1} us/step over {} steps",
+        per_step.as_secs_f64() * 1e6,
+        warmup.steps
+    );
+
+    section("serve_goodput: continuous vs fixed-batch (equal batch budget)");
+    let continuous = best_of_3(|| run_continuous(&model, Some(per_step)));
+    let fixed = best_of_3(|| run_fixed(&model, Some(per_step)));
+    let ratio = continuous.goodput() / fixed.goodput().max(1e-12);
+
+    let mut rows = Vec::new();
+    for (kind, report, goodput_ratio) in [("continuous", continuous, ratio), ("fixed", fixed, 1.0)]
+    {
+        rows.push(EngineRow {
+            kind,
+            report,
+            goodput_ratio,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let r = &row.report;
+            let met = r.outcomes.iter().filter(|o| o.met_deadline).count();
+            let (t50, t95, t99) = quantiles_us(&r.ttft);
+            vec![
+                row.kind.to_string(),
+                format!("{:.0}", r.goodput()),
+                format!("{:.0}", r.throughput()),
+                format!("{}", r.steps),
+                format!("{}", r.idle_steps),
+                format!("{met}/{}", r.outcomes.len()),
+                format!("{t50:.0}/{t95:.0}/{t99:.0}"),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "engine",
+            "goodput tok/s",
+            "tok/s",
+            "steps",
+            "idle",
+            "in-SLO",
+            "ttft p50/p95/p99 us",
+        ],
+        &table,
+    );
+    println!("\ncontinuous/fixed goodput ratio: {ratio:.2}x (acceptance floor 1.00x)");
+
+    write_baseline(&rows);
+
+    // Acceptance floor: at an equal batch budget, continuous batching must
+    // never deliver less goodput than the fixed-batch baseline.
+    assert!(
+        ratio >= 1.0,
+        "continuous goodput ratio {ratio:.2}x fell below the fixed-batch baseline"
+    );
+}

@@ -1,26 +1,38 @@
 //! Bench regression gate: `cargo run -p lad-bench --bin bench_check`.
 //!
 //! Reads the committed `BENCH_*.json` baselines at the repo root, validates
-//! their schemas, then re-runs the gated measurement (the `gemm_batch`
-//! batch-8 per-sample vs batched-GEMM comparison) in quick mode and fails —
-//! nonzero exit — if the measured per-token speedup falls below the
-//! baseline's recorded acceptance floor of 1.3x.
+//! their schemas, then re-runs the gated measurements in quick mode and
+//! fails — nonzero exit — if either measured ratio falls below its
+//! acceptance floor:
 //!
-//! The gate compares **ratios, not absolute times**: both decode paths run
-//! in the same process on the same machine back to back, so CI noise that
-//! slows the box slows both paths and cancels out. That is what makes this
-//! a non-flaky smoke — a 4.9x effect gated at 1.3x, measured as a ratio.
+//! * the `gemm_batch` batch-8 per-sample vs batched-GEMM per-token speedup
+//!   (floor 1.3x);
+//! * the `serve_goodput` continuous vs fixed-batch goodput ratio at an
+//!   equal batch budget (floor 1.0x — continuous batching must never lose).
+//!
+//! The gates compare **ratios, not absolute times**: both sides of each
+//! comparison run in the same process on the same machine back to back, so
+//! CI noise that slows the box slows both sides and cancels out. That is
+//! what makes these non-flaky smokes — large effects gated at loose floors,
+//! measured as ratios.
 
+use lad_accel::paged::{BlockPool, BLOCK_TOKENS};
 use lad_bench::section;
 use lad_model::backend::AttentionKind;
 use lad_model::batch::{decode_batch, decode_batch_gemm};
 use lad_model::config::ModelConfig;
 use lad_model::transformer::Model;
 use lad_obs::json::{self, Value};
+use lad_serve::baseline::serve_fixed_batches;
+use lad_serve::{Engine, Request, ServeConfig, ServeReport};
 use std::time::Instant;
 
 /// Acceptance floor the `gemm_batch` bench commits to (batch-8 exact).
 const SPEEDUP_FLOOR: f64 = 1.3;
+
+/// Acceptance floor the `serve_goodput` bench commits to: continuous
+/// batching must deliver at least the fixed-batch baseline's goodput.
+const GOODPUT_FLOOR: f64 = 1.0;
 
 /// Quick-mode decode length: half the committed run, same prompt length.
 /// Only the ratio matters, so the shorter run does not move the gate.
@@ -92,6 +104,87 @@ fn recorded_speedup(results: &[Value]) -> f64 {
         .expect("validated above")
 }
 
+/// The committed continuous-vs-fixed goodput ratio from `BENCH_serve.json`.
+fn recorded_goodput_ratio(results: &[Value]) -> f64 {
+    let row = results
+        .iter()
+        .find(|r| r.get("kind").and_then(Value::as_str) == Some("continuous"))
+        .unwrap_or_else(|| fail("BENCH_serve.json: no continuous row"));
+    row.get("goodput_ratio_vs_fixed")
+        .and_then(Value::as_f64)
+        .expect("validated above")
+}
+
+/// Quick serving workload: two waves of four ragged requests against a
+/// batch budget of 4 — enough for the fixed baseline to pay one
+/// batch-forming wait and one straggler tail, which is the effect the
+/// ratio gate pins. (id, prompt_len, max_tokens, arrival_step.)
+const SERVE_WORKLOAD: [(u64, usize, usize, usize); 8] = [
+    (0, 12, 24, 0),
+    (1, 8, 8, 0),
+    (2, 14, 40, 1),
+    (3, 9, 12, 2),
+    (4, 10, 16, 8),
+    (5, 12, 32, 8),
+    (6, 7, 8, 9),
+    (7, 11, 20, 10),
+];
+
+fn serve_requests() -> Vec<Request> {
+    SERVE_WORKLOAD
+        .iter()
+        .map(|&(id, plen, max, at)| {
+            let prompt: Vec<u32> = (0..plen)
+                .map(|i| ((i as u64 * 37 + 5 + id * 13) % 256) as u32)
+                .collect();
+            Request::new(id, prompt, max).arriving_at(at)
+        })
+        .collect()
+}
+
+/// Best-of-3 goodput ratio of the continuous engine over the fixed-batch
+/// baseline, same process, same workload, equal batch budget. Requests
+/// carry no deadline, so goodput degenerates to throughput and the gate is
+/// purely structural (step-packing density), immune to wall-clock noise in
+/// deadline accounting.
+fn measure_goodput_ratio(model: &Model) -> (f64, usize, usize) {
+    let model_cfg = ModelConfig::tiny("gemm", 2, 256, 4);
+    let cfg = ServeConfig {
+        max_active: 4,
+        prefill_chunk: 1,
+        eos: None,
+        parallelism: 1,
+    };
+    let block_bytes = model_cfg.layers * 2 * model_cfg.hidden * 2 * BLOCK_TOKENS;
+    let best = |mut run: Box<dyn FnMut() -> ServeReport + '_>| -> ServeReport {
+        let mut best: Option<ServeReport> = None;
+        for _ in 0..3 {
+            let r = run();
+            if best.as_ref().is_none_or(|b| r.goodput() > b.goodput()) {
+                best = Some(r);
+            }
+        }
+        best.expect("at least one run")
+    };
+    let kind = AttentionKind::Exact;
+    let continuous = best(Box::new(|| {
+        let pool = BlockPool::new(&model_cfg, 256 * block_bytes);
+        let mut engine = Engine::new(model, &kind, pool, cfg.clone());
+        for req in serve_requests() {
+            engine.submit(req);
+        }
+        engine.run()
+    }));
+    let fixed = best(Box::new(|| {
+        serve_fixed_batches(model, &kind, &cfg, serve_requests())
+    }));
+    if continuous.total_tokens() != fixed.total_tokens() {
+        fail("continuous and fixed engines generated different token counts");
+    }
+    let ratio = continuous.goodput() / fixed.goodput().max(1e-12);
+    (ratio, continuous.steps, fixed.steps)
+}
+
 /// Best-of-3 wall-clock seconds per token for one decode closure.
 fn time_per_token<R>(total_tokens: f64, mut f: impl FnMut() -> R) -> (R, f64) {
     let mut best = f64::INFINITY;
@@ -134,7 +227,38 @@ fn main() {
             "pool_idle_wakeups",
         ],
     );
-    println!("BENCH_gemm.json / BENCH_pool.json: schemas ok");
+    let serve_doc = load("BENCH_serve.json");
+    let serve_results = check_schema(
+        "BENCH_serve.json",
+        &serve_doc,
+        &[
+            "goodput_tok_per_s",
+            "throughput_tok_per_s",
+            "goodput_ratio_vs_fixed",
+            "steps",
+            "idle_steps",
+            "deadline_hits",
+            "ttft_p50_us",
+            "ttft_p95_us",
+            "ttft_p99_us",
+            "itl_p50_us",
+            "itl_p95_us",
+            "itl_p99_us",
+        ],
+    );
+    println!("BENCH_gemm.json / BENCH_pool.json / BENCH_serve.json: schemas ok");
+
+    let recorded_goodput = recorded_goodput_ratio(serve_results);
+    println!(
+        "recorded continuous/fixed goodput ratio: {recorded_goodput:.2}x \
+         (floor {GOODPUT_FLOOR:.2}x)"
+    );
+    if recorded_goodput < GOODPUT_FLOOR {
+        fail(&format!(
+            "committed serving baseline records {recorded_goodput:.2}x, below the \
+             {GOODPUT_FLOOR:.2}x floor — the baseline itself regressed"
+        ));
+    }
 
     let recorded = recorded_speedup(gemm_results);
     println!("recorded batch-8 exact speedup: {recorded:.2}x (floor {SPEEDUP_FLOOR:.2}x)");
@@ -177,6 +301,19 @@ fn main() {
         fail(&format!(
             "measured speedup {measured:.2}x regressed below the {SPEEDUP_FLOOR:.2}x floor \
              (baseline recorded {recorded:.2}x)"
+        ));
+    }
+
+    section("bench_check: quick re-measurement (serve_goodput, continuous vs fixed)");
+    let (goodput_ratio, cont_steps, fixed_steps) = measure_goodput_ratio(&model);
+    println!(
+        "continuous {cont_steps} steps, fixed {fixed_steps} steps -> goodput ratio \
+         {goodput_ratio:.2}x (recorded {recorded_goodput:.2}x, floor {GOODPUT_FLOOR:.2}x)"
+    );
+    if goodput_ratio < GOODPUT_FLOOR {
+        fail(&format!(
+            "measured goodput ratio {goodput_ratio:.2}x regressed below the \
+             {GOODPUT_FLOOR:.2}x floor (baseline recorded {recorded_goodput:.2}x)"
         ));
     }
     println!("\nbench_check: OK");

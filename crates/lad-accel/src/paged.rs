@@ -5,9 +5,14 @@
 //! device-memory pool, eliminating per-sequence over-reservation at the cost
 //! of last-block internal fragmentation. This model reproduces that
 //! behaviour: sequences grow one token at a time, blocks are allocated on
-//! demand, freed on sequence completion, and capacity questions ("what batch
-//! fits at length n?") account for fragmentation exactly as the paged pool
-//! does.
+//! demand, freed per sequence on completion (or all at once at the end of a
+//! batch), and capacity questions ("what batch fits at length n?") account
+//! for fragmentation exactly as the paged pool does.
+//!
+//! Sequence ids are stable slot indices: [`BlockPool::release`] frees a
+//! slot onto an internal free list and a later [`BlockPool::admit`] may
+//! reuse it, but an id never moves while its sequence is live, so a
+//! scheduler can hold ids across arbitrary admit/release interleavings.
 
 use lad_model::config::ModelConfig;
 use serde::{Deserialize, Serialize};
@@ -24,8 +29,11 @@ pub struct BlockPool {
     total_blocks: usize,
     /// Free block count.
     free_blocks: usize,
-    /// Live sequences: token counts.
-    sequences: Vec<usize>,
+    /// Sequence slots: token count of each live sequence, `None` for a
+    /// released slot awaiting reuse. Slot index == sequence id.
+    slots: Vec<Option<usize>>,
+    /// Released slot indices available for reuse (LIFO).
+    free_ids: Vec<usize>,
 }
 
 impl BlockPool {
@@ -45,7 +53,8 @@ impl BlockPool {
             block_bytes,
             total_blocks,
             free_blocks: total_blocks,
-            sequences: Vec::new(),
+            slots: Vec::new(),
+            free_ids: Vec::new(),
         }
     }
 
@@ -61,23 +70,47 @@ impl BlockPool {
 
     /// Live sequence count.
     pub fn live_sequences(&self) -> usize {
-        self.sequences.len()
+        self.slots.iter().flatten().count()
     }
 
-    fn blocks_for(tokens: usize) -> usize {
+    /// Token count of live sequence `id`, `None` if the slot is released.
+    pub fn sequence_tokens(&self, id: usize) -> Option<usize> {
+        self.slots.get(id).copied().flatten()
+    }
+
+    /// Blocks needed to hold `tokens` tokens.
+    pub fn blocks_for(tokens: usize) -> usize {
         tokens.div_ceil(BLOCK_TOKENS)
     }
 
     /// Admits a sequence with `prompt_tokens` already present. Returns its
-    /// id, or `None` if the pool cannot hold it.
+    /// id (a stable slot index, possibly reusing a released slot), or
+    /// `None` if the pool cannot hold it.
+    ///
+    /// Zero-token prompts are rejected (`None`): the pool's token count
+    /// always equals exactly what the caller admitted plus its
+    /// [`BlockPool::append_token`] calls, so a caller with no tokens has
+    /// nothing to admit yet.
     pub fn admit(&mut self, prompt_tokens: usize) -> Option<usize> {
-        let needed = BlockPool::blocks_for(prompt_tokens.max(1));
+        if prompt_tokens == 0 {
+            return None;
+        }
+        let needed = BlockPool::blocks_for(prompt_tokens);
         if needed > self.free_blocks {
             return None;
         }
         self.free_blocks -= needed;
-        self.sequences.push(prompt_tokens.max(1));
-        Some(self.sequences.len() - 1)
+        match self.free_ids.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id].is_none(), "free list held a live slot");
+                self.slots[id] = Some(prompt_tokens);
+                Some(id)
+            }
+            None => {
+                self.slots.push(Some(prompt_tokens));
+                Some(self.slots.len() - 1)
+            }
+        }
     }
 
     /// Appends one token to sequence `id`. Returns `false` (preemption
@@ -85,9 +118,9 @@ impl BlockPool {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range.
+    /// Panics if `id` is out of range or already released.
     pub fn append_token(&mut self, id: usize) -> bool {
-        let tokens = self.sequences[id];
+        let tokens = self.slots[id].expect("BlockPool::append_token: released sequence");
         let needs_block = tokens.is_multiple_of(BLOCK_TOKENS);
         if needs_block {
             if self.free_blocks == 0 {
@@ -95,20 +128,36 @@ impl BlockPool {
             }
             self.free_blocks -= 1;
         }
-        self.sequences[id] += 1;
+        self.slots[id] = Some(tokens + 1);
         true
+    }
+
+    /// Releases exactly the blocks of sequence `id` (retirement or
+    /// preemption) and recycles its slot for a later [`BlockPool::admit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or already released (double free).
+    pub fn release(&mut self, id: usize) {
+        let tokens = self.slots[id].expect("BlockPool::release: double free");
+        self.free_blocks += BlockPool::blocks_for(tokens);
+        debug_assert!(self.free_blocks <= self.total_blocks);
+        self.slots[id] = None;
+        self.free_ids.push(id);
     }
 
     /// Releases every block of all sequences (end of a batch).
     pub fn release_all(&mut self) {
         self.free_blocks = self.total_blocks;
-        self.sequences.clear();
+        self.slots.clear();
+        self.free_ids.clear();
     }
 
     /// Bytes wasted to last-block internal fragmentation right now.
     pub fn fragmentation_bytes(&self) -> usize {
-        self.sequences
+        self.slots
             .iter()
+            .flatten()
             .map(|&tokens| {
                 let used = tokens % BLOCK_TOKENS;
                 if used == 0 {
@@ -121,13 +170,14 @@ impl BlockPool {
     }
 
     /// Largest batch of equal-length sequences (`tokens` each, growing to
-    /// `max_tokens`) the pool can sustain without preemption.
+    /// `max_tokens`) the pool can admit **right now** without preemption —
+    /// computed from the free blocks, so live sequences reduce the answer.
     pub fn max_batch(&self, max_tokens: usize) -> usize {
         let per_seq = BlockPool::blocks_for(max_tokens);
         if per_seq == 0 {
             return 0;
         }
-        self.total_blocks / per_seq
+        self.free_blocks / per_seq
     }
 }
 
@@ -179,6 +229,14 @@ mod tests {
     }
 
     #[test]
+    fn admit_rejects_zero_token_prompts() {
+        let mut p = pool(64);
+        assert!(p.admit(0).is_none(), "zero-token prompt must be rejected");
+        assert_eq!(p.free_blocks(), 8);
+        assert_eq!(p.live_sequences(), 0);
+    }
+
+    #[test]
     fn fragmentation_is_bounded_by_one_block_per_sequence() {
         let mut p = pool(1024);
         for prompt in [1usize, 15, 16, 17, 31] {
@@ -202,11 +260,105 @@ mod tests {
     }
 
     #[test]
+    fn max_batch_shrinks_with_live_sequences() {
+        // Regression: max_batch used to divide total_blocks, over-reporting
+        // capacity whenever the pool was non-empty.
+        let mut p = pool(1024); // 128 blocks
+        assert_eq!(p.max_batch(17), 64);
+        let a = p.admit(40 * BLOCK_TOKENS).unwrap(); // 40 blocks live
+        assert_eq!(p.free_blocks(), 88);
+        assert_eq!(p.max_batch(17), 44, "capacity must come from free blocks");
+        let b = p.admit(88 * BLOCK_TOKENS).unwrap(); // pool now full
+        assert_eq!(p.max_batch(17), 0);
+        assert_eq!(p.max_batch(1), 0);
+        p.release(a);
+        assert_eq!(p.max_batch(2048), 0, "40 free blocks cannot host 128");
+        p.release(b);
+        assert_eq!(p.max_batch(2048), 1);
+    }
+
+    #[test]
     fn release_returns_everything() {
         let mut p = pool(64);
         p.admit(100).unwrap();
         p.release_all();
         assert_eq!(p.free_blocks(), p.total_blocks());
         assert_eq!(p.live_sequences(), 0);
+    }
+
+    #[test]
+    fn release_returns_exactly_one_sequences_blocks() {
+        let mut p = pool(64); // 8 blocks
+        let a = p.admit(17).unwrap(); // 2 blocks
+        let b = p.admit(16).unwrap(); // 1 block
+        let c = p.admit(33).unwrap(); // 3 blocks
+        assert_eq!(p.free_blocks(), 2);
+        p.release(b);
+        assert_eq!(p.free_blocks(), 3);
+        assert_eq!(p.live_sequences(), 2);
+        assert_eq!(p.sequence_tokens(b), None);
+        assert_eq!(p.sequence_tokens(a), Some(17));
+        // a and c are untouched; their fragmentation is still counted.
+        let frag_two = p.fragmentation_bytes();
+        p.release(a);
+        assert!(p.fragmentation_bytes() < frag_two);
+        p.release(c);
+        assert_eq!(p.free_blocks(), p.total_blocks());
+        assert_eq!(p.fragmentation_bytes(), 0);
+    }
+
+    #[test]
+    fn released_slots_are_reused_with_stable_live_ids() {
+        let mut p = pool(64);
+        let a = p.admit(16).unwrap();
+        let b = p.admit(16).unwrap();
+        p.release(a);
+        // b's id survives a's release; the freed slot is recycled.
+        assert_eq!(p.sequence_tokens(b), Some(16));
+        let c = p.admit(32).unwrap();
+        assert_eq!(c, a, "released slot should be reused");
+        assert_eq!(p.sequence_tokens(c), Some(32));
+        assert_eq!(p.live_sequences(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_release_panics() {
+        let mut p = pool(64);
+        let id = p.admit(16).unwrap();
+        p.release(id);
+        p.release(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "released sequence")]
+    fn append_to_released_sequence_panics() {
+        let mut p = pool(64);
+        let id = p.admit(16).unwrap();
+        p.release(id);
+        p.append_token(id);
+    }
+
+    #[test]
+    fn interleaved_admit_release_keeps_accounting_consistent() {
+        let mut p = pool(1024); // 128 blocks
+        let mut live = Vec::new();
+        for round in 0..6usize {
+            for k in 0..4usize {
+                if let Some(id) = p.admit(round * 13 + k * 7 + 1) {
+                    live.push(id);
+                }
+            }
+            if round % 2 == 0 && !live.is_empty() {
+                p.release(live.swap_remove(round % live.len().max(1)));
+            }
+            // free + used == total at every point.
+            let used: usize = live
+                .iter()
+                .map(|&id| BlockPool::blocks_for(p.sequence_tokens(id).unwrap()))
+                .sum();
+            assert_eq!(p.free_blocks() + used, p.total_blocks());
+            assert_eq!(p.live_sequences(), live.len());
+        }
     }
 }

@@ -4,6 +4,7 @@ use lad_accel::config::AccelConfig;
 use lad_accel::hbm::HbmConfig;
 use lad_accel::hbm_sim::{HbmSim, Request};
 use lad_accel::modules::{GTensor, TileEngine, Vpu};
+use lad_accel::paged::{BlockPool, BLOCK_TOKENS};
 use lad_accel::pipeline::{attention_period, compute_stage_cycles};
 use lad_accel::traffic::AttentionTraffic;
 use lad_core::stats::StatsSummary;
@@ -147,5 +148,80 @@ proptest! {
         prop_assert!((g.norm(0) - norm).abs() <= norm * 2.0f32.powi(-10));
         let bound = dnorm.abs().max(1e-3) * 2.0f32.powi(-10);
         prop_assert!((g.dnorm(0) - dnorm).abs() <= bound);
+    }
+
+    /// The paged block pool stays consistent with a naive shadow recount
+    /// under arbitrary admit / append / release interleavings: free blocks
+    /// never exceed the total, accounting balances exactly, ids stay stable,
+    /// and fragmentation matches the per-sequence recomputation. (op 0 =
+    /// admit, 1 = append, 2 = release; `arg` picks the prompt length or the
+    /// live sequence acted on.)
+    #[test]
+    fn block_pool_accounting_is_consistent(ops in prop::collection::vec(
+        (0u8..3, 1usize..64), 1..100)) {
+        let model = lad_model::config::ModelConfig::tiny("pool-prop", 2, 32, 2);
+        let block_bytes = model.layers * 2 * model.hidden * 2 * BLOCK_TOKENS;
+        let total = 24usize;
+        let mut pool = BlockPool::new(&model, total * block_bytes);
+        // Shadow: (id, tokens) of every sequence we believe is live.
+        let mut shadow: Vec<(usize, usize)> = Vec::new();
+
+        for &(op, arg) in &ops {
+            match op {
+                0 => {
+                    let need = BlockPool::blocks_for(arg);
+                    let had = pool.free_blocks();
+                    match pool.admit(arg) {
+                        Some(id) => {
+                            prop_assert!(need <= had, "admit over-committed");
+                            prop_assert!(!shadow.iter().any(|&(l, _)| l == id),
+                                "admit reused a live id");
+                            shadow.push((id, arg));
+                        }
+                        None => prop_assert!(need > had, "admit refused despite space"),
+                    }
+                }
+                1 if !shadow.is_empty() => {
+                    let pick = arg % shadow.len();
+                    let (id, tokens) = shadow[pick];
+                    let needs_block = tokens % BLOCK_TOKENS == 0;
+                    let had = pool.free_blocks();
+                    if pool.append_token(id) {
+                        shadow[pick].1 += 1;
+                        prop_assert!(!needs_block || had >= 1);
+                    } else {
+                        prop_assert!(needs_block && had == 0, "append refused despite space");
+                    }
+                }
+                2 if !shadow.is_empty() => {
+                    let (id, _) = shadow.swap_remove(arg % shadow.len());
+                    pool.release(id);
+                    prop_assert!(pool.sequence_tokens(id).is_none());
+                }
+                _ => {}
+            }
+
+            // Invariants after every operation.
+            let used: usize = shadow.iter().map(|&(_, t)| BlockPool::blocks_for(t)).sum();
+            prop_assert!(pool.free_blocks() <= pool.total_blocks());
+            prop_assert_eq!(pool.free_blocks() + used, pool.total_blocks());
+            prop_assert_eq!(pool.live_sequences(), shadow.len());
+            for &(id, tokens) in &shadow {
+                prop_assert_eq!(pool.sequence_tokens(id), Some(tokens));
+            }
+            let frag: usize = shadow.iter().map(|&(_, t)| {
+                let partial = t % BLOCK_TOKENS;
+                if partial == 0 { 0 } else { (BLOCK_TOKENS - partial) * block_bytes / BLOCK_TOKENS }
+            }).sum();
+            prop_assert_eq!(pool.fragmentation_bytes(), frag);
+            prop_assert_eq!(pool.max_batch(BLOCK_TOKENS), pool.free_blocks());
+        }
+
+        // Releasing everything restores the full pool.
+        for (id, _) in shadow.drain(..) {
+            pool.release(id);
+        }
+        prop_assert_eq!(pool.free_blocks(), pool.total_blocks());
+        prop_assert_eq!(pool.fragmentation_bytes(), 0);
     }
 }

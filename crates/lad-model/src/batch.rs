@@ -194,6 +194,21 @@ impl BatchScratch {
     }
 }
 
+/// Result of one [`BatchSession::step`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The step advanced `active` samples by one token each.
+    Advanced {
+        /// Number of samples the step advanced.
+        active: usize,
+    },
+    /// The token list was empty — the step was a no-op: no position moved,
+    /// no barrier was crossed, no GEMM ran and the logits buffer is
+    /// untouched. A scheduler whose active set momentarily drains (all
+    /// requests retired, next arrival still in the queue) hits this.
+    Idle,
+}
+
 /// Step-synchronous batched decode session (the cross-sample GEMM engine).
 ///
 /// Where [`decode_batch`] runs one independent [`Session`] per sample (each
@@ -209,13 +224,30 @@ impl BatchScratch {
 /// a batched projection bit-identical to the per-sample `matvec`, so tokens
 /// and algorithmic stats are exactly those of [`Session`] /
 /// [`decode_batch`]; `tests/differential.rs` pins this down.
+///
+/// # Dynamic membership
+///
+/// Membership is not fixed at construction: [`BatchSession::add_sample`]
+/// opens a fresh sample slot mid-flight (reusing slots freed by
+/// [`BatchSession::remove_sample`]) and `remove_sample` drops a sample and
+/// its KV state. A continuous-batching scheduler (`lad-serve`) admits and
+/// retires requests per global step this way; [`BatchSession::dynamic`]
+/// opens a session with zero slots for exactly that use. Slot indices are
+/// stable while a sample is live.
 #[derive(Debug)]
 pub struct BatchSession<'m> {
     model: &'m Model,
+    /// Attention backend every sample's heads run (kept for
+    /// [`BatchSession::add_sample`]).
+    kind: AttentionKind,
     /// Attention state, indexed `[sample][layer][head]`.
     heads: Vec<Vec<Vec<HeadState>>>,
     /// Tokens consumed so far, per sample.
     pos: Vec<usize>,
+    /// Whether each slot currently holds a live sample.
+    live: Vec<bool>,
+    /// Slots freed by [`BatchSession::remove_sample`], ready for reuse.
+    free_slots: Vec<usize>,
     /// Fan-out width of the per-layer sample-chunk scheduling.
     parallelism: usize,
     /// Explicit pool override (`None` = the process-global pool).
@@ -242,6 +274,7 @@ impl<'m> BatchSession<'m> {
         batch: usize,
         parallelism: usize,
     ) -> BatchSession<'m> {
+        assert!(batch > 0, "BatchSession: batch must be positive");
         BatchSession::build(model, kind, batch, parallelism, None)
     }
 
@@ -253,7 +286,19 @@ impl<'m> BatchSession<'m> {
         pool: Arc<WorkerPool>,
         parallelism: usize,
     ) -> BatchSession<'m> {
+        assert!(batch > 0, "BatchSession: batch must be positive");
         BatchSession::build(model, kind, batch, parallelism, Some(pool))
+    }
+
+    /// Opens a session with **zero** sample slots for dynamic-membership
+    /// schedulers: samples join via [`BatchSession::add_sample`] and leave
+    /// via [`BatchSession::remove_sample`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism == 0`.
+    pub fn dynamic(model: &'m Model, kind: &AttentionKind, parallelism: usize) -> BatchSession<'m> {
+        BatchSession::build(model, kind, 0, parallelism, None)
     }
 
     fn build(
@@ -263,7 +308,6 @@ impl<'m> BatchSession<'m> {
         parallelism: usize,
         pool: Option<Arc<WorkerPool>>,
     ) -> BatchSession<'m> {
-        assert!(batch > 0, "BatchSession: batch must be positive");
         assert!(parallelism > 0, "BatchSession: threads must be positive");
         let d = model.cfg.head_dim();
         let heads = (0..batch)
@@ -279,8 +323,11 @@ impl<'m> BatchSession<'m> {
             .collect();
         BatchSession {
             model,
+            kind: kind.clone(),
             heads,
             pos: vec![0; batch],
+            live: vec![true; batch],
+            free_slots: Vec::new(),
             parallelism,
             pool,
             last_stats: vec![Vec::new(); batch],
@@ -290,9 +337,71 @@ impl<'m> BatchSession<'m> {
         }
     }
 
-    /// Number of samples this session was opened for.
+    /// Number of sample slots (live samples plus freed slots awaiting
+    /// reuse). Every statically-opened session has `batch() == live_samples()`
+    /// until a sample is removed.
     pub fn batch(&self) -> usize {
         self.pos.len()
+    }
+
+    /// Number of currently live samples.
+    pub fn live_samples(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Whether slot `sample` currently holds a live sample.
+    pub fn is_live(&self, sample: usize) -> bool {
+        self.live.get(sample).copied().unwrap_or(false)
+    }
+
+    /// Opens a fresh sample slot mid-flight (position 0, empty KV state,
+    /// same attention backend as the session) and returns its index. Freed
+    /// slots are reused before the session grows.
+    pub fn add_sample(&mut self) -> usize {
+        let cfg = &self.model.cfg;
+        let d = cfg.head_dim();
+        let fresh: Vec<Vec<HeadState>> = (0..cfg.layers)
+            .map(|_| {
+                (0..cfg.heads)
+                    .map(|_| HeadState::new(d, &self.kind))
+                    .collect()
+            })
+            .collect();
+        match self.free_slots.pop() {
+            Some(slot) => {
+                debug_assert!(!self.live[slot], "free list held a live slot");
+                self.heads[slot] = fresh;
+                self.pos[slot] = 0;
+                self.last_stats[slot].clear();
+                self.live[slot] = true;
+                slot
+            }
+            None => {
+                self.heads.push(fresh);
+                self.pos.push(0);
+                self.last_stats.push(Vec::new());
+                self.live.push(true);
+                self.pos.len() - 1
+            }
+        }
+    }
+
+    /// Removes live sample `sample`, dropping its KV state; the slot is
+    /// recycled by a later [`BatchSession::add_sample`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is out of range or not live (double remove).
+    pub fn remove_sample(&mut self, sample: usize) {
+        assert!(
+            self.is_live(sample),
+            "BatchSession::remove_sample: sample {sample} is not live"
+        );
+        self.live[sample] = false;
+        self.heads[sample] = Vec::new();
+        self.last_stats[sample].clear();
+        self.pos[sample] = 0;
+        self.free_slots.push(sample);
     }
 
     /// Tokens consumed so far by `sample`.
@@ -330,15 +439,22 @@ impl<'m> BatchSession<'m> {
     /// (already finished their ragged tail) are simply omitted. Logits land
     /// row-per-entry in [`BatchSession::logits`].
     ///
+    /// An **empty** `tokens` slice is a documented no-op returning
+    /// [`StepOutcome::Idle`]: nothing advances, no barrier or GEMM is
+    /// counted, and the logits buffer keeps its previous contents. This is
+    /// the idle tick of a scheduler whose active set momentarily drained.
+    ///
     /// # Panics
     ///
-    /// Panics if `tokens` is empty, out of order, names a sample out of
-    /// range, a token outside the vocabulary, or a sample past the model's
-    /// maximum sequence length.
-    pub fn step(&mut self, tokens: &[(usize, u32)]) {
+    /// Panics if `tokens` is out of order, names a sample out of range or
+    /// not live, a token outside the vocabulary, or a sample past the
+    /// model's maximum sequence length.
+    pub fn step(&mut self, tokens: &[(usize, u32)]) -> StepOutcome {
+        if tokens.is_empty() {
+            return StepOutcome::Idle;
+        }
         let _step_span = lad_obs::span("batch.step");
         let cfg = &self.model.cfg;
-        assert!(!tokens.is_empty(), "BatchSession::step: no active samples");
         for pair in tokens.windows(2) {
             assert!(
                 pair[0].0 < pair[1].0,
@@ -347,6 +463,7 @@ impl<'m> BatchSession<'m> {
         }
         for &(s, t) in tokens {
             assert!(s < self.pos.len(), "sample index out of range");
+            assert!(self.live[s], "BatchSession::step: sample {s} is not live");
             assert!((t as usize) < cfg.vocab, "token out of vocabulary");
             assert!(self.pos[s] < cfg.max_seq, "sequence length exceeded");
         }
@@ -572,6 +689,7 @@ impl<'m> BatchSession<'m> {
             self.pool_metrics.scopes_completed += delta.scopes_completed;
             self.pool_metrics.park_nanos += delta.park_nanos;
         }
+        StepOutcome::Advanced { active }
     }
 }
 
@@ -833,6 +951,92 @@ mod tests {
         // The per-sample paths never report batched-GEMM activity.
         let reference = decode_batch(&model, &AttentionKind::Exact, &prompts(), steps, 1);
         assert_eq!(reference.gemm, GemmBatchMetrics::default());
+    }
+
+    #[test]
+    fn empty_step_is_an_idle_noop() {
+        let model = model();
+        let mut session = BatchSession::new(&model, &AttentionKind::Exact, 2, 1);
+        assert_eq!(
+            session.step(&[(0, 1), (1, 2)]),
+            StepOutcome::Advanced { active: 2 }
+        );
+        let logits_before = session.logits(0).to_vec();
+        let gemm_before = session.gemm_metrics();
+        assert_eq!(session.step(&[]), StepOutcome::Idle);
+        assert_eq!(session.position(0), 1);
+        assert_eq!(session.position(1), 1);
+        assert_eq!(session.logits(0), &logits_before[..]);
+        assert_eq!(session.gemm_metrics(), gemm_before);
+        // Decoding continues unperturbed after the idle tick.
+        assert_eq!(session.step(&[(0, 3)]), StepOutcome::Advanced { active: 1 });
+        assert_eq!(session.position(0), 2);
+    }
+
+    #[test]
+    fn dynamic_membership_matches_solo_sessions() {
+        // A sample admitted mid-flight, one retired mid-flight, and one
+        // reusing the freed slot all decode bit-identically to solo
+        // sessions fed the same token streams.
+        let model = model();
+        let kind = AttentionKind::Exact;
+        let mut session = BatchSession::dynamic(&model, &kind, 1);
+        assert_eq!(session.live_samples(), 0);
+        assert_eq!(session.step(&[]), StepOutcome::Idle);
+
+        let tokens_a = [5u32, 6, 7, 8];
+        let tokens_b = [40u32, 41, 42, 43];
+        let a = session.add_sample();
+        // a runs alone for two steps.
+        session.step(&[(a, tokens_a[0])]);
+        session.step(&[(a, tokens_a[1])]);
+        // b joins mid-flight; two mixed steps finish a.
+        let b = session.add_sample();
+        assert_ne!(a, b);
+        session.step(&[(a, tokens_a[2]), (b, tokens_b[0])]);
+        session.step(&[(a, tokens_a[3]), (b, tokens_b[1])]);
+        let logits_a = session.logits(0).to_vec();
+        // a retires; b continues alone, then c reuses a's slot.
+        session.remove_sample(a);
+        session.step(&[(b, tokens_b[2])]);
+        let c = session.add_sample();
+        assert_eq!(c, a, "freed slot should be reused");
+        let tokens_c = [100u32, 101];
+        session.step(&[(c, tokens_c[0]), (b, tokens_b[3])]);
+        let logits_b = session.logits(1).to_vec();
+        session.step(&[(c, tokens_c[1])]);
+        let logits_c = session.logits(0).to_vec();
+
+        for (tokens, batched) in [
+            (&tokens_a[..], logits_a),
+            (&tokens_b[..], logits_b),
+            (&tokens_c[..], logits_c),
+        ] {
+            let mut solo = Session::new(&model, &kind);
+            let mut solo_logits = Vec::new();
+            for &t in tokens {
+                solo_logits = solo.step(t);
+            }
+            assert_eq!(batched, solo_logits);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn stepping_removed_sample_panics() {
+        let model = model();
+        let mut session = BatchSession::new(&model, &AttentionKind::Exact, 2, 1);
+        session.remove_sample(1);
+        session.step(&[(1, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn double_remove_panics() {
+        let model = model();
+        let mut session = BatchSession::new(&model, &AttentionKind::Exact, 2, 1);
+        session.remove_sample(0);
+        session.remove_sample(0);
     }
 
     #[test]

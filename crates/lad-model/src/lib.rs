@@ -37,7 +37,7 @@ pub mod sampling;
 pub mod transformer;
 
 pub use backend::{AttentionKind, HeadState, HeadStepOutput};
-pub use batch::{decode_batch, decode_batch_gemm, BatchResult, BatchSession};
+pub use batch::{decode_batch, decode_batch_gemm, BatchResult, BatchSession, StepOutcome};
 pub use config::{MlpKind, ModelConfig, NormKind, PositionKind};
 pub use sampling::{generate, Sampler};
 pub use transformer::{argmax, log_prob, Model, Session};

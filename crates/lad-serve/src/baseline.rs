@@ -1,0 +1,169 @@
+//! The naive fixed-batch serving baseline.
+//!
+//! This is the pre-serving world the continuous engine is measured
+//! against: requests are grouped FIFO into batches of `max_active`, a
+//! batch only starts once **all** its members have arrived, every member
+//! joins at the batch's step 0, and the batch runs to completion — the
+//! active set shrinks as members finish (the ragged machinery of
+//! [`lad_model::batch::decode_batch_gemm`]) but nothing new is admitted
+//! until the slowest member retires. Latency and goodput metrics are
+//! recorded identically to [`crate::Engine`], so the two reports compare
+//! directly at an equal batch budget.
+
+use crate::{FinishReason, ReqState, Request, ServeConfig, ServeReport};
+use lad_model::backend::AttentionKind;
+use lad_model::batch::BatchSession;
+use lad_model::transformer::{argmax, Model};
+use lad_obs::Histogram;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Starts the latency clock of every queued request whose arrival step has
+/// passed — queueing time behind earlier batches counts toward TTFT and
+/// the deadline, exactly as in the continuous engine.
+fn stamp_arrivals(pending: &mut VecDeque<ReqState>, step: usize, now: Instant) {
+    for st in pending.iter_mut() {
+        if st.arrival_step <= step && st.eligible_at.is_none() {
+            st.eligible_at = Some(now);
+        }
+    }
+}
+
+/// One member of the currently-running fixed batch.
+struct Member {
+    state: ReqState,
+    slot: usize,
+    consumed: usize,
+    generated: Vec<u32>,
+    /// Set at the step the member finished (reason, wall time).
+    finished: Option<(FinishReason, Instant)>,
+}
+
+/// Serves `requests` (arrival order) in fixed FIFO batches of
+/// `cfg.max_active` and returns the same report the continuous engine
+/// produces. `cfg.prefill_chunk` is ignored: the naive loop advances every
+/// member one token per step, prompt or generated alike.
+///
+/// # Panics
+///
+/// Panics on an empty prompt, `max_tokens == 0`, or out-of-order arrivals.
+pub fn serve_fixed_batches(
+    model: &Model,
+    kind: &AttentionKind,
+    cfg: &ServeConfig,
+    requests: Vec<Request>,
+) -> ServeReport {
+    assert!(cfg.max_active > 0, "serve: max_active must be positive");
+    let started = Instant::now();
+    let mut states: Vec<ReqState> = Vec::with_capacity(requests.len());
+    for req in requests {
+        if let Some(prev) = states.last() {
+            assert!(
+                req.arrival_step >= prev.arrival_step,
+                "serve: requests must be submitted in arrival order"
+            );
+        }
+        states.push(ReqState::from_request(req));
+    }
+
+    let mut outcomes = Vec::new();
+    let mut ttft = Histogram::new();
+    let mut itl = Histogram::new();
+    let mut steps = 0usize;
+    let mut idle_steps = 0usize;
+    let mut admissions = 0usize;
+
+    let mut pending: VecDeque<ReqState> = states.into();
+    while !pending.is_empty() {
+        stamp_arrivals(&mut pending, steps, Instant::now());
+        // The fixed batch forms only once its last member has arrived:
+        // earlier members idle in the meantime (that wait is the
+        // batch-forming latency continuous batching eliminates).
+        let group_len = pending.len().min(cfg.max_active);
+        let forms_at = pending
+            .iter()
+            .take(group_len)
+            .map(|st| st.arrival_step)
+            .max()
+            .expect("group is non-empty");
+        while steps < forms_at {
+            steps += 1;
+            idle_steps += 1;
+            stamp_arrivals(&mut pending, steps, Instant::now());
+        }
+        let mut group: Vec<ReqState> = pending.drain(..group_len).collect();
+        let now = Instant::now();
+        for st in group.iter_mut() {
+            if st.eligible_at.is_none() {
+                st.eligible_at = Some(now);
+            }
+        }
+
+        let mut session = BatchSession::new(model, kind, group.len(), cfg.parallelism);
+        admissions += group.len();
+        let mut members: Vec<Member> = group
+            .into_iter()
+            .enumerate()
+            .map(|(slot, state)| Member {
+                state,
+                slot,
+                consumed: 0,
+                generated: Vec::new(),
+                finished: None,
+            })
+            .collect();
+
+        while members.iter().any(|m| m.finished.is_none()) {
+            // Unfinished members feed one token each; finished ones are
+            // omitted (the ragged shrink) but their slots stay occupied —
+            // nothing new is admitted until the whole batch retires.
+            let mut parts: Vec<(usize, u32, usize)> = Vec::new();
+            for (i, m) in members.iter().enumerate() {
+                if m.finished.is_some() {
+                    continue;
+                }
+                let token = if m.consumed < m.state.prompt.len() {
+                    m.state.prompt[m.consumed]
+                } else {
+                    *m.generated.last().expect("decode feeds last token")
+                };
+                parts.push((m.slot, token, i));
+            }
+            let tokens: Vec<(usize, u32)> = parts.iter().map(|&(s, t, _)| (s, t)).collect();
+            session.step(&tokens);
+            steps += 1;
+            let now = Instant::now();
+            stamp_arrivals(&mut pending, steps, now);
+            for (row, &(_, _, i)) in parts.iter().enumerate() {
+                let m = &mut members[i];
+                m.consumed += 1;
+                if m.consumed < m.state.prompt.len() {
+                    continue;
+                }
+                let next = argmax(session.logits(row));
+                m.state.record_token(now, &mut ttft, &mut itl);
+                m.generated.push(next);
+                if cfg.eos == Some(next) {
+                    m.finished = Some((FinishReason::Eos, now));
+                } else if m.generated.len() >= m.state.remaining {
+                    m.finished = Some((FinishReason::MaxTokens, now));
+                }
+            }
+        }
+        for m in members {
+            let (finish, at) = m.finished.expect("batch ran to completion");
+            outcomes.push(m.state.into_outcome(m.generated, finish, at));
+        }
+    }
+
+    ServeReport {
+        outcomes,
+        steps,
+        idle_steps,
+        admissions,
+        preemptions: 0,
+        wall: started.elapsed(),
+        ttft,
+        itl,
+    }
+}

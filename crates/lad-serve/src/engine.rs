@@ -1,0 +1,563 @@
+//! The continuous-batching scheduler loop.
+//!
+//! One [`Engine::tick`] is one global serving step:
+//!
+//! 1. **decode reservation** — every decode-phase request appends one KV
+//!    token to the paged pool; on exhaustion the *youngest* active request
+//!    is preempted (recompute style) until the append fits;
+//! 2. **admission** — FIFO queue head(s) whose arrival step has come join
+//!    while a batch slot and their prompt's blocks are available;
+//! 3. **sub-step 0** — all active requests advance one token through the
+//!    shared [`BatchSession`] (cross-sample GEMMs);
+//! 4. **prefill sub-steps** — requests still consuming their prompt get up
+//!    to `prefill_chunk - 1` extra prompt tokens in prefill-only steps;
+//! 5. **sampling + retirement** — requests past their prompt sample the
+//!    next token; EOS/`max_tokens` retires the request and returns its
+//!    blocks.
+//!
+//! Scheduling never changes results: samples are independent and greedy
+//! decoding is deterministic, so whatever the admission pattern, each
+//! request's token stream equals its solo [`lad_model::Session`] decode
+//! (`tests/serving.rs` pins this, preemption included).
+
+use crate::{FinishReason, ReqState, Request, ServeConfig, ServeReport};
+use lad_accel::paged::BlockPool;
+use lad_model::backend::AttentionKind;
+use lad_model::batch::{BatchSession, StepOutcome};
+use lad_model::transformer::{argmax, Model};
+use lad_obs::Histogram;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// One admitted, currently-decoding request.
+#[derive(Debug)]
+struct Active {
+    state: ReqState,
+    /// Sample slot in the [`BatchSession`].
+    slot: usize,
+    /// Sequence id in the [`BlockPool`].
+    pool_id: usize,
+    /// Tokens fed to the session in this incarnation (prompt included).
+    consumed: usize,
+    /// Tokens generated in this incarnation.
+    generated: Vec<u32>,
+}
+
+impl Active {
+    fn in_prefill(&self) -> bool {
+        self.consumed < self.state.prompt.len()
+    }
+
+    /// The token this request feeds on the next shared sub-step.
+    fn next_token(&self) -> u32 {
+        if self.in_prefill() {
+            self.state.prompt[self.consumed]
+        } else {
+            *self
+                .generated
+                .last()
+                .expect("decode phase feeds last token")
+        }
+    }
+}
+
+/// Continuous-batching serving engine over one model.
+#[derive(Debug)]
+pub struct Engine<'m> {
+    cfg: ServeConfig,
+    session: BatchSession<'m>,
+    pool: BlockPool,
+    /// Waiting requests, FIFO by arrival (preempted requests re-enter at
+    /// the front, which preserves arrival order — they arrived before
+    /// everything still queued).
+    queue: VecDeque<ReqState>,
+    /// Admitted requests in admission order (oldest first; the preemption
+    /// victim is always the last element).
+    active: Vec<Active>,
+    step: usize,
+    // Report accumulators.
+    outcomes: Vec<crate::RequestOutcome>,
+    ttft: Histogram,
+    itl: Histogram,
+    idle_steps: usize,
+    admissions: usize,
+    preemptions: usize,
+}
+
+impl<'m> Engine<'m> {
+    /// Builds an engine serving `model` with `kind` attention heads from
+    /// the KV capacity of `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.max_active == 0`, `cfg.prefill_chunk == 0` or
+    /// `cfg.parallelism == 0`.
+    pub fn new(model: &'m Model, kind: &AttentionKind, pool: BlockPool, cfg: ServeConfig) -> Self {
+        assert!(cfg.max_active > 0, "serve: max_active must be positive");
+        assert!(
+            cfg.prefill_chunk > 0,
+            "serve: prefill_chunk must be positive"
+        );
+        let session = BatchSession::dynamic(model, kind, cfg.parallelism);
+        Engine {
+            cfg,
+            session,
+            pool,
+            queue: VecDeque::new(),
+            active: Vec::new(),
+            step: 0,
+            outcomes: Vec::new(),
+            ttft: Histogram::new(),
+            itl: Histogram::new(),
+            idle_steps: 0,
+            admissions: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// Enqueues a request. Requests must be submitted in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty prompt, `max_tokens == 0`, out-of-order arrival
+    /// steps, or a request that could never fit the pool even alone
+    /// (`blocks_for(prompt + max_tokens) > total_blocks` — such a request
+    /// would preempt itself forever).
+    pub fn submit(&mut self, req: Request) {
+        assert!(
+            BlockPool::blocks_for(req.prompt.len() + req.max_tokens) <= self.pool.total_blocks(),
+            "serve: request {} can never fit the pool",
+            req.id
+        );
+        if let Some(back) = self.queue.back() {
+            assert!(
+                req.arrival_step >= back.arrival_step,
+                "serve: requests must be submitted in arrival order"
+            );
+        }
+        self.queue.push_back(ReqState::from_request(req));
+    }
+
+    /// Requests waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests currently active in the batch.
+    pub fn active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Global steps executed so far.
+    pub fn step_count(&self) -> usize {
+        self.step
+    }
+
+    /// Runs the scheduler loop until every submitted request has retired,
+    /// and returns the drained report.
+    pub fn run(&mut self) -> ServeReport {
+        let started = Instant::now();
+        while !self.queue.is_empty() || !self.active.is_empty() {
+            self.tick();
+        }
+        ServeReport {
+            outcomes: std::mem::take(&mut self.outcomes),
+            steps: self.step,
+            idle_steps: self.idle_steps,
+            admissions: self.admissions,
+            preemptions: self.preemptions,
+            wall: started.elapsed(),
+            ttft: std::mem::replace(&mut self.ttft, Histogram::new()),
+            itl: std::mem::replace(&mut self.itl, Histogram::new()),
+        }
+    }
+
+    /// Executes one global serving step.
+    pub fn tick(&mut self) {
+        let now = Instant::now();
+        // Requests whose arrival step has come start their latency clock
+        // now — queueing time counts toward TTFT.
+        for q in self.queue.iter_mut() {
+            if q.arrival_step <= self.step && q.eligible_at.is_none() {
+                q.eligible_at = Some(now);
+            }
+        }
+
+        self.reserve_decode_blocks();
+        self.admit();
+
+        if self.active.is_empty() {
+            // The active set drained while later arrivals are still in the
+            // future: the documented BatchSession idle no-op.
+            let outcome = self.session.step(&[]);
+            debug_assert_eq!(outcome, StepOutcome::Idle);
+            self.idle_steps += 1;
+            self.step += 1;
+            return;
+        }
+
+        // Sub-step 0: everyone advances one token.
+        self.run_substep(true);
+        // Extra prefill-only sub-steps (chunked prefill).
+        for _ in 1..self.cfg.prefill_chunk {
+            if !self.active.iter().any(Active::in_prefill) {
+                break;
+            }
+            self.run_substep(false);
+        }
+        self.step += 1;
+    }
+
+    /// Reserves this tick's KV token for every decode-phase request,
+    /// preempting the youngest active request on pool exhaustion.
+    /// (Prefilling requests reserved their prompt blocks at admission.)
+    fn reserve_decode_blocks(&mut self) {
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].in_prefill() {
+                i += 1;
+                continue;
+            }
+            loop {
+                if self.pool.append_token(self.active[i].pool_id) {
+                    i += 1;
+                    break;
+                }
+                let youngest = self.active.len() - 1;
+                let self_preempted = youngest == i;
+                self.preempt(youngest);
+                if self_preempted {
+                    break; // `i` now indexes the next request (or the end)
+                }
+            }
+        }
+    }
+
+    /// Evicts active request `idx` (recompute preemption): KV dropped,
+    /// blocks freed, generated prefix folded into the prompt, request
+    /// re-queued at the front (it arrived before everything still queued).
+    fn preempt(&mut self, idx: usize) {
+        let _span = lad_obs::span("serve.preempt");
+        let mut a = self.active.remove(idx);
+        self.session.remove_sample(a.slot);
+        self.pool.release(a.pool_id);
+        let generated = std::mem::take(&mut a.generated);
+        let mut st = a.state;
+        st.remaining -= generated.len();
+        debug_assert!(st.remaining > 0, "finished request was preempted");
+        st.prompt.extend_from_slice(&generated);
+        st.done.extend(generated);
+        st.preemptions += 1;
+        self.preemptions += 1;
+        self.queue.push_front(st);
+    }
+
+    /// Admits FIFO queue heads while a slot and their prompt blocks are
+    /// available. Admission is strictly in arrival order: a blocked head
+    /// blocks everything behind it (no out-of-order admission).
+    fn admit(&mut self) {
+        let _span = lad_obs::span("serve.admit");
+        while self.active.len() < self.cfg.max_active {
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            if front.arrival_step > self.step {
+                break;
+            }
+            let Some(pool_id) = self.pool.admit(front.prompt.len()) else {
+                break;
+            };
+            let state = self.queue.pop_front().expect("front checked above");
+            let slot = self.session.add_sample();
+            self.admissions += 1;
+            self.active.push(Active {
+                state,
+                slot,
+                pool_id,
+                consumed: 0,
+                generated: Vec::new(),
+            });
+        }
+    }
+
+    /// Runs one [`BatchSession::step`] over the active requests
+    /// (`include_decode = false` restricts it to prefilling requests),
+    /// then samples next tokens and retires finished requests.
+    fn run_substep(&mut self, include_decode: bool) {
+        // (slot, token, active index), sorted by slot as the session
+        // requires strictly increasing sample ids.
+        let mut parts: Vec<(usize, u32, usize)> = Vec::new();
+        let mut any_decode = false;
+        for (i, a) in self.active.iter().enumerate() {
+            if a.in_prefill() {
+                parts.push((a.slot, a.next_token(), i));
+            } else if include_decode {
+                any_decode = true;
+                parts.push((a.slot, a.next_token(), i));
+            }
+        }
+        if parts.is_empty() {
+            return;
+        }
+        parts.sort_unstable_by_key(|&(slot, _, _)| slot);
+        let tokens: Vec<(usize, u32)> = parts.iter().map(|&(s, t, _)| (s, t)).collect();
+        {
+            let _span = if any_decode {
+                lad_obs::span("serve.decode_step")
+            } else {
+                lad_obs::span("serve.prefill_chunk")
+            };
+            self.session.step(&tokens);
+        }
+
+        let now = Instant::now();
+        let mut retired: Vec<(usize, FinishReason)> = Vec::new();
+        for (row, &(_, _, i)) in parts.iter().enumerate() {
+            let a = &mut self.active[i];
+            a.consumed += 1;
+            if a.in_prefill() {
+                continue;
+            }
+            // This request's prompt is complete: the step's logits row
+            // yields its next token.
+            let next = argmax(self.session.logits(row));
+            a.state.record_token(now, &mut self.ttft, &mut self.itl);
+            a.generated.push(next);
+            if self.cfg.eos == Some(next) {
+                retired.push((i, FinishReason::Eos));
+            } else if a.generated.len() >= a.state.remaining {
+                retired.push((i, FinishReason::MaxTokens));
+            }
+        }
+        // Retire in descending active-index order so removals do not shift
+        // the remaining indices (parts are in slot order, not index order).
+        retired.sort_unstable_by_key(|&(i, _)| std::cmp::Reverse(i));
+        for &(i, finish) in &retired {
+            let _span = lad_obs::span("serve.retire");
+            let a = self.active.remove(i);
+            self.session.remove_sample(a.slot);
+            self.pool.release(a.pool_id);
+            self.outcomes
+                .push(a.state.into_outcome(a.generated, finish, now));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::serve_fixed_batches;
+    use lad_model::config::ModelConfig;
+    use lad_model::transformer::Session;
+    use std::time::Duration;
+
+    fn tiny_model() -> Model {
+        Model::random(ModelConfig::tiny("serve", 2, 32, 2), 71)
+    }
+
+    /// Blocks→bytes for the tiny model above (2 layers × 32 hidden).
+    fn budget(blocks: usize) -> usize {
+        let cfg = ModelConfig::tiny("serve", 2, 32, 2);
+        cfg.layers * 2 * cfg.hidden * 2 * lad_accel::paged::BLOCK_TOKENS * blocks
+    }
+
+    fn prompt(seed: u64, len: usize) -> Vec<u32> {
+        (0..len)
+            .map(|i| ((i as u64 * 37 + seed * 13) % 256) as u32)
+            .collect()
+    }
+
+    /// Solo greedy reference, truncated after the first EOS (inclusive) the
+    /// way the engine retires.
+    fn solo(model: &Model, prompt: &[u32], max_tokens: usize, eos: Option<u32>) -> Vec<u32> {
+        let mut session = Session::new(model, &AttentionKind::Exact);
+        let full = session.generate_greedy(prompt, max_tokens);
+        match eos.and_then(|e| full.iter().position(|&t| t == e)) {
+            Some(at) => full[..=at].to_vec(),
+            None => full,
+        }
+    }
+
+    #[test]
+    fn continuous_streams_match_solo_sessions() {
+        let model = tiny_model();
+        let cfg = ServeConfig {
+            max_active: 2,
+            prefill_chunk: 3,
+            eos: None,
+            parallelism: 1,
+        };
+        let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(64));
+        let mut engine = Engine::new(&model, &AttentionKind::Exact, pool, cfg);
+        let specs = [(0u64, 9usize, 12usize, 0usize), (1, 6, 7, 0), (2, 11, 9, 4)];
+        for &(id, plen, max, at) in &specs {
+            engine.submit(Request::new(id, prompt(id, plen), max).arriving_at(at));
+        }
+        let report = engine.run();
+
+        assert_eq!(report.outcomes.len(), specs.len());
+        assert_eq!(report.admissions, specs.len());
+        assert_eq!(report.preemptions, 0);
+        for &(id, plen, max, _) in &specs {
+            let got = &report
+                .outcomes
+                .iter()
+                .find(|o| o.id == id)
+                .expect("request retired")
+                .tokens;
+            assert_eq!(
+                got,
+                &solo(&model, &prompt(id, plen), max, None),
+                "request {id}"
+            );
+        }
+        let total: usize = specs.iter().map(|&(_, _, max, _)| max).sum();
+        assert_eq!(report.total_tokens(), total);
+        assert_eq!(report.ttft.count(), specs.len() as u64);
+        assert_eq!(report.itl.count(), (total - specs.len()) as u64);
+    }
+
+    #[test]
+    fn forced_preemption_recovers_bit_identical_streams() {
+        let model = tiny_model();
+        let cfg = ServeConfig {
+            max_active: 2,
+            prefill_chunk: 1,
+            eos: None,
+            parallelism: 1,
+        };
+        // Three blocks total; two requests each peaking at two blocks, so
+        // the pool must run dry and evict the youngest mid-decode.
+        let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(3));
+        let mut engine = Engine::new(&model, &AttentionKind::Exact, pool, cfg);
+        let specs = [(0u64, 8usize, 24usize), (1, 8, 24)];
+        for &(id, plen, max) in &specs {
+            engine.submit(Request::new(id, prompt(id, plen), max));
+        }
+        let report = engine.run();
+
+        assert!(
+            report.preemptions >= 1,
+            "pool pressure must force a preemption"
+        );
+        let preempted: usize = report.outcomes.iter().map(|o| o.preemptions).sum();
+        assert_eq!(preempted, report.preemptions);
+        for &(id, plen, max) in &specs {
+            let got = &report
+                .outcomes
+                .iter()
+                .find(|o| o.id == id)
+                .expect("request retired")
+                .tokens;
+            assert_eq!(
+                got,
+                &solo(&model, &prompt(id, plen), max, None),
+                "request {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn eos_retires_early_and_is_included() {
+        let model = tiny_model();
+        let p = prompt(3, 10);
+        // Pick the third solo token as EOS so the engine must stop there.
+        let reference = solo(&model, &p, 12, None);
+        let eos = reference[2];
+        let expect = solo(&model, &p, 12, Some(eos));
+        assert!(expect.len() < 12, "chosen EOS must truncate");
+
+        let cfg = ServeConfig {
+            eos: Some(eos),
+            ..ServeConfig::default()
+        };
+        let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(64));
+        let mut engine = Engine::new(&model, &AttentionKind::Exact, pool, cfg);
+        engine.submit(Request::new(7, p, 12));
+        let report = engine.run();
+
+        let out = &report.outcomes[0];
+        assert_eq!(out.finish, FinishReason::Eos);
+        assert_eq!(out.tokens, expect);
+        assert_eq!(*out.tokens.last().unwrap(), eos);
+    }
+
+    #[test]
+    fn idle_ticks_bridge_arrival_gaps() {
+        let model = tiny_model();
+        let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(64));
+        let mut engine = Engine::new(&model, &AttentionKind::Exact, pool, ServeConfig::default());
+        engine.submit(Request::new(0, prompt(0, 4), 3).arriving_at(5));
+        let report = engine.run();
+        assert_eq!(report.idle_steps, 5);
+        assert_eq!(report.outcomes[0].tokens.len(), 3);
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_at_submit() {
+        let model = tiny_model();
+        let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(2));
+        let mut engine = Engine::new(&model, &AttentionKind::Exact, pool, ServeConfig::default());
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.submit(Request::new(0, prompt(0, 8), 64));
+        }));
+        assert!(
+            res.is_err(),
+            "a request that can never fit must panic at submit"
+        );
+    }
+
+    #[test]
+    fn fixed_batch_baseline_matches_solo_sessions() {
+        let model = tiny_model();
+        let cfg = ServeConfig {
+            max_active: 2,
+            prefill_chunk: 1,
+            eos: None,
+            parallelism: 1,
+        };
+        let specs = [(0u64, 9usize, 12usize, 0usize), (1, 6, 7, 2), (2, 11, 9, 2)];
+        let requests: Vec<Request> = specs
+            .iter()
+            .map(|&(id, plen, max, at)| Request::new(id, prompt(id, plen), max).arriving_at(at))
+            .collect();
+        let report = serve_fixed_batches(&model, &AttentionKind::Exact, &cfg, requests);
+
+        assert_eq!(report.outcomes.len(), specs.len());
+        assert_eq!(report.preemptions, 0);
+        for &(id, plen, max, _) in &specs {
+            let got = &report
+                .outcomes
+                .iter()
+                .find(|o| o.id == id)
+                .expect("request retired")
+                .tokens;
+            assert_eq!(
+                got,
+                &solo(&model, &prompt(id, plen), max, None),
+                "request {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn goodput_counts_only_deadline_met_requests() {
+        let model = tiny_model();
+        let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(64));
+        let mut engine = Engine::new(&model, &AttentionKind::Exact, pool, ServeConfig::default());
+        engine.submit(Request::new(0, prompt(0, 4), 5));
+        engine.submit(Request::new(1, prompt(1, 4), 5).with_deadline(Duration::ZERO));
+        let report = engine.run();
+
+        let missed = report.outcomes.iter().find(|o| o.id == 1).unwrap();
+        assert!(!missed.met_deadline, "a zero deadline cannot be met");
+        assert!(report.goodput() < report.throughput());
+        let good: usize = report
+            .outcomes
+            .iter()
+            .filter(|o| o.met_deadline)
+            .map(|o| o.tokens.len())
+            .sum();
+        assert_eq!(good, 5);
+    }
+}

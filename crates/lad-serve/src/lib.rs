@@ -1,0 +1,271 @@
+//! # lad-serve — continuous-batching serving engine
+//!
+//! The paper's GPU baseline (Sec. V-A) assumes a vLLM-style serving loop:
+//! paged KV blocks, dynamic admission, preemption. This crate builds that
+//! loop on top of the repo's step-synchronous batched GEMM engine
+//! ([`lad_model::BatchSession`]):
+//!
+//! * a **FIFO request queue** with per-request prompt, `max_tokens`,
+//!   arrival step and optional latency deadline;
+//! * **per-step admission**: requests join mid-flight whenever the paged
+//!   [`lad_accel::paged::BlockPool`] can reserve their prompt blocks and a
+//!   batch slot is free — the ragged-prompt active-set *shrinking* of
+//!   `decode_batch_gemm`, generalised to true dynamic membership with join
+//!   *and* leave per global step;
+//! * **chunked prefill** interleaved with decode: decode-phase requests
+//!   advance one token per engine tick, while prefilling requests may
+//!   consume up to `prefill_chunk` prompt tokens per tick through extra
+//!   prefill-only sub-steps;
+//! * **retirement** on EOS or `max_tokens`, returning exactly the
+//!   request's KV blocks to the pool;
+//! * **recompute preemption**: on pool exhaustion the youngest active
+//!   request is evicted (KV dropped, blocks freed) and re-queued with its
+//!   generated prefix folded into the prompt — greedy decoding is
+//!   deterministic, so the re-decoded stream continues bit-identically.
+//!
+//! Every phase is instrumented with `lad-obs` spans (`serve.admit`,
+//! `serve.prefill_chunk`, `serve.decode_step`, `serve.retire`,
+//! `serve.preempt`), and the engine feeds time-to-first-token and
+//! inter-token latencies into [`lad_obs::Histogram`]s, so p50/p95/p99
+//! tables fall out of the existing machinery.
+//!
+//! Correctness is pinned the repo's usual way: `tests/serving.rs` proves
+//! every request's token stream under continuous batching — across
+//! staggered joins, mid-flight retirement and forced preemption — is
+//! bit-identical to its solo [`lad_model::Session`] decode.
+//!
+//! The deliverable metric is **goodput**: generated tokens per second from
+//! requests that met their deadline ([`ServeReport::goodput`]), compared
+//! against the naive fixed-batch baseline ([`baseline::serve_fixed_batches`])
+//! at an equal batch budget (`BENCH_serve.json`, gated by `bench_check`).
+
+pub mod baseline;
+pub mod engine;
+
+pub use engine::Engine;
+
+use lad_obs::Histogram;
+use std::time::{Duration, Instant};
+
+/// One serving request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-chosen request id, echoed in the [`RequestOutcome`].
+    pub id: u64,
+    /// Prompt tokens (must be non-empty).
+    pub prompt: Vec<u32>,
+    /// Maximum tokens to generate (must be at least 1); generation also
+    /// stops at the configured EOS token.
+    pub max_tokens: usize,
+    /// Engine step at which the request arrives. Arrival is simulated in
+    /// deterministic global steps so schedules are reproducible; latency
+    /// metrics are wall-clock from the moment the arrival step begins.
+    pub arrival_step: usize,
+    /// End-to-end latency deadline for goodput accounting (`None` = no
+    /// deadline; the request's tokens always count as good).
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request arriving at step 0 with no deadline.
+    pub fn new(id: u64, prompt: Vec<u32>, max_tokens: usize) -> Request {
+        Request {
+            id,
+            prompt,
+            max_tokens,
+            arrival_step: 0,
+            deadline: None,
+        }
+    }
+
+    /// Same request arriving at `step`.
+    pub fn arriving_at(mut self, step: usize) -> Request {
+        self.arrival_step = step;
+        self
+    }
+
+    /// Same request with an end-to-end deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Request {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Scheduler policy knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Batch budget: maximum simultaneously active requests (sample slots).
+    pub max_active: usize,
+    /// Prompt tokens a prefilling request may consume per engine tick (the
+    /// first rides the shared sub-step, the rest run as prefill-only
+    /// sub-steps). `1` disables chunking — prefill advances in lockstep
+    /// with decode, exactly like the fixed-batch engine.
+    pub prefill_chunk: usize,
+    /// Token that terminates generation early (`None` = decode to
+    /// `max_tokens` always). The EOS token is included in the output.
+    pub eos: Option<u32>,
+    /// Fan-out width handed to the underlying [`lad_model::BatchSession`].
+    pub parallelism: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_active: 8,
+            prefill_chunk: 4,
+            eos: None,
+            parallelism: 1,
+        }
+    }
+}
+
+/// Why a request finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishReason {
+    /// The EOS token was generated (it is included in the output).
+    Eos,
+    /// `max_tokens` tokens were generated.
+    MaxTokens,
+}
+
+/// The served result of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// Caller-chosen id from the [`Request`].
+    pub id: u64,
+    /// Every generated token, across preemptions, in order.
+    pub tokens: Vec<u32>,
+    /// Why generation stopped.
+    pub finish: FinishReason,
+    /// Wall time from arrival (queueing included) to the first token.
+    pub ttft: Duration,
+    /// Wall time from arrival to retirement.
+    pub e2e: Duration,
+    /// Times this request was preempted and recomputed.
+    pub preemptions: usize,
+    /// Whether `e2e` met the request's deadline (`true` without one).
+    pub met_deadline: bool,
+}
+
+/// Aggregate result of serving a workload to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Per-request outcomes, in retirement order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Engine ticks executed (including idle ticks).
+    pub steps: usize,
+    /// Ticks where the active set was empty (arrival gaps).
+    pub idle_steps: usize,
+    /// Admissions performed (re-admissions after preemption included).
+    pub admissions: usize,
+    /// Preemptions performed.
+    pub preemptions: usize,
+    /// End-to-end wall time of the run.
+    pub wall: Duration,
+    /// Time-to-first-token distribution (nanoseconds).
+    pub ttft: Histogram,
+    /// Inter-token latency distribution (nanoseconds).
+    pub itl: Histogram,
+}
+
+impl ServeReport {
+    /// Total generated tokens.
+    pub fn total_tokens(&self) -> usize {
+        self.outcomes.iter().map(|o| o.tokens.len()).sum()
+    }
+
+    /// Raw tokens per second over the whole run.
+    pub fn throughput(&self) -> f64 {
+        self.total_tokens() as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// **Goodput**: tokens per second counting only requests that met
+    /// their deadline — the paper-style "tokens/s within a latency SLO".
+    pub fn goodput(&self) -> f64 {
+        let good: usize = self
+            .outcomes
+            .iter()
+            .filter(|o| o.met_deadline)
+            .map(|o| o.tokens.len())
+            .sum();
+        good as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Mutable per-request serving state, shared by the continuous engine and
+/// the fixed-batch baseline. Lives in the queue between incarnations.
+#[derive(Debug, Clone)]
+pub(crate) struct ReqState {
+    pub id: u64,
+    /// Effective prompt of the next incarnation: the original prompt plus
+    /// every token generated before the latest preemption.
+    pub prompt: Vec<u32>,
+    /// Tokens generated in earlier incarnations (prefix of the output).
+    pub done: Vec<u32>,
+    /// Tokens still to generate in this incarnation.
+    pub remaining: usize,
+    pub arrival_step: usize,
+    pub deadline: Option<Duration>,
+    /// Wall time the arrival step began (latency epoch).
+    pub eligible_at: Option<Instant>,
+    /// Wall time of the first generated token.
+    pub first_token_at: Option<Instant>,
+    /// Wall time of the latest generated token (ITL anchor).
+    pub last_token_at: Option<Instant>,
+    pub preemptions: usize,
+}
+
+impl ReqState {
+    pub(crate) fn from_request(req: Request) -> ReqState {
+        assert!(!req.prompt.is_empty(), "serve: empty prompt");
+        assert!(req.max_tokens > 0, "serve: max_tokens must be positive");
+        ReqState {
+            id: req.id,
+            prompt: req.prompt,
+            done: Vec::new(),
+            remaining: req.max_tokens,
+            arrival_step: req.arrival_step,
+            deadline: req.deadline,
+            eligible_at: None,
+            first_token_at: None,
+            last_token_at: None,
+            preemptions: 0,
+        }
+    }
+
+    /// Records one generated token's latency into the histograms.
+    pub(crate) fn record_token(&mut self, now: Instant, ttft: &mut Histogram, itl: &mut Histogram) {
+        if self.first_token_at.is_none() {
+            self.first_token_at = Some(now);
+            let eligible = self.eligible_at.expect("token before arrival");
+            ttft.record(now.duration_since(eligible).as_nanos() as u64);
+        } else if let Some(last) = self.last_token_at {
+            itl.record(now.duration_since(last).as_nanos() as u64);
+        }
+        self.last_token_at = Some(now);
+    }
+
+    /// Builds the final outcome at retirement.
+    pub(crate) fn into_outcome(
+        self,
+        generated: Vec<u32>,
+        finish: FinishReason,
+        now: Instant,
+    ) -> RequestOutcome {
+        let eligible = self.eligible_at.expect("retired before arrival");
+        let first = self.first_token_at.expect("retired without a token");
+        let e2e = now.duration_since(eligible);
+        let met_deadline = self.deadline.is_none_or(|d| e2e <= d);
+        let mut tokens = self.done;
+        tokens.extend(generated);
+        RequestOutcome {
+            id: self.id,
+            tokens,
+            finish,
+            ttft: first.duration_since(eligible),
+            e2e,
+            preemptions: self.preemptions,
+            met_deadline,
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`eval`] — ROUGE / perplexity / dataset tooling.
 //! * [`obs`] — zero-cost-when-off tracing spans, latency histograms and
 //!   Chrome-trace / JSONL exporters.
+//! * [`serve`] — continuous-batching serving engine (FIFO admission,
+//!   chunked prefill, recompute preemption, TTFT/ITL/goodput metrics).
 
 pub use lad_accel as accel;
 pub use lad_core as core;
@@ -18,4 +20,5 @@ pub use lad_eval as eval;
 pub use lad_math as math;
 pub use lad_model as model;
 pub use lad_obs as obs;
+pub use lad_serve as serve;
 pub use lad_trace as trace;

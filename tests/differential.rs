@@ -26,7 +26,9 @@ use lad::core::pool::WorkerPool;
 use lad::core::stats::StepStats;
 use lad::math::pwl::PwlExp;
 use lad::model::backend::AttentionKind;
-use lad::model::batch::{decode_batch, decode_batch_gemm, decode_batch_on};
+use lad::model::batch::{
+    decode_batch, decode_batch_gemm, decode_batch_on, BatchSession, StepOutcome,
+};
 use lad::model::config::ModelConfig;
 use lad::model::transformer::{argmax, Model, Session};
 use std::sync::Arc;
@@ -391,6 +393,65 @@ fn differential_grid() {
         fallbacks += run_config(&pool, cfg);
     }
     assert!(fallbacks > 0, "no grid point exercised the den fallback");
+}
+
+/// Empty-step leg: `BatchSession::step(&[])` is the documented idle no-op
+/// (the serving engine leans on it for arrival gaps). Idle steps sprinkled
+/// through a decode must return `StepOutcome::Idle`, advance nothing, and
+/// leave every subsequent token and logit bit-identical to a run without
+/// them.
+#[test]
+fn empty_steps_are_idle_and_invisible() {
+    let cfg = &default_grid()[0];
+    let model = cfg.model();
+    let kind = AttentionKind::Lad(cfg.lad_config());
+    let prompts = cfg.prompts();
+
+    let run = |idle_every: Option<usize>| {
+        let mut session = BatchSession::new(&model, &kind, cfg.batch, cfg.parallelism);
+        let mut fed: Vec<Vec<u32>> = prompts.clone();
+        let mut streams: Vec<Vec<u32>> = vec![Vec::new(); cfg.batch];
+        let max_len = fed.iter().map(Vec::len).max().unwrap();
+        for t in 0..max_len + cfg.steps {
+            if let Some(every) = idle_every {
+                if t % every == 0 {
+                    assert_eq!(
+                        session.step(&[]),
+                        StepOutcome::Idle,
+                        "empty step must report Idle"
+                    );
+                }
+            }
+            let tokens: Vec<(usize, u32)> = (0..cfg.batch)
+                .filter(|&s| t < fed[s].len())
+                .map(|s| (s, fed[s][t]))
+                .collect();
+            if tokens.is_empty() {
+                break;
+            }
+            let active = tokens.len();
+            assert_eq!(
+                session.step(&tokens),
+                StepOutcome::Advanced { active },
+                "non-empty step must report its active count"
+            );
+            for (row, &(s, _)) in tokens.iter().enumerate() {
+                if t + 1 >= fed[s].len() && streams[s].len() < cfg.steps {
+                    let next = argmax(session.logits(row));
+                    streams[s].push(next);
+                    fed[s].push(next);
+                }
+            }
+        }
+        streams
+    };
+
+    let without_idle = run(None);
+    let with_idle = run(Some(3));
+    assert_eq!(
+        without_idle, with_idle,
+        "idle no-op steps perturbed decoded streams"
+    );
 }
 
 /// Recorder leg: the observability layer must never perturb decoding. The

@@ -1,0 +1,271 @@
+//! Serving differential harness: continuous batching vs solo decoding.
+//!
+//! The serving engine's tentpole invariant extends the repo's scheduling
+//! contract to dynamic membership: whatever the admission pattern —
+//! staggered joins, mid-flight retirement through ragged `max_tokens`,
+//! recompute preemption under pool pressure, EOS truncation — every
+//! request's generated token stream must be **bit-identical** to decoding
+//! that request alone in a solo [`lad::model::transformer::Session`] with
+//! the same attention backend. The fixed-batch baseline must agree too
+//! (it is the goodput comparison's control, so it has to be correct).
+//!
+//! The grid sweeps {attention kind × batch budget × prefill chunk × pool
+//! size × arrival pattern}; at least one grid point uses a pool small
+//! enough that preemption *must* occur, and the harness asserts it did.
+//!
+//! Interpreting a mismatch: see `tests/README.md`.
+
+use lad::core::decoder::LadConfig;
+use lad::math::pwl::PwlExp;
+use lad::model::backend::AttentionKind;
+use lad::model::config::ModelConfig;
+use lad::model::transformer::{Model, Session};
+use lad::serve::baseline::serve_fixed_batches;
+use lad::serve::{Engine, Request, ServeConfig, ServeReport};
+use lad_accel::paged::{BlockPool, BLOCK_TOKENS};
+
+/// One request of a grid point: (id, prompt length, max_tokens, arrival).
+type Spec = (u64, usize, usize, usize);
+
+/// One grid point of the serving sweep.
+struct ServeGrid {
+    label: &'static str,
+    lad_attention: bool,
+    model_seed: u64,
+    /// KV pool capacity in blocks.
+    pool_blocks: usize,
+    max_active: usize,
+    prefill_chunk: usize,
+    specs: &'static [Spec],
+    /// This grid point must preempt at least once.
+    expect_preemption: bool,
+}
+
+impl ServeGrid {
+    fn model(&self) -> Model {
+        Model::random(ModelConfig::tiny("serve-diff", 2, 32, 2), self.model_seed)
+    }
+
+    fn kind(&self) -> AttentionKind {
+        if self.lad_attention {
+            AttentionKind::Lad(LadConfig {
+                window: 8,
+                ..LadConfig::new(PwlExp::accurate_default())
+            })
+        } else {
+            AttentionKind::Exact
+        }
+    }
+
+    fn pool(&self) -> BlockPool {
+        let cfg = ModelConfig::tiny("serve-diff", 2, 32, 2);
+        let block_bytes = cfg.layers * 2 * cfg.hidden * 2 * BLOCK_TOKENS;
+        BlockPool::new(&cfg, self.pool_blocks * block_bytes)
+    }
+
+    fn cfg(&self) -> ServeConfig {
+        ServeConfig {
+            max_active: self.max_active,
+            prefill_chunk: self.prefill_chunk,
+            eos: None,
+            parallelism: 1,
+        }
+    }
+
+    fn prompt(&self, id: u64, len: usize) -> Vec<u32> {
+        (0..len)
+            .map(|i| ((i as u64 * 37 + self.model_seed + id * 13) % 256) as u32)
+            .collect()
+    }
+}
+
+/// Solo greedy reference for one request, truncated after the first EOS
+/// (inclusive) the way the engine retires.
+fn solo(
+    model: &Model,
+    kind: &AttentionKind,
+    prompt: &[u32],
+    max: usize,
+    eos: Option<u32>,
+) -> Vec<u32> {
+    let mut session = Session::new(model, kind);
+    let full = session.generate_greedy(prompt, max);
+    match eos.and_then(|e| full.iter().position(|&t| t == e)) {
+        Some(at) => full[..=at].to_vec(),
+        None => full,
+    }
+}
+
+fn assert_streams_match(g: &ServeGrid, which: &str, model: &Model, report: &ServeReport) {
+    assert_eq!(
+        report.outcomes.len(),
+        g.specs.len(),
+        "{}/{which}: not every request retired",
+        g.label
+    );
+    let kind = g.kind();
+    for &(id, plen, max, _) in g.specs {
+        let got = &report
+            .outcomes
+            .iter()
+            .find(|o| o.id == id)
+            .unwrap_or_else(|| panic!("{}/{which}: request {id} missing", g.label))
+            .tokens;
+        let want = solo(model, &kind, &g.prompt(id, plen), max, None);
+        assert_eq!(
+            got, &want,
+            "{}/{which}: request {id} token stream diverged from solo decode",
+            g.label
+        );
+    }
+}
+
+fn run_grid_point(g: &ServeGrid) {
+    let model = g.model();
+    let kind = g.kind();
+
+    // Continuous engine leg.
+    let mut engine = Engine::new(&model, &kind, g.pool(), g.cfg());
+    for &(id, plen, max, at) in g.specs {
+        engine.submit(Request::new(id, g.prompt(id, plen), max).arriving_at(at));
+    }
+    let report = engine.run();
+    assert_streams_match(g, "continuous", &model, &report);
+    if g.expect_preemption {
+        assert!(
+            report.preemptions >= 1,
+            "{}: grid point engineered for preemption never preempted",
+            g.label
+        );
+    } else {
+        assert_eq!(report.preemptions, 0, "{}: unexpected preemption", g.label);
+    }
+
+    // Fixed-batch baseline leg (the goodput control must agree too).
+    let requests: Vec<Request> = g
+        .specs
+        .iter()
+        .map(|&(id, plen, max, at)| Request::new(id, g.prompt(id, plen), max).arriving_at(at))
+        .collect();
+    let fixed = serve_fixed_batches(&model, &kind, &g.cfg(), requests);
+    assert_streams_match(g, "fixed", &model, &fixed);
+}
+
+/// Ragged max_tokens at a shared arrival: members retire mid-flight and the
+/// engine back-fills the freed slots from the queue.
+static RAGGED: &[Spec] = &[(0, 9, 14, 0), (1, 5, 6, 0), (2, 12, 10, 0), (3, 7, 18, 0)];
+
+/// Staggered arrivals with gaps: admission happens mid-flight and the
+/// engine idles between waves.
+static STAGGERED: &[Spec] = &[(0, 8, 10, 0), (1, 6, 8, 3), (2, 10, 6, 3), (3, 5, 12, 9)];
+
+/// Two long decodes against a three-block pool: the pool must run dry and
+/// evict the youngest (recompute preemption), then still finish bit-exact.
+static PRESSURE: &[Spec] = &[(0, 8, 24, 0), (1, 8, 24, 0)];
+
+#[test]
+fn serving_differential_exact_ragged_retirement() {
+    run_grid_point(&ServeGrid {
+        label: "exact-ragged",
+        lad_attention: false,
+        model_seed: 71,
+        pool_blocks: 64,
+        max_active: 2,
+        prefill_chunk: 1,
+        specs: RAGGED,
+        expect_preemption: false,
+    });
+}
+
+#[test]
+fn serving_differential_exact_staggered_chunked_prefill() {
+    run_grid_point(&ServeGrid {
+        label: "exact-staggered",
+        lad_attention: false,
+        model_seed: 11,
+        pool_blocks: 64,
+        max_active: 3,
+        prefill_chunk: 4,
+        specs: STAGGERED,
+        expect_preemption: false,
+    });
+}
+
+#[test]
+fn serving_differential_exact_forced_preemption() {
+    run_grid_point(&ServeGrid {
+        label: "exact-preempt",
+        lad_attention: false,
+        model_seed: 71,
+        pool_blocks: 3,
+        max_active: 2,
+        prefill_chunk: 1,
+        specs: PRESSURE,
+        expect_preemption: true,
+    });
+}
+
+#[test]
+fn serving_differential_lad_staggered() {
+    run_grid_point(&ServeGrid {
+        label: "lad-staggered",
+        lad_attention: true,
+        model_seed: 29,
+        pool_blocks: 64,
+        max_active: 3,
+        prefill_chunk: 2,
+        specs: STAGGERED,
+        expect_preemption: false,
+    });
+}
+
+#[test]
+fn serving_differential_lad_forced_preemption() {
+    run_grid_point(&ServeGrid {
+        label: "lad-preempt",
+        lad_attention: true,
+        model_seed: 71,
+        pool_blocks: 3,
+        max_active: 2,
+        prefill_chunk: 1,
+        specs: PRESSURE,
+        expect_preemption: true,
+    });
+}
+
+/// EOS truncation leg: the engine must stop exactly where the solo decode
+/// first emits the EOS token, include it, and report `FinishReason::Eos`.
+#[test]
+fn serving_differential_eos_truncation() {
+    let g = ServeGrid {
+        label: "exact-eos",
+        lad_attention: false,
+        model_seed: 71,
+        pool_blocks: 64,
+        max_active: 2,
+        prefill_chunk: 2,
+        specs: &[],
+        expect_preemption: false,
+    };
+    let model = g.model();
+    let kind = g.kind();
+    let p = g.prompt(0, 10);
+    let reference = solo(&model, &kind, &p, 14, None);
+    let eos = reference[3];
+    let want = solo(&model, &kind, &p, 14, Some(eos));
+    assert!(want.len() < 14, "chosen EOS token must truncate the stream");
+
+    let cfg = ServeConfig {
+        eos: Some(eos),
+        ..g.cfg()
+    };
+    let mut engine = Engine::new(&model, &kind, g.pool(), cfg);
+    engine.submit(Request::new(0, p, 14));
+    let report = engine.run();
+    assert_eq!(report.outcomes[0].tokens, want);
+    assert_eq!(
+        report.outcomes[0].finish,
+        lad::serve::FinishReason::Eos,
+        "EOS retirement must be reported as such"
+    );
+}
