@@ -22,13 +22,13 @@ cargo test --workspace --release -q
 echo "== serving differential grid (continuous batching vs solo decode)"
 cargo test --release --test serving -q
 
-echo "== benches compile (cargo bench --no-run)"
+echo "== benches compile (cargo bench --no-run, incl. spec_decode)"
 cargo bench --workspace --no-run
 
 echo "== observability smoke (trace_decode example; validates trace + JSONL)"
 cargo run --release --example trace_decode
 
-echo "== bench regression gate (ratios vs committed BENCH_*.json floors)"
+echo "== bench regression gate (gemm/serve/spec ratios vs committed BENCH_*.json floors)"
 cargo run --release -p lad-bench --bin bench_check
 
 echo "== slow tests (long-stream + differential grid, warnings are errors)"

@@ -8,7 +8,11 @@
 //! * the `gemm_batch` batch-8 per-sample vs batched-GEMM per-token speedup
 //!   (floor 1.3x);
 //! * the `serve_goodput` continuous vs fixed-batch goodput ratio at an
-//!   equal batch budget (floor 1.0x — continuous batching must never lose).
+//!   equal batch budget (floor 1.0x — continuous batching must never lose);
+//! * the `spec_decode` draft/verify vs plain-decode speedup at the best
+//!   draft depth (floor 1.0x — speculation must never lose), with mean
+//!   accepted length > 1.0 (the verifier must accept real draft tokens,
+//!   not just the bonus token).
 //!
 //! The gates compare **ratios, not absolute times**: both sides of each
 //! comparison run in the same process on the same machine back to back, so
@@ -21,6 +25,7 @@ use lad_bench::section;
 use lad_model::backend::AttentionKind;
 use lad_model::batch::{decode_batch, decode_batch_gemm};
 use lad_model::config::ModelConfig;
+use lad_model::spec::{decode_speculative, SpecConfig};
 use lad_model::transformer::Model;
 use lad_obs::json::{self, Value};
 use lad_serve::baseline::serve_fixed_batches;
@@ -33,6 +38,10 @@ const SPEEDUP_FLOOR: f64 = 1.3;
 /// Acceptance floor the `serve_goodput` bench commits to: continuous
 /// batching must deliver at least the fixed-batch baseline's goodput.
 const GOODPUT_FLOOR: f64 = 1.0;
+
+/// Acceptance floor the `spec_decode` bench commits to: at its best draft
+/// depth, speculative decoding must at least match plain decoding.
+const SPEC_FLOOR: f64 = 1.0;
 
 /// Quick-mode decode length: half the committed run, same prompt length.
 /// Only the ratio matters, so the shorter run does not move the gate.
@@ -115,6 +124,30 @@ fn recorded_goodput_ratio(results: &[Value]) -> f64 {
         .expect("validated above")
 }
 
+/// The committed best speculative (speedup, mean accepted length) from
+/// `BENCH_spec.json`, taken over every non-plain row.
+fn recorded_spec_best(results: &[Value]) -> (String, f64, f64) {
+    results
+        .iter()
+        .filter(|r| r.get("kind").and_then(Value::as_str) != Some("plain"))
+        .map(|r| {
+            (
+                r.get("kind")
+                    .and_then(Value::as_str)
+                    .expect("validated above")
+                    .to_string(),
+                r.get("speedup_vs_plain")
+                    .and_then(Value::as_f64)
+                    .expect("validated above"),
+                r.get("mean_accepted_len")
+                    .and_then(Value::as_f64)
+                    .expect("validated above"),
+            )
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or_else(|| fail("BENCH_spec.json: no speculative row"))
+}
+
 /// Quick serving workload: two waves of four ragged requests against a
 /// batch budget of 4 — enough for the fixed baseline to pay one
 /// batch-forming wait and one straggler tail, which is the effect the
@@ -185,6 +218,35 @@ fn measure_goodput_ratio(model: &Model) -> (f64, usize, usize) {
     (ratio, continuous.steps, fixed.steps)
 }
 
+/// Quick spec re-measurement: the same model/prompt recipe as the
+/// committed `spec_decode` bench at half the decode length. Returns the
+/// best speculative speedup over plain decoding (recency and ngram-pool
+/// drafters at K = 4) and that run's mean accepted length; token streams
+/// are asserted identical to the plain run.
+fn measure_spec_speedup() -> (f64, f64) {
+    const SPEC_STEPS: usize = 128;
+    let model = Model::random(ModelConfig::tiny("spec-bench", 2, 256, 4), 7);
+    let kind = AttentionKind::Exact;
+    let prompt: Vec<u32> = (0..16u32).map(|i| (i * 31 + 5) % 256).collect();
+    let run = |cfg: &SpecConfig| {
+        time_per_token(SPEC_STEPS as f64, || {
+            decode_speculative(&model, &kind, &prompt, SPEC_STEPS, cfg)
+        })
+    };
+    let (plain, plain_t) = run(&SpecConfig::recency(0));
+    [SpecConfig::recency(4), SpecConfig::ngram(4)]
+        .iter()
+        .map(|cfg| {
+            let (report, t) = run(cfg);
+            if report.tokens != plain.tokens {
+                fail("speculative decode diverged from the plain stream");
+            }
+            (plain_t / t, report.mean_accepted_len())
+        })
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("two speculative configs measured")
+}
+
 /// Best-of-3 wall-clock seconds per token for one decode closure.
 fn time_per_token<R>(total_tokens: f64, mut f: impl FnMut() -> R) -> (R, f64) {
     let mut best = f64::INFINITY;
@@ -246,7 +308,22 @@ fn main() {
             "itl_p99_us",
         ],
     );
-    println!("BENCH_gemm.json / BENCH_pool.json / BENCH_serve.json: schemas ok");
+    let spec_doc = load("BENCH_spec.json");
+    let spec_results = check_schema(
+        "BENCH_spec.json",
+        &spec_doc,
+        &[
+            "ms_per_token",
+            "speedup_vs_plain",
+            "acceptance_rate",
+            "mean_accepted_len",
+            "rounds",
+            "forward_steps",
+            "drafted",
+            "accepted",
+        ],
+    );
+    println!("BENCH_gemm.json / BENCH_pool.json / BENCH_serve.json / BENCH_spec.json: schemas ok");
 
     let recorded_goodput = recorded_goodput_ratio(serve_results);
     println!(
@@ -257,6 +334,24 @@ fn main() {
         fail(&format!(
             "committed serving baseline records {recorded_goodput:.2}x, below the \
              {GOODPUT_FLOOR:.2}x floor — the baseline itself regressed"
+        ));
+    }
+
+    let (spec_kind, recorded_spec, recorded_accept_len) = recorded_spec_best(spec_results);
+    println!(
+        "recorded best speculative speedup: {recorded_spec:.2}x ({spec_kind}, \
+         {recorded_accept_len:.2} tokens/round; floor {SPEC_FLOOR:.2}x)"
+    );
+    if recorded_spec < SPEC_FLOOR {
+        fail(&format!(
+            "committed speculative baseline records {recorded_spec:.2}x, below the \
+             {SPEC_FLOOR:.2}x floor — the baseline itself regressed"
+        ));
+    }
+    if recorded_accept_len <= 1.0 {
+        fail(&format!(
+            "committed speculative baseline records {recorded_accept_len:.2} accepted \
+             tokens/round — the verifier never accepted a real draft token"
         ));
     }
 
@@ -314,6 +409,24 @@ fn main() {
         fail(&format!(
             "measured goodput ratio {goodput_ratio:.2}x regressed below the \
              {GOODPUT_FLOOR:.2}x floor (baseline recorded {recorded_goodput:.2}x)"
+        ));
+    }
+    section("bench_check: quick re-measurement (spec_decode, draft/verify vs plain)");
+    let (spec_ratio, accept_len) = measure_spec_speedup();
+    println!(
+        "best speculative speedup {spec_ratio:.2}x, {accept_len:.2} tokens/round \
+         (recorded {recorded_spec:.2}x, floor {SPEC_FLOOR:.2}x)"
+    );
+    if spec_ratio < SPEC_FLOOR {
+        fail(&format!(
+            "measured speculative speedup {spec_ratio:.2}x regressed below the \
+             {SPEC_FLOOR:.2}x floor (baseline recorded {recorded_spec:.2}x)"
+        ));
+    }
+    if accept_len <= 1.0 {
+        fail(&format!(
+            "measured accepted length {accept_len:.2} tokens/round — the verifier \
+             never accepted a real draft token"
         ));
     }
     println!("\nbench_check: OK");

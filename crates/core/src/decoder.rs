@@ -115,6 +115,24 @@ pub struct StepOutput {
     pub stats: StepStats,
 }
 
+/// Snapshot of a [`LadAttention`] head's decoding state, taken before a
+/// speculative row so rejected drafts can be rolled back bit-exactly.
+///
+/// The KV arena itself is *not* copied — LAD's step only appends to it, so
+/// remembering its length suffices and [`LadAttention::restore`] truncates.
+/// The mode/center/cache metadata *is* copied, because correction and aging
+/// mutate entries for old positions in place (counter records, delta
+/// updates, cache inserts) and those edits cannot be undone from the arena.
+#[derive(Debug, Clone)]
+pub struct LadCheckpoint {
+    kv_len: usize,
+    tracker: ModeTracker,
+    centers: CenterBook,
+    cache: IntermediateCache,
+    cached_mode: Vec<Option<usize>>,
+    prev_active: HashSet<usize>,
+}
+
 /// Full LAD decoding state of one attention head.
 ///
 /// # Example
@@ -217,6 +235,38 @@ impl LadAttention {
     /// during the most recent step.
     pub fn was_corrected_last_step(&self, position: usize) -> bool {
         self.prev_active.contains(&position)
+    }
+
+    /// Captures the head's decoding state so a later [`restore`] rewinds it
+    /// bit-exactly (see [`LadCheckpoint`] for what is copied vs. truncated).
+    ///
+    /// [`restore`]: LadAttention::restore
+    pub fn checkpoint(&self) -> LadCheckpoint {
+        LadCheckpoint {
+            kv_len: self.kv.len(),
+            tracker: self.tracker.clone(),
+            centers: self.centers.clone(),
+            cache: self.cache.clone(),
+            cached_mode: self.cached_mode.clone(),
+            prev_active: self.prev_active.clone(),
+        }
+    }
+
+    /// Rewinds the head to `ck`: KV entries appended since are truncated away
+    /// and the mode/center/cache metadata is restored. Subsequent steps are
+    /// bit-identical to never having decoded past the checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the KV cache has been truncated below the checkpoint (the
+    /// snapshot no longer describes a prefix of this head's history).
+    pub fn restore(&mut self, ck: &LadCheckpoint) {
+        self.kv.truncate(ck.kv_len);
+        self.tracker.clone_from(&ck.tracker);
+        self.centers.clone_from(&ck.centers);
+        self.cache.clone_from(&ck.cache);
+        self.cached_mode.clone_from(&ck.cached_mode);
+        self.prev_active.clone_from(&ck.prev_active);
     }
 
     /// Executes one decoding step: appends `(key, value)` to the KV cache and
@@ -680,6 +730,43 @@ mod tests {
             "got {} centers",
             head.centers().centers().len()
         );
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_exact() {
+        // Decode N steps, checkpoint, decode M more (enough to trigger
+        // aging, corrections and counter records on old positions), restore,
+        // replay the same M inputs: outputs and stats must be bit-identical.
+        let d = 8;
+        let cfg = LadConfig {
+            window: 4,
+            ..LadConfig::default()
+        };
+        let mut rng = Rng::new(90);
+        let mut head = LadAttention::new(d, cfg);
+        for _ in 0..20 {
+            let (q, k, v) = (
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+            );
+            head.step(&q, &k, &v);
+        }
+        let ck = head.checkpoint();
+        let inputs: Vec<_> = (0..10)
+            .map(|_| {
+                (
+                    rng.normal_vec(d, 1.0),
+                    rng.normal_vec(d, 1.0),
+                    rng.normal_vec(d, 1.0),
+                )
+            })
+            .collect();
+        let first: Vec<StepOutput> = inputs.iter().map(|(q, k, v)| head.step(q, k, v)).collect();
+        head.restore(&ck);
+        assert_eq!(head.kv().len(), 20);
+        let second: Vec<StepOutput> = inputs.iter().map(|(q, k, v)| head.step(q, k, v)).collect();
+        assert_eq!(first, second, "replay after restore diverged");
     }
 
     #[test]

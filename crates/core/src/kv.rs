@@ -103,6 +103,19 @@ impl KvCache {
         self.values.chunks_exact(self.dim)
     }
 
+    /// Discards every position at index `len` and beyond, keeping the first
+    /// `len`. Speculative decoding uses this to roll rejected draft rows back
+    /// out of the arena; capacity is retained so re-growing never reallocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the current length.
+    pub fn truncate(&mut self, len: usize) {
+        assert!(len <= self.len(), "KvCache::truncate: len beyond cache");
+        self.keys.truncate(len * self.dim);
+        self.values.truncate(len * self.dim);
+    }
+
     /// Size in bytes of the cache under fp16 storage (`2 · n · d · 2` bytes —
     /// the quantity the paper's memory-access analysis is about).
     pub fn fp16_bytes(&self) -> usize {
@@ -234,6 +247,31 @@ mod tests {
         }
         // 2 tensors * 10 positions * 128 dims * 2 bytes
         assert_eq!(kv.fp16_bytes(), 2 * 10 * 128 * 2);
+    }
+
+    #[test]
+    fn truncate_discards_the_tail() {
+        let mut kv = KvCache::new(2);
+        for i in 0..4 {
+            kv.push(&[i as f32, 0.0], &[0.0, i as f32]);
+        }
+        kv.truncate(2);
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.key(1), &[1.0, 0.0]);
+        // Pushing after a truncate continues from the kept prefix.
+        kv.push(&[9.0, 9.0], &[9.0, 9.0]);
+        assert_eq!(kv.len(), 3);
+        assert_eq!(kv.key(2), &[9.0, 9.0]);
+        kv.truncate(0);
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "len beyond cache")]
+    fn truncate_past_end_panics() {
+        let mut kv = KvCache::new(2);
+        kv.push(&[0.0; 2], &[0.0; 2]);
+        kv.truncate(2);
     }
 
     #[test]

@@ -139,6 +139,15 @@ pub struct StatsSummary {
     /// [`StatsSummary::with_stage_latencies`]). Timing metadata only: like
     /// the pool/GEMM counters it never affects tokens or algorithmic stats.
     pub stage_latencies: StageBreakdown,
+    /// Mean fraction of speculative draft tokens the verifier accepted,
+    /// in [0, 1] (0 unless injected via [`StatsSummary::with_spec_metrics`]).
+    /// Scheduling metadata: speculation commits only greedy-verified tokens,
+    /// so acceptance never changes the stream — only its cost.
+    pub spec_acceptance_rate: f64,
+    /// Mean tokens committed per speculative verify round (>= 1.0 once
+    /// injected: the bonus token always commits; 0 unless injected via
+    /// [`StatsSummary::with_spec_metrics`]).
+    pub spec_accepted_len: f64,
 }
 
 impl StatsSummary {
@@ -213,6 +222,27 @@ impl StatsSummary {
     pub fn with_gemm_metrics(mut self, metrics: GemmBatchMetrics) -> StatsSummary {
         self.gemm_calls = metrics.gemm_calls;
         self.sync_barriers = metrics.sync_barriers;
+        self
+    }
+
+    /// Attaches speculative-decoding acceptance counters (metered over the
+    /// decode that produced these steps) to the summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acceptance_rate` is outside [0, 1] or `accepted_len` is
+    /// negative.
+    pub fn with_spec_metrics(mut self, acceptance_rate: f64, accepted_len: f64) -> StatsSummary {
+        assert!(
+            (0.0..=1.0).contains(&acceptance_rate),
+            "spec acceptance rate must be a fraction, got {acceptance_rate}"
+        );
+        assert!(
+            accepted_len >= 0.0,
+            "spec accepted length cannot be negative, got {accepted_len}"
+        );
+        self.spec_acceptance_rate = acceptance_rate;
+        self.spec_accepted_len = accepted_len;
         self
     }
 }
@@ -451,7 +481,26 @@ mod tests {
             sync_barriers: _,
             // Timing metadata: injected via with_stage_latencies.
             stage_latencies: _,
+            // Speculation metadata: injected via with_spec_metrics. Commits
+            // are greedy-verified, so these never affect the token stream.
+            spec_acceptance_rate: _,
+            spec_accepted_len: _,
         } = StatsSummary::default();
+    }
+
+    #[test]
+    fn spec_metrics_attach_to_summary() {
+        let sum = StatsSummary::from_steps(std::iter::empty()).with_spec_metrics(0.75, 2.5);
+        assert_eq!(sum.spec_acceptance_rate, 0.75);
+        assert_eq!(sum.spec_accepted_len, 2.5);
+        // Attaching speculation metadata must not fabricate steps.
+        assert_eq!(sum.steps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a fraction")]
+    fn spec_metrics_reject_out_of_range_rate() {
+        let _ = StatsSummary::default().with_spec_metrics(1.5, 2.0);
     }
 
     #[test]

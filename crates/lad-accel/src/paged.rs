@@ -132,6 +132,31 @@ impl BlockPool {
         true
     }
 
+    /// Truncates sequence `id` to `keep_tokens`, returning the blocks the
+    /// discarded tail no longer needs — the speculative-decoding rollback:
+    /// a verify round reserves room for every draft row up front and gives
+    /// the rejected rows' blocks back here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or released, if `keep_tokens == 0`
+    /// (release the sequence instead), or if `keep_tokens` exceeds the
+    /// sequence's current token count (truncation never grows).
+    pub fn truncate(&mut self, id: usize, keep_tokens: usize) {
+        let tokens = self.slots[id].expect("BlockPool::truncate: released sequence");
+        assert!(
+            keep_tokens > 0,
+            "BlockPool::truncate: cannot keep zero tokens"
+        );
+        assert!(
+            keep_tokens <= tokens,
+            "BlockPool::truncate: keep {keep_tokens} exceeds current {tokens}"
+        );
+        self.free_blocks += BlockPool::blocks_for(tokens) - BlockPool::blocks_for(keep_tokens);
+        debug_assert!(self.free_blocks <= self.total_blocks);
+        self.slots[id] = Some(keep_tokens);
+    }
+
     /// Releases exactly the blocks of sequence `id` (retirement or
     /// preemption) and recycles its slot for a later [`BlockPool::admit`].
     ///
@@ -209,6 +234,65 @@ mod tests {
         assert_eq!(p.free_blocks(), 6);
         assert!(p.append_token(id));
         assert_eq!(p.free_blocks(), 5);
+    }
+
+    #[test]
+    fn truncate_frees_whole_tail_blocks_only() {
+        let mut p = pool(64); // 8 blocks
+        let id = p.admit(33).expect("fits"); // 3 blocks
+        assert_eq!(p.free_blocks(), 5);
+        // 33 -> 17 drops block 3 but keeps block 2.
+        p.truncate(id, 17);
+        assert_eq!(p.sequence_tokens(id), Some(17));
+        assert_eq!(p.free_blocks(), 6);
+        // 17 -> 16 vacates block 2.
+        p.truncate(id, 16);
+        assert_eq!(p.free_blocks(), 7);
+        // 16 -> 1 stays inside block 1: no block movement.
+        p.truncate(id, 1);
+        assert_eq!(p.free_blocks(), 7);
+        // keep == current is a no-op.
+        p.truncate(id, 1);
+        assert_eq!(p.free_blocks(), 7);
+        // Growth resumes from the truncated length.
+        assert!(p.append_token(id));
+        assert_eq!(p.sequence_tokens(id), Some(2));
+        assert_eq!(p.free_blocks(), 7);
+    }
+
+    #[test]
+    fn truncate_then_release_returns_everything() {
+        let mut p = pool(64);
+        let id = p.admit(100).unwrap(); // 7 blocks
+        p.truncate(id, 20); // 2 blocks
+        assert_eq!(p.free_blocks(), 6);
+        p.release(id);
+        assert_eq!(p.free_blocks(), p.total_blocks());
+    }
+
+    #[test]
+    #[should_panic(expected = "released sequence")]
+    fn truncate_released_sequence_panics() {
+        let mut p = pool(64);
+        let id = p.admit(16).unwrap();
+        p.release(id);
+        p.truncate(id, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot keep zero")]
+    fn truncate_to_zero_panics() {
+        let mut p = pool(64);
+        let id = p.admit(16).unwrap();
+        p.truncate(id, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds current")]
+    fn truncate_past_current_length_panics() {
+        let mut p = pool(64);
+        let id = p.admit(16).unwrap();
+        p.truncate(id, 17);
     }
 
     #[test]

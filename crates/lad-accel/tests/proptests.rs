@@ -154,11 +154,11 @@ proptest! {
     /// under arbitrary admit / append / release interleavings: free blocks
     /// never exceed the total, accounting balances exactly, ids stay stable,
     /// and fragmentation matches the per-sequence recomputation. (op 0 =
-    /// admit, 1 = append, 2 = release; `arg` picks the prompt length or the
-    /// live sequence acted on.)
+    /// admit, 1 = append, 2 = release, 3 = truncate; `arg` picks the prompt
+    /// length, the live sequence acted on, or the truncation point.)
     #[test]
     fn block_pool_accounting_is_consistent(ops in prop::collection::vec(
-        (0u8..3, 1usize..64), 1..100)) {
+        (0u8..4, 1usize..64), 1..100)) {
         let model = lad_model::config::ModelConfig::tiny("pool-prop", 2, 32, 2);
         let block_bytes = model.layers * 2 * model.hidden * 2 * BLOCK_TOKENS;
         let total = 24usize;
@@ -198,6 +198,13 @@ proptest! {
                     pool.release(id);
                     prop_assert!(pool.sequence_tokens(id).is_none());
                 }
+                3 if !shadow.is_empty() => {
+                    let pick = arg % shadow.len();
+                    let (id, tokens) = shadow[pick];
+                    let keep = (arg % tokens) + 1;
+                    pool.truncate(id, keep);
+                    shadow[pick].1 = keep;
+                }
                 _ => {}
             }
 
@@ -218,6 +225,69 @@ proptest! {
         }
 
         // Releasing everything restores the full pool.
+        for (id, _) in shadow.drain(..) {
+            pool.release(id);
+        }
+        prop_assert_eq!(pool.free_blocks(), pool.total_blocks());
+        prop_assert_eq!(pool.fragmentation_bytes(), 0);
+    }
+
+    /// Speculative-decoding rollback keeps the pool consistent: each round a
+    /// sequence optimistically appends room for `k` draft rows plus the
+    /// bonus token, then the verifier accepts an arbitrary prefix and the
+    /// rejected tail is truncated away. Across arbitrary accept/reject
+    /// interleavings (including mid-speculation preemption by release) the
+    /// pool must match a shadow recount with no leaked or double-freed
+    /// blocks.
+    #[test]
+    fn block_pool_survives_speculative_rollback(rounds in prop::collection::vec(
+        (1usize..9, 0usize..9, 0u8..8), 1..80)) {
+        let model = lad_model::config::ModelConfig::tiny("spec-prop", 2, 32, 2);
+        let block_bytes = model.layers * 2 * model.hidden * 2 * BLOCK_TOKENS;
+        let total = 24usize;
+        let mut pool = BlockPool::new(&model, total * block_bytes);
+        // Shadow: (id, committed tokens) of every live sequence.
+        let mut shadow: Vec<(usize, usize)> = Vec::new();
+
+        for &(k, accept, ctl) in &rounds {
+            // ctl 0 admits a fresh sequence; ctl 1 preempts one mid-stream;
+            // anything else runs a speculative round on an existing one.
+            if ctl == 0 || shadow.is_empty() {
+                if let Some(id) = pool.admit(k * 5 + 1) {
+                    shadow.push((id, k * 5 + 1));
+                }
+            } else if ctl == 1 {
+                let (id, _) = shadow.swap_remove(accept % shadow.len());
+                pool.release(id);
+            } else {
+                let pick = accept % shadow.len();
+                let (id, committed) = shadow[pick];
+                // Reserve k draft rows + 1 bonus token up front, counting
+                // how many appends the pool actually granted.
+                let mut reserved = 0usize;
+                for _ in 0..=k {
+                    if pool.append_token(id) { reserved += 1; } else { break; }
+                }
+                if reserved == 0 {
+                    continue; // exhausted: a real engine would fall back.
+                }
+                // Verifier accepts a prefix; the first row always commits.
+                let kept = (accept % reserved) + 1;
+                if kept < reserved {
+                    pool.truncate(id, committed + kept);
+                }
+                shadow[pick].1 = committed + kept;
+            }
+
+            // Shadow recount after every round.
+            let used: usize = shadow.iter().map(|&(_, t)| BlockPool::blocks_for(t)).sum();
+            prop_assert_eq!(pool.free_blocks() + used, pool.total_blocks());
+            prop_assert_eq!(pool.live_sequences(), shadow.len());
+            for &(id, tokens) in &shadow {
+                prop_assert_eq!(pool.sequence_tokens(id), Some(tokens));
+            }
+        }
+
         for (id, _) in shadow.drain(..) {
             pool.release(id);
         }

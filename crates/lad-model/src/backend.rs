@@ -11,7 +11,7 @@
 //!   `heavy_ratio` cumulative-attention positions plus the `recent_ratio`
 //!   most recent ones are kept; the rest are evicted permanently.
 
-use lad_core::decoder::{LadAttention, LadConfig};
+use lad_core::decoder::{LadAttention, LadCheckpoint, LadConfig};
 use lad_core::kv::KvCache;
 use lad_core::reference;
 use lad_core::stats::StepStats;
@@ -122,6 +122,37 @@ pub struct H2oState {
     recent_ratio: f64,
 }
 
+/// Snapshot of a [`HeadState`], taken before a speculative row so rejected
+/// drafts can be rolled back bit-exactly ([`HeadState::restore`]).
+///
+/// Every backend only *appends* to its KV arena, so the arena is rewound by
+/// truncation; metadata that backends mutate in place for old positions
+/// (H2O's cumulative mass and liveness, streaming liveness, LAD's
+/// counters/caches) is copied.
+#[derive(Debug, Clone)]
+pub enum HeadCheckpoint {
+    /// Exact and Qserve heads: the arena length is the whole state.
+    KvLen(usize),
+    /// LAD head snapshot (boxed: the copied caches dwarf the other variants).
+    Lad(Box<LadCheckpoint>),
+    /// H2O head: arena length plus cumulative mass and liveness.
+    H2o {
+        /// KV arena length at the checkpoint.
+        kv_len: usize,
+        /// Cumulative attention mass per position.
+        cumulative: Vec<f64>,
+        /// Liveness per position.
+        alive: Vec<bool>,
+    },
+    /// Streaming head: arena length plus liveness.
+    Streaming {
+        /// KV arena length at the checkpoint.
+        kv_len: usize,
+        /// Liveness per position.
+        alive: Vec<bool>,
+    },
+}
+
 impl HeadState {
     /// Creates head state for dimension `dim` under `kind`.
     pub fn new(dim: usize, kind: &AttentionKind) -> HeadState {
@@ -159,6 +190,65 @@ impl HeadState {
             HeadState::Lad(head) => head.kv().len(),
             HeadState::H2o(state) => state.alive.iter().filter(|&&a| a).count(),
             HeadState::Streaming { alive, .. } => alive.iter().filter(|&&a| a).count(),
+        }
+    }
+
+    /// Captures this head's decoding state for a later [`restore`].
+    ///
+    /// [`restore`]: HeadState::restore
+    pub fn checkpoint(&self) -> HeadCheckpoint {
+        match self {
+            HeadState::Exact { kv } | HeadState::Qserve { kv } => HeadCheckpoint::KvLen(kv.len()),
+            HeadState::Lad(head) => HeadCheckpoint::Lad(Box::new(head.checkpoint())),
+            HeadState::H2o(state) => HeadCheckpoint::H2o {
+                kv_len: state.kv.len(),
+                cumulative: state.cumulative.clone(),
+                alive: state.alive.clone(),
+            },
+            HeadState::Streaming { kv, alive, .. } => HeadCheckpoint::Streaming {
+                kv_len: kv.len(),
+                alive: alive.clone(),
+            },
+        }
+    }
+
+    /// Rewinds this head to `ck`: positions appended since the checkpoint
+    /// are truncated out of the KV arena and in-place metadata is restored,
+    /// so subsequent steps are bit-identical to never having decoded past it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ck` came from a different backend variant, or if the arena
+    /// has since been truncated below the checkpoint.
+    pub fn restore(&mut self, ck: &HeadCheckpoint) {
+        match (self, ck) {
+            (HeadState::Exact { kv } | HeadState::Qserve { kv }, HeadCheckpoint::KvLen(len)) => {
+                kv.truncate(*len);
+            }
+            (HeadState::Lad(head), HeadCheckpoint::Lad(lck)) => head.restore(lck),
+            (
+                HeadState::H2o(state),
+                HeadCheckpoint::H2o {
+                    kv_len,
+                    cumulative,
+                    alive,
+                },
+            ) => {
+                state.kv.truncate(*kv_len);
+                state.cumulative.clone_from(cumulative);
+                state.alive.clone_from(alive);
+            }
+            (
+                HeadState::Streaming { kv, alive, .. },
+                HeadCheckpoint::Streaming {
+                    kv_len,
+                    alive: ck_alive,
+                },
+            ) => {
+                kv.truncate(*kv_len);
+                alive.clone_from(ck_alive);
+            }
+            _ => panic!("HeadState::restore: checkpoint from a different backend"),
         }
     }
 
@@ -468,6 +558,61 @@ mod tests {
             let b = exact.step(&q, &k, &v, false);
             assert!(vector::relative_l2(&a.output, &b.output) < 1e-5);
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_exact_for_every_backend() {
+        let d = 8;
+        let kinds = [
+            AttentionKind::Exact,
+            AttentionKind::Lad(LadConfig::default()),
+            AttentionKind::QserveKv4,
+            AttentionKind::h2o_default(),
+            AttentionKind::StreamingWindow {
+                sinks: 2,
+                window: 8,
+            },
+        ];
+        for kind in &kinds {
+            let mut rng = Rng::new(51);
+            let mut head = HeadState::new(d, kind);
+            for _ in 0..30 {
+                head.step(
+                    &rng.normal_vec(d, 1.0),
+                    &rng.normal_vec(d, 1.0),
+                    &rng.normal_vec(d, 1.0),
+                    false,
+                );
+            }
+            let ck = head.checkpoint();
+            let inputs: Vec<_> = (0..8)
+                .map(|_| {
+                    (
+                        rng.normal_vec(d, 1.0),
+                        rng.normal_vec(d, 1.0),
+                        rng.normal_vec(d, 1.0),
+                    )
+                })
+                .collect();
+            let first: Vec<HeadStepOutput> = inputs
+                .iter()
+                .map(|(q, k, v)| head.step(q, k, v, false))
+                .collect();
+            head.restore(&ck);
+            let second: Vec<HeadStepOutput> = inputs
+                .iter()
+                .map(|(q, k, v)| head.step(q, k, v, false))
+                .collect();
+            assert_eq!(first, second, "{kind:?}: replay after restore diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different backend")]
+    fn restore_rejects_foreign_checkpoint() {
+        let exact = HeadState::new(4, &AttentionKind::Exact);
+        let mut lad = HeadState::new(4, &AttentionKind::Lad(LadConfig::default()));
+        lad.restore(&exact.checkpoint());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! per sample. The GEMM's ascending-`k` accumulation contract keeps this
 //! bit-identical to the per-sample paths.
 
-use crate::backend::{AttentionKind, HeadState, HeadStepOutput};
+use crate::backend::{AttentionKind, HeadCheckpoint, HeadState, HeadStepOutput};
 use crate::config::{MlpKind, PositionKind};
 use crate::layers::{gelu, rope_in_place, silu, ROPE_BASE};
 use crate::transformer::{argmax, Model, Session};
@@ -197,9 +197,11 @@ impl BatchScratch {
 /// Result of one [`BatchSession::step`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOutcome {
-    /// The step advanced `active` samples by one token each.
+    /// The step fed `active` token rows (one per sample on the plain
+    /// [`BatchSession::step`] path; the summed run lengths under
+    /// [`BatchSession::step_runs`]).
     Advanced {
-        /// Number of samples the step advanced.
+        /// Number of token rows the step fed.
         active: usize,
     },
     /// The token list was empty — the step was a no-op: no position moved,
@@ -207,6 +209,19 @@ pub enum StepOutcome {
     /// untouched. A scheduler whose active set momentarily drains (all
     /// requests retired, next arrival still in the queue) hits this.
     Idle,
+}
+
+/// Rollback state of one sample's multi-row run, captured during the latest
+/// [`BatchSession::step_runs`] so rejected speculative rows can be unwound.
+#[derive(Debug)]
+struct SampleCheckpoints {
+    sample: usize,
+    /// Tokens the sample had consumed before the run.
+    pos_before: usize,
+    run_len: usize,
+    /// Head state before each row, indexed
+    /// `(row * layers + layer) * heads + head`.
+    heads: Vec<Option<HeadCheckpoint>>,
 }
 
 /// Step-synchronous batched decode session (the cross-sample GEMM engine).
@@ -258,6 +273,14 @@ pub struct BatchSession<'m> {
     scratch: BatchScratch,
     gemm_metrics: GemmBatchMetrics,
     pool_metrics: PoolMetrics,
+    /// Run descriptors of the in-flight step (samples, run lengths, tokens
+    /// run-major) — reused scratch so stepping stays allocation-free.
+    run_samples: Vec<usize>,
+    run_lens: Vec<usize>,
+    run_tokens: Vec<u32>,
+    /// Rollback checkpoints from the latest step's multi-row runs
+    /// (invalidated by the next step).
+    ckpts: Vec<SampleCheckpoints>,
 }
 
 impl<'m> BatchSession<'m> {
@@ -334,6 +357,10 @@ impl<'m> BatchSession<'m> {
             scratch: BatchScratch::default(),
             gemm_metrics: GemmBatchMetrics::default(),
             pool_metrics: PoolMetrics::default(),
+            run_samples: Vec::new(),
+            run_lens: Vec::new(),
+            run_tokens: Vec::new(),
+            ckpts: Vec::new(),
         }
     }
 
@@ -402,6 +429,8 @@ impl<'m> BatchSession<'m> {
         self.last_stats[sample].clear();
         self.pos[sample] = 0;
         self.free_slots.push(sample);
+        // Stale rollback state must not survive into a reused slot.
+        self.ckpts.retain(|c| c.sample != sample);
     }
 
     /// Tokens consumed so far by `sample`.
@@ -415,8 +444,9 @@ impl<'m> BatchSession<'m> {
         &self.last_stats[sample]
     }
 
-    /// Next-token logits of the `active_idx`-th entry of the token list fed
-    /// to the latest [`BatchSession::step`].
+    /// Next-token logits of the `active_idx`-th row fed to the latest
+    /// [`BatchSession::step`] / [`BatchSession::step_runs`] (rows are laid
+    /// out run-major, so under `step` row index == token-list index).
     pub fn logits(&self, active_idx: usize) -> &[f32] {
         let vocab = self.model.cfg.vocab;
         &self.scratch.logits[active_idx * vocab..(active_idx + 1) * vocab]
@@ -450,29 +480,158 @@ impl<'m> BatchSession<'m> {
     /// not live, a token outside the vocabulary, or a sample past the
     /// model's maximum sequence length.
     pub fn step(&mut self, tokens: &[(usize, u32)]) -> StepOutcome {
-        if tokens.is_empty() {
+        self.run_samples.clear();
+        self.run_lens.clear();
+        self.run_tokens.clear();
+        for &(s, t) in tokens {
+            self.run_samples.push(s);
+            self.run_lens.push(1);
+            self.run_tokens.push(t);
+        }
+        self.step_flat()
+    }
+
+    /// Advances every listed sample by a *run* of consecutive tokens in one
+    /// step-synchronous global step — the speculative-verify shape. All rows
+    /// of all runs are stacked run-major into the shared activation matrix,
+    /// so each linear layer is still one cross-sample GEMM; within a run the
+    /// attention heads consume the rows sequentially (row `r` attends over
+    /// the KV state left by rows `< r`), making every row's logits
+    /// bit-identical to feeding the same tokens one [`BatchSession::step`]
+    /// at a time. Logits land row-per-row in [`BatchSession::logits`], in
+    /// run order (a run of length `L` starting at global row `r0` owns rows
+    /// `r0..r0 + L`).
+    ///
+    /// For every run longer than one token the session records per-row head
+    /// checkpoints so [`BatchSession::rollback_sample`] can unwind rejected
+    /// speculative rows; single-token runs skip the bookkeeping entirely and
+    /// behave exactly like [`BatchSession::step`].
+    ///
+    /// An empty `runs` slice is the same documented no-op as an empty
+    /// [`BatchSession::step`], returning [`StepOutcome::Idle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-order or repeated sample indices, empty runs,
+    /// samples out of range or not live, tokens outside the vocabulary, or
+    /// a run overshooting the model's maximum sequence length.
+    pub fn step_runs(&mut self, runs: &[(usize, &[u32])]) -> StepOutcome {
+        self.run_samples.clear();
+        self.run_lens.clear();
+        self.run_tokens.clear();
+        for &(s, toks) in runs {
+            self.run_samples.push(s);
+            self.run_lens.push(toks.len());
+            self.run_tokens.extend_from_slice(toks);
+        }
+        self.step_flat()
+    }
+
+    /// Unwinds sample `sample` to just after row `keep_rows` of its
+    /// multi-row run in the latest [`BatchSession::step_runs`] call: head
+    /// states are restored from the per-row checkpoints (KV arenas
+    /// truncated, in-place metadata rewound) and the sample's position is
+    /// reset, so subsequent steps are bit-identical to never having fed the
+    /// rejected rows. `keep_rows == run_len` is a no-op. Each run's
+    /// checkpoints can be consumed once and are invalidated by the next
+    /// step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latest step held no multi-row run for `sample` (or it
+    /// was already rolled back), or if `keep_rows` exceeds the run length.
+    pub fn rollback_sample(&mut self, sample: usize, keep_rows: usize) {
+        let _rollback_span = lad_obs::span("batch.rollback");
+        let idx = self
+            .ckpts
+            .iter()
+            .position(|c| c.sample == sample)
+            .unwrap_or_else(|| panic!("rollback_sample: no checkpointed run for sample {sample}"));
+        let ck = self.ckpts.swap_remove(idx);
+        assert!(
+            keep_rows <= ck.run_len,
+            "rollback_sample: keep_rows {keep_rows} exceeds run length {}",
+            ck.run_len
+        );
+        if keep_rows == ck.run_len {
+            return;
+        }
+        let layers = self.model.cfg.layers;
+        let heads_n = self.model.cfg.heads;
+        for (layer, row) in self.heads[sample].iter_mut().enumerate() {
+            for (h, head) in row.iter_mut().enumerate() {
+                let slot = (keep_rows * layers + layer) * heads_n + h;
+                let hc = ck.heads[slot].as_ref().expect("checkpoint recorded");
+                head.restore(hc);
+            }
+        }
+        self.pos[sample] = ck.pos_before + keep_rows;
+    }
+
+    /// The shared step body: consumes the run descriptors staged in
+    /// `run_samples` / `run_lens` / `run_tokens`.
+    fn step_flat(&mut self) -> StepOutcome {
+        let samples = std::mem::take(&mut self.run_samples);
+        let lens = std::mem::take(&mut self.run_lens);
+        let toks = std::mem::take(&mut self.run_tokens);
+        let outcome = self.step_impl(&samples, &lens, &toks);
+        self.run_samples = samples;
+        self.run_lens = lens;
+        self.run_tokens = toks;
+        outcome
+    }
+
+    fn step_impl(&mut self, samples: &[usize], lens: &[usize], toks: &[u32]) -> StepOutcome {
+        if samples.is_empty() {
             return StepOutcome::Idle;
         }
         let _step_span = lad_obs::span("batch.step");
         let cfg = &self.model.cfg;
-        for pair in tokens.windows(2) {
+        for pair in samples.windows(2) {
             assert!(
-                pair[0].0 < pair[1].0,
+                pair[0] < pair[1],
                 "BatchSession::step: sample indices must be strictly increasing"
             );
         }
-        for &(s, t) in tokens {
+        for (&s, &len) in samples.iter().zip(lens) {
+            assert!(len > 0, "BatchSession::step_runs: empty token run");
             assert!(s < self.pos.len(), "sample index out of range");
             assert!(self.live[s], "BatchSession::step: sample {s} is not live");
-            assert!((t as usize) < cfg.vocab, "token out of vocabulary");
-            assert!(self.pos[s] < cfg.max_seq, "sequence length exceeded");
+            assert!(self.pos[s] + len <= cfg.max_seq, "sequence length exceeded");
         }
-        let active = tokens.len();
+        for &t in toks {
+            assert!((t as usize) < cfg.vocab, "token out of vocabulary");
+        }
+        let n_runs = samples.len();
+        let rows = toks.len();
         let hidden = cfg.hidden;
         let d = cfg.head_dim();
         let heads_n = cfg.heads;
+        let layers_n = cfg.layers;
 
-        let width = self.parallelism.min(active).max(1);
+        // Rollback state: one checkpoint set per multi-row run, filled
+        // layer by layer below. The previous step's checkpoints die here.
+        let mut ckpt_store = std::mem::take(&mut self.ckpts);
+        ckpt_store.clear();
+        // Run index -> index into `ckpt_store` (multi-row runs only).
+        let mut store_of_run: Vec<Option<usize>> = Vec::with_capacity(n_runs);
+        for (&s, &len) in samples.iter().zip(lens) {
+            if len > 1 {
+                store_of_run.push(Some(ckpt_store.len()));
+                ckpt_store.push(SampleCheckpoints {
+                    sample: s,
+                    pos_before: self.pos[s],
+                    run_len: len,
+                    heads: std::iter::repeat_with(|| None)
+                        .take(len * layers_n * heads_n)
+                        .collect(),
+                });
+            } else {
+                store_of_run.push(None);
+            }
+        }
+
+        let width = self.parallelism.min(n_runs).max(1);
         let pool: Option<Arc<WorkerPool>> = (width > 1).then(|| {
             self.pool
                 .clone()
@@ -484,7 +643,7 @@ impl<'m> BatchSession<'m> {
         // The scratch matrices move out of `self` for the step so the head
         // states below can be borrowed mutably alongside them.
         let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.resize(active, hidden, cfg.intermediate, cfg.vocab);
+        scratch.resize(rows, hidden, cfg.intermediate, cfg.vocab);
         let BatchScratch {
             x,
             normed,
@@ -500,19 +659,24 @@ impl<'m> BatchSession<'m> {
             gemm,
         } = &mut scratch;
 
-        for (a, &(s, token)) in tokens.iter().enumerate() {
-            let row = &mut x[a * hidden..(a + 1) * hidden];
-            row.copy_from_slice(self.model.embed.row(token as usize));
-            if let Some(pos_embed) = &self.model.pos_embed {
-                vector::axpy(row, 1.0, pos_embed.row(self.pos[s]));
+        let mut row0 = 0usize;
+        for (&s, &len) in samples.iter().zip(lens) {
+            for r in 0..len {
+                let row = &mut x[(row0 + r) * hidden..(row0 + r + 1) * hidden];
+                row.copy_from_slice(self.model.embed.row(toks[row0 + r] as usize));
+                if let Some(pos_embed) = &self.model.pos_embed {
+                    vector::axpy(row, 1.0, pos_embed.row(self.pos[s] + r));
+                }
             }
             self.last_stats[s].clear();
+            row0 += len;
         }
 
         let mut slots: Vec<Option<HeadStepOutput>> = Vec::new();
+        let mut ck_slots: Vec<Option<HeadCheckpoint>> = Vec::new();
         for (layer, block) in self.model.blocks.iter().enumerate() {
             let qkv_span = lad_obs::span("batch.qkv_gemm");
-            for a in 0..active {
+            for a in 0..rows {
                 block.norm1.forward_into(
                     &x[a * hidden..(a + 1) * hidden],
                     &mut normed[a * hidden..(a + 1) * hidden],
@@ -520,30 +684,35 @@ impl<'m> BatchSession<'m> {
             }
             // One cross-sample GEMM per projection: the whole batch shares a
             // single streaming pass over each weight matrix.
-            block.wq.forward_batch_into(active, normed, q, gemm);
-            block.wk.forward_batch_into(active, normed, k, gemm);
-            block.wv.forward_batch_into(active, normed, v, gemm);
+            block.wq.forward_batch_into(rows, normed, q, gemm);
+            block.wk.forward_batch_into(rows, normed, k, gemm);
+            block.wv.forward_batch_into(rows, normed, v, gemm);
             gemm_calls += 3;
             drop(qkv_span);
 
             if cfg.position == PositionKind::Rope {
-                for (a, &(s, _)) in tokens.iter().enumerate() {
-                    for h in 0..heads_n {
-                        let span = a * hidden + h * d..a * hidden + (h + 1) * d;
-                        rope_in_place(&mut q[span.clone()], self.pos[s], ROPE_BASE);
-                        rope_in_place(&mut k[span], self.pos[s], ROPE_BASE);
+                let mut row0 = 0usize;
+                for (&s, &len) in samples.iter().zip(lens) {
+                    for r in 0..len {
+                        for h in 0..heads_n {
+                            let base = (row0 + r) * hidden;
+                            let span = base + h * d..base + (h + 1) * d;
+                            rope_in_place(&mut q[span.clone()], self.pos[s] + r, ROPE_BASE);
+                            rope_in_place(&mut k[span], self.pos[s] + r, ROPE_BASE);
+                        }
                     }
+                    row0 += len;
                 }
             }
 
-            // Gather each active sample's head row for this layer, in token
-            // order, so chunks of samples can fan out as pool tasks.
-            let mut layer_heads: Vec<&mut [HeadState]> = Vec::with_capacity(active);
+            // Gather each active sample's head row for this layer, in run
+            // order, so chunks of runs can fan out as pool tasks.
+            let mut layer_heads: Vec<&mut [HeadState]> = Vec::with_capacity(n_runs);
             {
-                let mut rows = self.heads.iter_mut().enumerate();
-                for &(s, _) in tokens {
+                let mut head_rows = self.heads.iter_mut().enumerate();
+                for &s in samples {
                     let row = loop {
-                        let (i, row) = rows.next().expect("sample index in range");
+                        let (i, row) = head_rows.next().expect("sample index in range");
                         if i == s {
                             break row;
                         }
@@ -553,60 +722,100 @@ impl<'m> BatchSession<'m> {
             }
 
             slots.clear();
-            slots.resize_with(active * heads_n, || None);
+            slots.resize_with(rows * heads_n, || None);
+            ck_slots.clear();
+            ck_slots.resize_with(rows * heads_n, || None);
             let attn_span = lad_obs::span("batch.attn_fanout");
             match &pool {
-                None => {
-                    step_sample_chunk(0, hidden, d, heads_n, &mut layer_heads, &mut slots, q, k, v)
-                }
+                None => step_run_chunk(
+                    0,
+                    hidden,
+                    d,
+                    heads_n,
+                    &mut layer_heads,
+                    lens,
+                    &mut slots,
+                    &mut ck_slots,
+                    q,
+                    k,
+                    v,
+                ),
                 Some(pool) => {
-                    let chunk = active.div_ceil(width);
+                    let chunk = n_runs.div_ceil(width);
                     pool.scope(|scope| {
-                        let mut pieces = layer_heads
-                            .chunks_mut(chunk)
-                            .zip(slots.chunks_mut(chunk * heads_n))
-                            .enumerate();
-                        let first = pieces.next();
-                        for (c, (samples, out_chunk)) in pieces {
-                            let (q, k, v) = (&q, &k, &v);
-                            scope.spawn(TaskLevel::Head, move || {
-                                step_sample_chunk(
-                                    c * chunk,
-                                    hidden,
-                                    d,
-                                    heads_n,
-                                    samples,
-                                    out_chunk,
-                                    q,
-                                    k,
-                                    v,
-                                );
-                            });
+                        // Split runs — and their (row-aligned) output and
+                        // checkpoint slots — at run boundaries.
+                        let mut heads_rest: &mut [&mut [HeadState]] = &mut layer_heads;
+                        let mut lens_rest: &[usize] = lens;
+                        let mut slots_rest: &mut [Option<HeadStepOutput>] = &mut slots;
+                        let mut ck_rest: &mut [Option<HeadCheckpoint>] = &mut ck_slots;
+                        let mut first_row = 0usize;
+                        let mut first_piece = None;
+                        let mut c = 0usize;
+                        while !lens_rest.is_empty() {
+                            let take = chunk.min(lens_rest.len());
+                            let rows_here: usize = lens_rest[..take].iter().sum();
+                            let (h_chunk, h_rest) = heads_rest.split_at_mut(take);
+                            let (l_chunk, l_rest) = lens_rest.split_at(take);
+                            let (s_chunk, s_rest) = slots_rest.split_at_mut(rows_here * heads_n);
+                            let (c_chunk, c_rest) = ck_rest.split_at_mut(rows_here * heads_n);
+                            heads_rest = h_rest;
+                            lens_rest = l_rest;
+                            slots_rest = s_rest;
+                            ck_rest = c_rest;
+                            if c == 0 {
+                                first_piece = Some((h_chunk, l_chunk, s_chunk, c_chunk));
+                            } else {
+                                let (q, k, v) = (&q, &k, &v);
+                                let fr = first_row;
+                                scope.spawn(TaskLevel::Head, move || {
+                                    step_run_chunk(
+                                        fr, hidden, d, heads_n, h_chunk, l_chunk, s_chunk, c_chunk,
+                                        q, k, v,
+                                    );
+                                });
+                            }
+                            first_row += rows_here;
+                            c += 1;
                         }
-                        if let Some((_, (samples, out_chunk))) = first {
-                            step_sample_chunk(0, hidden, d, heads_n, samples, out_chunk, q, k, v);
+                        if let Some((h, l, s, ck)) = first_piece {
+                            step_run_chunk(0, hidden, d, heads_n, h, l, s, ck, q, k, v);
                         }
                     });
                 }
             }
 
-            for (a, &(s, _)) in tokens.iter().enumerate() {
-                for h in 0..heads_n {
-                    let out = slots[a * heads_n + h].take().expect("every head ran");
-                    attn[a * hidden + h * d..a * hidden + (h + 1) * d].copy_from_slice(&out.output);
-                    if let Some(mut stats) = out.stats {
-                        stats.fanout_width = width;
-                        self.last_stats[s].push(stats);
+            let mut row0 = 0usize;
+            for (i, (&s, &len)) in samples.iter().zip(lens).enumerate() {
+                for r in 0..len {
+                    for h in 0..heads_n {
+                        let out = slots[(row0 + r) * heads_n + h]
+                            .take()
+                            .expect("every head ran");
+                        let base = (row0 + r) * hidden;
+                        attn[base + h * d..base + (h + 1) * d].copy_from_slice(&out.output);
+                        if let Some(mut stats) = out.stats {
+                            stats.fanout_width = width;
+                            self.last_stats[s].push(stats);
+                        }
+                        if let Some(store) = store_of_run[i] {
+                            let ck = ck_slots[(row0 + r) * heads_n + h]
+                                .take()
+                                .expect("multi-row run checkpointed");
+                            ckpt_store[store].heads[(r * layers_n + layer) * heads_n + h] =
+                                Some(ck);
+                        }
                     }
                 }
+                row0 += len;
             }
             drop(attn_span);
 
             {
                 let _out_span = lad_obs::span("batch.out_gemm");
-                block.wo.forward_batch_into(active, attn, proj, gemm);
+                block.wo.forward_batch_into(rows, attn, proj, gemm);
                 gemm_calls += 1;
-                for a in 0..active {
+                for a in 0..rows {
                     vector::axpy(
                         &mut x[a * hidden..(a + 1) * hidden],
                         1.0,
@@ -616,7 +825,7 @@ impl<'m> BatchSession<'m> {
             }
 
             let _mlp_span = lad_obs::span("batch.mlp_gemm");
-            for a in 0..active {
+            for a in 0..rows {
                 block.norm2.forward_into(
                     &x[a * hidden..(a + 1) * hidden],
                     &mut normed[a * hidden..(a + 1) * hidden],
@@ -624,11 +833,11 @@ impl<'m> BatchSession<'m> {
             }
             match cfg.mlp {
                 MlpKind::Gelu => {
-                    block.w_up.forward_batch_into(active, normed, up, gemm);
+                    block.w_up.forward_batch_into(rows, normed, up, gemm);
                     for val in up.iter_mut() {
                         *val = gelu(*val);
                     }
-                    block.w_down.forward_batch_into(active, up, proj, gemm);
+                    block.w_down.forward_batch_into(rows, up, proj, gemm);
                     gemm_calls += 2;
                 }
                 MlpKind::SwiGlu => {
@@ -636,16 +845,16 @@ impl<'m> BatchSession<'m> {
                         .w_gate
                         .as_ref()
                         .expect("SwiGLU blocks carry a gate projection");
-                    w_gate.forward_batch_into(active, normed, gate, gemm);
-                    block.w_up.forward_batch_into(active, normed, up, gemm);
+                    w_gate.forward_batch_into(rows, normed, gate, gemm);
+                    block.w_up.forward_batch_into(rows, normed, up, gemm);
                     for (g, &u) in gate.iter_mut().zip(up.iter()) {
                         *g = silu(*g) * u;
                     }
-                    block.w_down.forward_batch_into(active, gate, proj, gemm);
+                    block.w_down.forward_batch_into(rows, gate, proj, gemm);
                     gemm_calls += 3;
                 }
             }
-            for a in 0..active {
+            for a in 0..rows {
                 vector::axpy(
                     &mut x[a * hidden..(a + 1) * hidden],
                     1.0,
@@ -655,7 +864,7 @@ impl<'m> BatchSession<'m> {
         }
 
         let logits_span = lad_obs::span("batch.logits_gemm");
-        for a in 0..active {
+        for a in 0..rows {
             self.model.final_norm.forward_into(
                 &x[a * hidden..(a + 1) * hidden],
                 &mut final_h[a * hidden..(a + 1) * hidden],
@@ -664,7 +873,7 @@ impl<'m> BatchSession<'m> {
         // The unembedding is one more cross-sample GEMM against the tied
         // embedding matrix.
         gemm_bt_into(
-            active,
+            rows,
             cfg.vocab,
             hidden,
             final_h,
@@ -675,10 +884,11 @@ impl<'m> BatchSession<'m> {
         gemm_calls += 1;
         drop(logits_span);
 
-        for &(s, _) in tokens {
-            self.pos[s] += 1;
+        for (&s, &len) in samples.iter().zip(lens) {
+            self.pos[s] += len;
         }
         self.scratch = scratch;
+        self.ckpts = ckpt_store;
         self.gemm_metrics.gemm_calls += gemm_calls;
         self.gemm_metrics.sync_barriers += 1;
         if let (Some(pool), Some(before)) = (&pool, pool_before) {
@@ -689,32 +899,45 @@ impl<'m> BatchSession<'m> {
             self.pool_metrics.scopes_completed += delta.scopes_completed;
             self.pool_metrics.park_nanos += delta.park_nanos;
         }
-        StepOutcome::Advanced { active }
+        StepOutcome::Advanced { active: rows }
     }
 }
 
-/// Steps every head of a contiguous chunk of active samples starting at
-/// `first_active`, writing each head's output into its pre-assigned slot
-/// (the pool-task body of the per-(sample-chunk, layer) fan-out).
+/// Steps every head of a contiguous chunk of runs whose first row sits at
+/// global row `first_row`, writing each (row, head) output — and, for
+/// multi-row runs, the head state *before* the row — into its pre-assigned
+/// slot (the pool-task body of the per-(run-chunk, layer) fan-out). Within a
+/// run each head consumes its rows oldest-first, so row `r` attends over
+/// exactly the KV state rows `< r` left behind — the sequential semantics
+/// speculative verification relies on.
 #[allow(clippy::too_many_arguments)]
-fn step_sample_chunk(
-    first_active: usize,
+fn step_run_chunk(
+    first_row: usize,
     hidden: usize,
     d: usize,
     heads_n: usize,
-    samples: &mut [&mut [HeadState]],
+    runs: &mut [&mut [HeadState]],
+    run_lens: &[usize],
     slots: &mut [Option<HeadStepOutput>],
+    ckpts: &mut [Option<HeadCheckpoint>],
     q: &[f32],
     k: &[f32],
     v: &[f32],
 ) {
-    for (i, sample_heads) in samples.iter_mut().enumerate() {
-        let row = (first_active + i) * hidden;
-        for (h, head) in sample_heads.iter_mut().enumerate() {
-            let span = row + h * d..row + (h + 1) * d;
-            slots[i * heads_n + h] =
-                Some(head.step(&q[span.clone()], &k[span.clone()], &v[span], false));
+    let mut row = first_row;
+    for (run_heads, &len) in runs.iter_mut().zip(run_lens) {
+        for (h, head) in run_heads.iter_mut().enumerate() {
+            for r in 0..len {
+                let base = (row + r) * hidden;
+                let span = base + h * d..base + (h + 1) * d;
+                let slot = (row + r - first_row) * heads_n + h;
+                if len > 1 {
+                    ckpts[slot] = Some(head.checkpoint());
+                }
+                slots[slot] = Some(head.step(&q[span.clone()], &k[span.clone()], &v[span], false));
+            }
         }
+        row += len;
     }
 }
 
@@ -1019,6 +1242,115 @@ mod tests {
             }
             assert_eq!(batched, solo_logits);
         }
+    }
+
+    #[test]
+    fn multi_row_run_matches_sequential_steps() {
+        // A run of L tokens through `step_runs` must produce, row by row,
+        // the exact logits of feeding the same tokens one `step` at a time —
+        // for exact and LAD backends, mixed with a plain 1-row sample.
+        let model = model();
+        for kind in [
+            AttentionKind::Exact,
+            AttentionKind::Lad(LadConfig::default()),
+        ] {
+            let mut spec = BatchSession::new(&model, &kind, 2, 1);
+            let mut seq = BatchSession::new(&model, &kind, 2, 1);
+            for t in [3u32, 7, 11] {
+                spec.step(&[(0, t), (1, t + 1)]);
+                seq.step(&[(0, t), (1, t + 1)]);
+            }
+            let run = [20u32, 21, 22, 23];
+            spec.step_runs(&[(0, &run), (1, &[50u32])]);
+            let spec_logits: Vec<Vec<f32>> = (0..5).map(|r| spec.logits(r).to_vec()).collect();
+            for (r, &t) in run.iter().enumerate() {
+                seq.step(&[(0, t)]);
+                assert_eq!(
+                    spec_logits[r],
+                    seq.logits(0),
+                    "{kind:?}: run row {r} diverged from sequential step"
+                );
+            }
+            seq.step(&[(1, 50)]);
+            assert_eq!(
+                spec_logits[4],
+                seq.logits(0),
+                "{kind:?}: plain row diverged"
+            );
+            assert_eq!(spec.position(0), seq.position(0));
+        }
+    }
+
+    #[test]
+    fn rollback_sample_rewinds_bit_exactly() {
+        // Feed a 4-row run, roll back to 2 kept rows, then continue: every
+        // subsequent step must be bit-identical to a session that only ever
+        // saw the kept prefix.
+        let model = model();
+        for kind in [
+            AttentionKind::Exact,
+            AttentionKind::Lad(LadConfig::default()),
+        ] {
+            let mut spec = BatchSession::new(&model, &kind, 1, 1);
+            let mut seq = BatchSession::new(&model, &kind, 1, 1);
+            spec.step(&[(0, 5)]);
+            seq.step(&[(0, 5)]);
+            spec.step_runs(&[(0, &[10u32, 11, 12, 13])]);
+            spec.rollback_sample(0, 2);
+            assert_eq!(spec.position(0), 3);
+            seq.step(&[(0, 10)]);
+            seq.step(&[(0, 11)]);
+            for t in [30u32, 31, 32] {
+                spec.step(&[(0, t)]);
+                seq.step(&[(0, t)]);
+                assert_eq!(
+                    spec.logits(0),
+                    seq.logits(0),
+                    "{kind:?}: post-rollback diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_runs_fanout_matches_inline() {
+        // Mixed multi-row + plain runs under pool fan-out must be
+        // bit-identical to the inline path.
+        let model = model();
+        let kind = AttentionKind::Lad(LadConfig::default());
+        let mut inline = BatchSession::new(&model, &kind, 3, 1);
+        let mut fanned = BatchSession::new(&model, &kind, 3, 4);
+        for session in [&mut inline, &mut fanned] {
+            session.step(&[(0, 1), (1, 2), (2, 3)]);
+            session.step_runs(&[(0, &[4u32, 5, 6]), (1, &[7u32]), (2, &[8u32, 9])]);
+        }
+        for r in 0..6 {
+            assert_eq!(inline.logits(r), fanned.logits(r), "row {r} diverged");
+        }
+        inline.rollback_sample(0, 1);
+        fanned.rollback_sample(0, 1);
+        inline.step(&[(0, 40), (1, 41), (2, 42)]);
+        fanned.step(&[(0, 40), (1, 41), (2, 42)]);
+        for r in 0..3 {
+            assert_eq!(inline.logits(r), fanned.logits(r), "post-rollback row {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no checkpointed run")]
+    fn rollback_without_multi_row_run_panics() {
+        let model = model();
+        let mut session = BatchSession::new(&model, &AttentionKind::Exact, 1, 1);
+        session.step(&[(0, 1)]);
+        session.rollback_sample(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty token run")]
+    fn empty_run_rejected() {
+        let model = model();
+        let mut session = BatchSession::new(&model, &AttentionKind::Exact, 1, 1);
+        session.step_runs(&[(0, &[])]);
     }
 
     #[test]

@@ -34,10 +34,12 @@ pub mod batch;
 pub mod config;
 pub mod layers;
 pub mod sampling;
+pub mod spec;
 pub mod transformer;
 
 pub use backend::{AttentionKind, HeadState, HeadStepOutput};
 pub use batch::{decode_batch, decode_batch_gemm, BatchResult, BatchSession, StepOutcome};
 pub use config::{MlpKind, ModelConfig, NormKind, PositionKind};
 pub use sampling::{generate, Sampler};
+pub use spec::{decode_speculative, DraftPolicy, Drafter, SpecConfig, SpecReport};
 pub use transformer::{argmax, log_prob, Model, Session};

@@ -165,5 +165,10 @@ pub fn serve_fixed_batches(
         wall: started.elapsed(),
         ttft,
         itl,
+        // The fixed-batch baseline never speculates.
+        accepted_len: Histogram::new(),
+        acceptance_pct: Histogram::new(),
+        spec_drafted: 0,
+        spec_accepted: 0,
     }
 }

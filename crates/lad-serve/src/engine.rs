@@ -24,6 +24,7 @@ use crate::{FinishReason, ReqState, Request, ServeConfig, ServeReport};
 use lad_accel::paged::BlockPool;
 use lad_model::backend::AttentionKind;
 use lad_model::batch::{BatchSession, StepOutcome};
+use lad_model::spec::Drafter;
 use lad_model::transformer::{argmax, Model};
 use lad_obs::Histogram;
 use std::collections::VecDeque;
@@ -41,6 +42,15 @@ struct Active {
     consumed: usize,
     /// Tokens generated in this incarnation.
     generated: Vec<u32>,
+    /// Draft-token proposer, present iff the request opted into
+    /// speculation. Seeded from the incarnation's prompt at admission and
+    /// fed every committed token, so a preempted request rebuilds the exact
+    /// same table from its folded prefix.
+    drafter: Option<Drafter>,
+    /// Draft KV rows the pool granted for this tick's verify round
+    /// (reserved optimistically in [`Engine::reserve_decode_blocks`], the
+    /// rejected tail returned via [`BlockPool::truncate`] after the walk).
+    granted: usize,
 }
 
 impl Active {
@@ -82,6 +92,10 @@ pub struct Engine<'m> {
     idle_steps: usize,
     admissions: usize,
     preemptions: usize,
+    accepted_len: Histogram,
+    acceptance_pct: Histogram,
+    spec_drafted: usize,
+    spec_accepted: usize,
 }
 
 impl<'m> Engine<'m> {
@@ -112,6 +126,10 @@ impl<'m> Engine<'m> {
             idle_steps: 0,
             admissions: 0,
             preemptions: 0,
+            accepted_len: Histogram::new(),
+            acceptance_pct: Histogram::new(),
+            spec_drafted: 0,
+            spec_accepted: 0,
         }
     }
 
@@ -169,6 +187,10 @@ impl<'m> Engine<'m> {
             wall: started.elapsed(),
             ttft: std::mem::replace(&mut self.ttft, Histogram::new()),
             itl: std::mem::replace(&mut self.itl, Histogram::new()),
+            accepted_len: std::mem::replace(&mut self.accepted_len, Histogram::new()),
+            acceptance_pct: std::mem::replace(&mut self.acceptance_pct, Histogram::new()),
+            spec_drafted: std::mem::take(&mut self.spec_drafted),
+            spec_accepted: std::mem::take(&mut self.spec_accepted),
         }
     }
 
@@ -211,15 +233,22 @@ impl<'m> Engine<'m> {
     /// Reserves this tick's KV token for every decode-phase request,
     /// preempting the youngest active request on pool exhaustion.
     /// (Prefilling requests reserved their prompt blocks at admission.)
+    ///
+    /// Speculative requests additionally reserve up to `k` draft rows
+    /// *optimistically*: extra appends that the pool refuses simply shrink
+    /// this tick's draft budget to whatever was granted (never preempting
+    /// anyone), so under pressure speculation degrades to plain decode.
     fn reserve_decode_blocks(&mut self) {
         let mut i = 0;
         while i < self.active.len() {
             if self.active[i].in_prefill() {
+                self.active[i].granted = 0;
                 i += 1;
                 continue;
             }
             loop {
                 if self.pool.append_token(self.active[i].pool_id) {
+                    self.active[i].granted = 0;
                     i += 1;
                     break;
                 }
@@ -229,6 +258,23 @@ impl<'m> Engine<'m> {
                 if self_preempted {
                     break; // `i` now indexes the next request (or the end)
                 }
+            }
+        }
+        // Second pass, after every mandatory row is safe: optimistic draft
+        // rows. These never contend with mandatory reservations and never
+        // preempt — a refused append just caps the budget.
+        for a in self.active.iter_mut() {
+            let Some(spec) = &a.state.spec else { continue };
+            if a.in_prefill() {
+                continue;
+            }
+            // Never draft past the request's budget: the walk commits every
+            // matched token, so proposing more than `remaining - 1` could
+            // overshoot max_tokens.
+            let left = a.state.remaining - a.generated.len();
+            let want = spec.k.min(left - 1);
+            while a.granted < want && self.pool.append_token(a.pool_id) {
+                a.granted += 1;
             }
         }
     }
@@ -270,64 +316,164 @@ impl<'m> Engine<'m> {
             let state = self.queue.pop_front().expect("front checked above");
             let slot = self.session.add_sample();
             self.admissions += 1;
+            // The drafter observes the incarnation's prompt up front. After
+            // a preemption that prompt includes every token generated so
+            // far, so the rebuilt table equals the uninterrupted one.
+            let drafter = state.spec.as_ref().map(|spec| {
+                let mut d = Drafter::new(spec.policy.clone());
+                d.observe_all(&state.prompt);
+                d
+            });
             self.active.push(Active {
                 state,
                 slot,
                 pool_id,
                 consumed: 0,
                 generated: Vec::new(),
+                drafter,
+                granted: 0,
             });
         }
     }
 
-    /// Runs one [`BatchSession::step`] over the active requests
+    /// Runs one [`BatchSession::step_runs`] over the active requests
     /// (`include_decode = false` restricts it to prefilling requests),
     /// then samples next tokens and retires finished requests.
+    ///
+    /// A prefilling or plain decode request contributes a one-token run — a
+    /// row of the cross-sample GEMM, exactly as before. A speculative
+    /// decode request contributes a `1 + d`-row run (its pending token plus
+    /// `d` drafted tokens); after the step the acceptance walk commits the
+    /// greedy-matching prefix, rolls the session back to the kept rows and
+    /// returns the rejected rows' KV blocks to the pool. Every committed
+    /// token is the argmax of logits conditioned only on committed rows, so
+    /// the stream is bit-identical to the request's plain decode.
     fn run_substep(&mut self, include_decode: bool) {
-        // (slot, token, active index), sorted by slot as the session
+        // (slot, run tokens, active index), sorted by slot as the session
         // requires strictly increasing sample ids.
-        let mut parts: Vec<(usize, u32, usize)> = Vec::new();
+        let mut parts: Vec<(usize, Vec<u32>, usize)> = Vec::new();
         let mut any_decode = false;
+        let mut any_spec = false;
         for (i, a) in self.active.iter().enumerate() {
             if a.in_prefill() {
-                parts.push((a.slot, a.next_token(), i));
+                parts.push((a.slot, vec![a.next_token()], i));
             } else if include_decode {
                 any_decode = true;
-                parts.push((a.slot, a.next_token(), i));
+                let pending = a.next_token();
+                let mut run = vec![pending];
+                if let (Some(drafter), true) = (&a.drafter, a.granted > 0) {
+                    let _span = lad_obs::span("spec.draft");
+                    let mut drafts = drafter.draft(a.granted);
+                    drafts.truncate(a.granted);
+                    run.extend_from_slice(&drafts);
+                }
+                any_spec |= run.len() > 1;
+                parts.push((a.slot, run, i));
             }
         }
         if parts.is_empty() {
             return;
         }
         parts.sort_unstable_by_key(|&(slot, _, _)| slot);
-        let tokens: Vec<(usize, u32)> = parts.iter().map(|&(s, t, _)| (s, t)).collect();
+        let runs: Vec<(usize, &[u32])> = parts.iter().map(|(s, r, _)| (*s, r.as_slice())).collect();
         {
-            let _span = if any_decode {
+            let _outer = if any_decode {
                 lad_obs::span("serve.decode_step")
             } else {
                 lad_obs::span("serve.prefill_chunk")
             };
-            self.session.step(&tokens);
+            let _verify = any_spec.then(|| lad_obs::span("spec.verify"));
+            self.session.step_runs(&runs);
         }
 
         let now = Instant::now();
         let mut retired: Vec<(usize, FinishReason)> = Vec::new();
-        for (row, &(_, _, i)) in parts.iter().enumerate() {
+        // Logits rows are run-major in `runs` order: track each run's base.
+        let mut base = 0usize;
+        for (_, run, i) in &parts {
+            let row_base = base;
+            base += run.len();
+            let i = *i;
             let a = &mut self.active[i];
-            a.consumed += 1;
+            a.consumed += run.len();
             if a.in_prefill() {
                 continue;
             }
-            // This request's prompt is complete: the step's logits row
-            // yields its next token.
-            let next = argmax(self.session.logits(row));
-            a.state.record_token(now, &mut self.ttft, &mut self.itl);
-            a.generated.push(next);
-            if self.cfg.eos == Some(next) {
-                retired.push((i, FinishReason::Eos));
-            } else if a.generated.len() >= a.state.remaining {
-                retired.push((i, FinishReason::MaxTokens));
+            if a.state.spec.is_none() {
+                // Plain request: the single row yields its next token.
+                let next = argmax(self.session.logits(row_base));
+                a.state.record_token(now, &mut self.ttft, &mut self.itl);
+                a.generated.push(next);
+                if self.cfg.eos == Some(next) {
+                    retired.push((i, FinishReason::Eos));
+                } else if a.generated.len() >= a.state.remaining {
+                    retired.push((i, FinishReason::MaxTokens));
+                }
+                continue;
             }
+
+            // Speculative acceptance walk. Row `row_base + j` holds the
+            // logits after the committed prefix plus `j` matched drafts, so
+            // its argmax is the exact greedy next token at that point.
+            let drafts = &run[1..];
+            let was_prefill_tail = a.consumed == a.state.prompt.len();
+            let mut matched = 0usize;
+            let mut committed = 0usize;
+            let mut finish = None;
+            loop {
+                let next = argmax(self.session.logits(row_base + matched));
+                a.state.record_token(now, &mut self.ttft, &mut self.itl);
+                a.generated.push(next);
+                if let Some(d) = a.drafter.as_mut() {
+                    d.observe(next);
+                }
+                committed += 1;
+                if self.cfg.eos == Some(next) {
+                    finish = Some(FinishReason::Eos);
+                    break;
+                }
+                if a.generated.len() >= a.state.remaining {
+                    finish = Some(FinishReason::MaxTokens);
+                    break;
+                }
+                if matched < drafts.len() && drafts[matched] == next {
+                    matched += 1;
+                } else {
+                    break;
+                }
+            }
+            // A spec request that just crossed prefill→decode fed its last
+            // prompt token as a one-row run with no reservation: not a
+            // verify round, so it is kept out of the acceptance accounting.
+            if !was_prefill_tail {
+                self.spec_drafted += drafts.len();
+                self.spec_accepted += matched;
+                self.accepted_len.record(committed as u64);
+                if !drafts.is_empty() {
+                    self.acceptance_pct
+                        .record((100 * matched / drafts.len()) as u64);
+                }
+            }
+            if let Some(finish) = finish {
+                // Retirement discards the whole sample; no rollback needed.
+                retired.push((i, finish));
+                continue;
+            }
+            if run.len() > 1 {
+                let _span = lad_obs::span("spec.rollback");
+                self.session.rollback_sample(a.slot, committed);
+            }
+            // Return the rejected rows' blocks: the pool currently holds
+            // `1 + granted` rows reserved this tick, only `committed` stay.
+            let current = self
+                .pool
+                .sequence_tokens(a.pool_id)
+                .expect("active request has a live pool sequence");
+            let target = current - (1 + a.granted) + committed;
+            if target < current {
+                self.pool.truncate(a.pool_id, target);
+            }
+            a.granted = 0;
         }
         // Retire in descending active-index order so removals do not shift
         // the remaining indices (parts are in slot order, not index order).
@@ -538,6 +684,123 @@ mod tests {
                 "request {id}"
             );
         }
+    }
+
+    #[test]
+    fn speculative_and_plain_requests_coexist_and_match_solo() {
+        let model = tiny_model();
+        let cfg = ServeConfig {
+            max_active: 3,
+            prefill_chunk: 2,
+            eos: None,
+            parallelism: 1,
+        };
+        let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(64));
+        let mut engine = Engine::new(&model, &AttentionKind::Exact, pool, cfg);
+        // Requests 0 and 2 speculate (different policies), request 1 stays
+        // plain; all three share ticks.
+        engine.submit(
+            Request::new(0, prompt(0, 9), 24)
+                .with_speculation(lad_model::spec::SpecConfig::recency(4)),
+        );
+        engine.submit(Request::new(1, prompt(1, 6), 15));
+        engine.submit(
+            Request::new(2, prompt(2, 11), 20)
+                .with_speculation(lad_model::spec::SpecConfig::ngram(2))
+                .arriving_at(3),
+        );
+        let report = engine.run();
+
+        assert_eq!(report.outcomes.len(), 3);
+        for &(id, plen, max) in &[(0u64, 9usize, 24usize), (1, 6, 15), (2, 11, 20)] {
+            let got = &report
+                .outcomes
+                .iter()
+                .find(|o| o.id == id)
+                .expect("request retired")
+                .tokens;
+            assert_eq!(
+                got,
+                &solo(&model, &prompt(id, plen), max, None),
+                "request {id}"
+            );
+        }
+        // Speculation actually ran: rounds were recorded and every round
+        // committed at least the bonus token.
+        assert!(report.accepted_len.count() > 0, "no verify rounds recorded");
+        assert!(report.mean_accepted_len() >= 1.0);
+        assert!(report.spec_accepted <= report.spec_drafted);
+        // The tiny model's greedy stream cycles, so the recency drafter must
+        // land at least one accepted draft over 40+ generated tokens.
+        assert!(
+            report.spec_accepted > 0,
+            "drafter never predicted the cycle"
+        );
+    }
+
+    #[test]
+    fn speculative_request_survives_forced_preemption() {
+        let model = tiny_model();
+        let cfg = ServeConfig {
+            max_active: 2,
+            prefill_chunk: 1,
+            eos: None,
+            parallelism: 1,
+        };
+        // Three blocks, two speculating requests that must each cross the
+        // 16-token block boundary a few tokens into decode: whoever crosses
+        // second finds the pool dry mid-speculation and is preempted.
+        let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(3));
+        let mut engine = Engine::new(&model, &AttentionKind::Exact, pool, cfg);
+        let spec = lad_model::spec::SpecConfig::recency(4);
+        let specs = [(0u64, 12usize, 24usize), (1, 12, 24)];
+        for &(id, plen, max) in &specs {
+            engine.submit(Request::new(id, prompt(id, plen), max).with_speculation(spec.clone()));
+        }
+        let report = engine.run();
+
+        assert!(
+            report.preemptions >= 1,
+            "pool pressure must force a preemption"
+        );
+        for &(id, plen, max) in &specs {
+            let got = &report
+                .outcomes
+                .iter()
+                .find(|o| o.id == id)
+                .expect("request retired")
+                .tokens;
+            assert_eq!(
+                got,
+                &solo(&model, &prompt(id, plen), max, None),
+                "request {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn speculative_eos_stops_exactly_where_solo_does() {
+        let model = tiny_model();
+        let p = prompt(3, 10);
+        let reference = solo(&model, &p, 12, None);
+        let eos = reference[2];
+        let expect = solo(&model, &p, 12, Some(eos));
+        assert!(expect.len() < 12, "chosen EOS must truncate");
+
+        let cfg = ServeConfig {
+            eos: Some(eos),
+            ..ServeConfig::default()
+        };
+        let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(64));
+        let mut engine = Engine::new(&model, &AttentionKind::Exact, pool, cfg);
+        engine.submit(
+            Request::new(7, p, 12).with_speculation(lad_model::spec::SpecConfig::recency(4)),
+        );
+        let report = engine.run();
+
+        let out = &report.outcomes[0];
+        assert_eq!(out.finish, FinishReason::Eos);
+        assert_eq!(out.tokens, expect, "tokens past EOS must be discarded");
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod engine;
 
 pub use engine::Engine;
 
+use lad_model::spec::SpecConfig;
 use lad_obs::Histogram;
 use std::time::{Duration, Instant};
 
@@ -64,6 +65,11 @@ pub struct Request {
     /// End-to-end latency deadline for goodput accounting (`None` = no
     /// deadline; the request's tokens always count as good).
     pub deadline: Option<Duration>,
+    /// Opt-in speculative decoding for this request (`None` = plain
+    /// one-token-per-tick decode). Speculative and plain requests coexist
+    /// in one tick; speculation commits only greedy-verified tokens, so the
+    /// output stream is bit-identical either way.
+    pub spec: Option<SpecConfig>,
 }
 
 impl Request {
@@ -75,6 +81,7 @@ impl Request {
             max_tokens,
             arrival_step: 0,
             deadline: None,
+            spec: None,
         }
     }
 
@@ -87,6 +94,14 @@ impl Request {
     /// Same request with an end-to-end deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Request {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Same request decoded speculatively: each tick a training-free
+    /// drafter proposes up to `cfg.k` tokens, the batch verifies them in
+    /// one multi-row forward, and the greedy-matching prefix commits.
+    pub fn with_speculation(mut self, cfg: SpecConfig) -> Request {
+        self.spec = Some(cfg);
         self
     }
 }
@@ -166,6 +181,16 @@ pub struct ServeReport {
     pub ttft: Histogram,
     /// Inter-token latency distribution (nanoseconds).
     pub itl: Histogram,
+    /// Tokens committed per speculative verify round (empty when no request
+    /// opted into speculation; every sample is >= 1 — the bonus token).
+    pub accepted_len: Histogram,
+    /// Percentage of draft tokens accepted per verify round that proposed at
+    /// least one draft (0–100).
+    pub acceptance_pct: Histogram,
+    /// Draft tokens proposed across all speculative rounds.
+    pub spec_drafted: usize,
+    /// Draft tokens accepted across all speculative rounds.
+    pub spec_accepted: usize,
 }
 
 impl ServeReport {
@@ -190,6 +215,24 @@ impl ServeReport {
             .sum();
         good as f64 / self.wall.as_secs_f64().max(1e-12)
     }
+
+    /// Fraction of proposed draft tokens the verifier accepted (0.0 when
+    /// nothing was drafted).
+    pub fn spec_acceptance_rate(&self) -> f64 {
+        if self.spec_drafted == 0 {
+            return 0.0;
+        }
+        self.spec_accepted as f64 / self.spec_drafted as f64
+    }
+
+    /// Mean tokens committed per speculative verify round (0.0 when no
+    /// request opted into speculation).
+    pub fn mean_accepted_len(&self) -> f64 {
+        if self.accepted_len.count() == 0 {
+            return 0.0;
+        }
+        self.accepted_len.mean()
+    }
 }
 
 /// Mutable per-request serving state, shared by the continuous engine and
@@ -213,6 +256,10 @@ pub(crate) struct ReqState {
     /// Wall time of the latest generated token (ITL anchor).
     pub last_token_at: Option<Instant>,
     pub preemptions: usize,
+    /// Speculative-decoding opt-in, preserved across preemptions (the
+    /// drafter itself is rebuilt deterministically from `prompt` on
+    /// re-admission — the folded prefix replays the observed stream).
+    pub spec: Option<SpecConfig>,
 }
 
 impl ReqState {
@@ -230,6 +277,7 @@ impl ReqState {
             first_token_at: None,
             last_token_at: None,
             preemptions: 0,
+            spec: req.spec,
         }
     }
 

@@ -30,6 +30,7 @@ use lad::model::batch::{
     decode_batch, decode_batch_gemm, decode_batch_on, BatchSession, StepOutcome,
 };
 use lad::model::config::ModelConfig;
+use lad::model::spec::{decode_speculative, SpecConfig};
 use lad::model::transformer::{argmax, Model, Session};
 use std::sync::Arc;
 
@@ -393,6 +394,75 @@ fn differential_grid() {
         fallbacks += run_config(&pool, cfg);
     }
     assert!(fallbacks > 0, "no grid point exercised the den fallback");
+}
+
+/// Speculative leg — acceptance equivalence: draft/verify decoding with a
+/// training-free drafter must produce *exactly* the greedy sequential
+/// stream, whatever the draft depth K or drafter policy, on every grid
+/// point (exact + LAD backends, den-fallback partition included). The
+/// verifier only ever commits a token that is the argmax of logits
+/// conditioned on committed rows, so acceptance can change the *cost* of a
+/// decode but never a token; K = 0 must degenerate to one plain one-row
+/// step per token.
+#[test]
+fn speculative_decode_matches_greedy_grid() {
+    let grid = default_grid();
+    assert!(grid.len() >= 16, "grid shrank below the acceptance floor");
+    for cfg in &grid {
+        let model = cfg.model();
+        let prompt = cfg.prompt(0);
+        let kinds: [(&str, AttentionKind); 2] = [
+            ("exact", AttentionKind::Exact),
+            ("lad", AttentionKind::Lad(cfg.lad_config())),
+        ];
+        for (kind_name, kind) in &kinds {
+            let mut session = Session::new(&model, kind);
+            let expected = session.generate_greedy(&prompt, cfg.steps);
+            for k in [0usize, 1, 2, 4, 8] {
+                // Alternate drafter policies across the K axis so both the
+                // recency table and the n-gram pool face every grid point.
+                let spec = if k % 2 == 0 {
+                    SpecConfig::recency(k)
+                } else {
+                    SpecConfig::ngram(k)
+                };
+                let report = decode_speculative(&model, kind, &prompt, cfg.steps, &spec);
+                assert_eq!(
+                    report.tokens, expected,
+                    "{}/{kind_name}/k{k}: speculative decode diverged from greedy",
+                    cfg.label
+                );
+                assert!(
+                    report.accepted <= report.drafted,
+                    "{}/{kind_name}/k{k}: accepted more than was drafted",
+                    cfg.label
+                );
+                if k == 0 {
+                    // Degenerate case: no drafts, one round and one forward
+                    // step per generated token — the plain decode loop.
+                    assert_eq!(report.drafted, 0, "{}/{kind_name}: k=0 drafted", cfg.label);
+                    assert_eq!(
+                        report.rounds, cfg.steps,
+                        "{}/{kind_name}: k=0 must run one round per token",
+                        cfg.label
+                    );
+                    assert_eq!(
+                        report.forward_steps, cfg.steps,
+                        "{}/{kind_name}: k=0 must run one forward per token",
+                        cfg.label
+                    );
+                } else {
+                    // Every verify round commits at least the bonus token,
+                    // so rounds never exceed generated tokens.
+                    assert!(
+                        report.rounds <= report.tokens.len(),
+                        "{}/{kind_name}/k{k}: more rounds than tokens",
+                        cfg.label
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Empty-step leg: `BatchSession::step(&[])` is the documented idle no-op

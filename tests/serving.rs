@@ -19,6 +19,7 @@ use lad::core::decoder::LadConfig;
 use lad::math::pwl::PwlExp;
 use lad::model::backend::AttentionKind;
 use lad::model::config::ModelConfig;
+use lad::model::spec::SpecConfig;
 use lad::model::transformer::{Model, Session};
 use lad::serve::baseline::serve_fixed_batches;
 use lad::serve::{Engine, Request, ServeConfig, ServeReport};
@@ -37,6 +38,9 @@ struct ServeGrid {
     max_active: usize,
     prefill_chunk: usize,
     specs: &'static [Spec],
+    /// Request ids that opt into speculative decoding (recency drafter,
+    /// K = 4); everything else decodes plainly in the same ticks.
+    spec_ids: &'static [u64],
     /// This grid point must preempt at least once.
     expect_preemption: bool,
 }
@@ -120,6 +124,15 @@ fn assert_streams_match(g: &ServeGrid, which: &str, model: &Model, report: &Serv
     }
 }
 
+fn build_request(g: &ServeGrid, id: u64, plen: usize, max: usize, at: usize) -> Request {
+    let req = Request::new(id, g.prompt(id, plen), max).arriving_at(at);
+    if g.spec_ids.contains(&id) {
+        req.with_speculation(SpecConfig::recency(4))
+    } else {
+        req
+    }
+}
+
 fn run_grid_point(g: &ServeGrid) {
     let model = g.model();
     let kind = g.kind();
@@ -127,7 +140,7 @@ fn run_grid_point(g: &ServeGrid) {
     // Continuous engine leg.
     let mut engine = Engine::new(&model, &kind, g.pool(), g.cfg());
     for &(id, plen, max, at) in g.specs {
-        engine.submit(Request::new(id, g.prompt(id, plen), max).arriving_at(at));
+        engine.submit(build_request(g, id, plen, max, at));
     }
     let report = engine.run();
     assert_streams_match(g, "continuous", &model, &report);
@@ -140,12 +153,33 @@ fn run_grid_point(g: &ServeGrid) {
     } else {
         assert_eq!(report.preemptions, 0, "{}: unexpected preemption", g.label);
     }
+    if g.spec_ids.is_empty() {
+        assert_eq!(
+            report.accepted_len.count(),
+            0,
+            "{}: verify rounds recorded without speculative requests",
+            g.label
+        );
+    } else {
+        assert!(
+            report.accepted_len.count() > 0,
+            "{}: speculative requests never ran a verify round",
+            g.label
+        );
+        assert!(
+            report.spec_accepted <= report.spec_drafted,
+            "{}: accepted more than was drafted",
+            g.label
+        );
+    }
 
-    // Fixed-batch baseline leg (the goodput control must agree too).
+    // Fixed-batch baseline leg (the goodput control must agree too; it
+    // ignores the speculation opt-in and decodes plainly, which must not
+    // change a single token).
     let requests: Vec<Request> = g
         .specs
         .iter()
-        .map(|&(id, plen, max, at)| Request::new(id, g.prompt(id, plen), max).arriving_at(at))
+        .map(|&(id, plen, max, at)| build_request(g, id, plen, max, at))
         .collect();
     let fixed = serve_fixed_batches(&model, &kind, &g.cfg(), requests);
     assert_streams_match(g, "fixed", &model, &fixed);
@@ -163,6 +197,11 @@ static STAGGERED: &[Spec] = &[(0, 8, 10, 0), (1, 6, 8, 3), (2, 10, 6, 3), (3, 5,
 /// evict the youngest (recompute preemption), then still finish bit-exact.
 static PRESSURE: &[Spec] = &[(0, 8, 24, 0), (1, 8, 24, 0)];
 
+/// Speculative pressure: 12-token prompts leave only 4 tokens of slack in
+/// the first block, so both speculating requests must claim a second block
+/// a few verify rounds into decode — one of them finds the pool dry there.
+static SPEC_PRESSURE: &[Spec] = &[(0, 12, 24, 0), (1, 12, 24, 0)];
+
 #[test]
 fn serving_differential_exact_ragged_retirement() {
     run_grid_point(&ServeGrid {
@@ -173,6 +212,7 @@ fn serving_differential_exact_ragged_retirement() {
         max_active: 2,
         prefill_chunk: 1,
         specs: RAGGED,
+        spec_ids: &[],
         expect_preemption: false,
     });
 }
@@ -187,6 +227,7 @@ fn serving_differential_exact_staggered_chunked_prefill() {
         max_active: 3,
         prefill_chunk: 4,
         specs: STAGGERED,
+        spec_ids: &[],
         expect_preemption: false,
     });
 }
@@ -201,6 +242,7 @@ fn serving_differential_exact_forced_preemption() {
         max_active: 2,
         prefill_chunk: 1,
         specs: PRESSURE,
+        spec_ids: &[],
         expect_preemption: true,
     });
 }
@@ -215,6 +257,7 @@ fn serving_differential_lad_staggered() {
         max_active: 3,
         prefill_chunk: 2,
         specs: STAGGERED,
+        spec_ids: &[],
         expect_preemption: false,
     });
 }
@@ -229,6 +272,64 @@ fn serving_differential_lad_forced_preemption() {
         max_active: 2,
         prefill_chunk: 1,
         specs: PRESSURE,
+        spec_ids: &[],
+        expect_preemption: true,
+    });
+}
+
+/// Mixed-mode leg: speculative and plain requests share every tick — the
+/// speculative ones contribute multi-row verify runs to the same GEMM
+/// steps the plain ones ride — and each stream must still match its solo
+/// decode exactly.
+#[test]
+fn serving_differential_mixed_speculative_and_plain() {
+    run_grid_point(&ServeGrid {
+        label: "exact-mixed-spec",
+        lad_attention: false,
+        model_seed: 71,
+        pool_blocks: 64,
+        max_active: 3,
+        prefill_chunk: 2,
+        specs: RAGGED,
+        spec_ids: &[0, 2],
+        expect_preemption: false,
+    });
+}
+
+/// Mixed-mode leg under the LAD backend: verify rounds roll LAD's mode
+/// tracker, center book and intermediate caches back through checkpoints,
+/// which must be invisible in the streams.
+#[test]
+fn serving_differential_lad_mixed_speculative() {
+    run_grid_point(&ServeGrid {
+        label: "lad-mixed-spec",
+        lad_attention: true,
+        model_seed: 29,
+        pool_blocks: 64,
+        max_active: 3,
+        prefill_chunk: 2,
+        specs: STAGGERED,
+        spec_ids: &[1, 3],
+        expect_preemption: false,
+    });
+}
+
+/// Speculative pressure leg: two speculating requests against a three-block
+/// pool. Both must cross the 16-token block boundary a few tokens into
+/// decode, so whichever crosses second is preempted *mid-speculation* —
+/// draft rows reserved, drafter table populated — and recomputed. The
+/// recovered streams must still be bit-identical to solo decode.
+#[test]
+fn serving_differential_speculative_forced_preemption() {
+    run_grid_point(&ServeGrid {
+        label: "exact-spec-preempt",
+        lad_attention: false,
+        model_seed: 71,
+        pool_blocks: 3,
+        max_active: 2,
+        prefill_chunk: 1,
+        specs: SPEC_PRESSURE,
+        spec_ids: &[0, 1],
         expect_preemption: true,
     });
 }
@@ -245,6 +346,7 @@ fn serving_differential_eos_truncation() {
         max_active: 2,
         prefill_chunk: 2,
         specs: &[],
+        spec_ids: &[],
         expect_preemption: false,
     };
     let model = g.model();
