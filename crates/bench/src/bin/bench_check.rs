@@ -12,7 +12,16 @@
 //! * the `spec_decode` draft/verify vs plain-decode speedup at the best
 //!   draft depth (floor 1.0x — speculation must never lose), with mean
 //!   accepted length > 1.0 (the verifier must accept real draft tokens,
-//!   not just the bonus token).
+//!   not just the bonus token);
+//! * the `gemm_kernels` microkernel ratios: SIMD f32 GEMM at least 1.5x the
+//!   scalar microkernel on the MLP shape (and bit-identical to it), and the
+//!   fp16 KV score read at least 1.2x the f32 read. Skipped (with a notice)
+//!   on hosts without AVX2+F16C, where only the committed numbers are
+//!   checked.
+//!
+//! Additionally, every `BENCH_*.json` at the repo root must be one this
+//! binary knows how to gate — a new committed baseline without a matching
+//! gate here fails the run.
 //!
 //! The gates compare **ratios, not absolute times**: both sides of each
 //! comparison run in the same process on the same machine back to back, so
@@ -22,6 +31,9 @@
 
 use lad_accel::paged::{BlockPool, BLOCK_TOKENS};
 use lad_bench::section;
+use lad_core::kv::{KvCache, KvPrecision};
+use lad_math::gemm::{gemm_bt_into, GemmScratch};
+use lad_math::{with_kernel, Kernel, Rng};
 use lad_model::backend::AttentionKind;
 use lad_model::batch::{decode_batch, decode_batch_gemm};
 use lad_model::config::ModelConfig;
@@ -42,6 +54,22 @@ const GOODPUT_FLOOR: f64 = 1.0;
 /// Acceptance floor the `spec_decode` bench commits to: at its best draft
 /// depth, speculative decoding must at least match plain decoding.
 const SPEC_FLOOR: f64 = 1.0;
+
+/// Acceptance floor of the `gemm_kernels` SIMD f32 GEMM row (vs scalar).
+const SIMD_GEMM_FLOOR: f64 = 1.5;
+
+/// Acceptance floor of the `gemm_kernels` fp16 KV score read row (vs f32).
+const F16_READ_FLOOR: f64 = 1.2;
+
+/// Every committed baseline this binary gates. Any other `BENCH_*.json` at
+/// the repo root is a baseline without a floor, and fails the run.
+const KNOWN_BASELINES: [&str; 5] = [
+    "BENCH_gemm.json",
+    "BENCH_pool.json",
+    "BENCH_serve.json",
+    "BENCH_spec.json",
+    "BENCH_kernels.json",
+];
 
 /// Quick-mode decode length: half the committed run, same prompt length.
 /// Only the ratio matters, so the shorter run does not move the gate.
@@ -146,6 +174,129 @@ fn recorded_spec_best(results: &[Value]) -> (String, f64, f64) {
         })
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .unwrap_or_else(|| fail("BENCH_spec.json: no speculative row"))
+}
+
+/// Validates the `BENCH_kernels.json` rows: every row meets its own
+/// recorded floor, and the two hard-gated kinds are present with floors no
+/// weaker than this binary's constants (a committed baseline cannot quietly
+/// lower the bar). Returns the recorded (simd-gemm, f16-read) speedups.
+fn check_kernel_rows(results: &[Value]) -> (f64, f64) {
+    let field = |row: &Value, name: &str| -> f64 {
+        row.get(name)
+            .and_then(Value::as_f64)
+            .expect("validated above")
+    };
+    for row in results {
+        let kind = row
+            .get("kind")
+            .and_then(Value::as_str)
+            .expect("validated above");
+        let (speedup, floor) = (field(row, "speedup"), field(row, "floor"));
+        if speedup < floor {
+            fail(&format!(
+                "BENCH_kernels.json: {kind} records {speedup:.2}x, below its own \
+                 {floor:.2}x floor — the baseline itself regressed"
+            ));
+        }
+    }
+    let find = |kind: &str, min_floor: f64| -> f64 {
+        let row = results
+            .iter()
+            .find(|r| r.get("kind").and_then(Value::as_str) == Some(kind))
+            .unwrap_or_else(|| fail(&format!("BENCH_kernels.json: no {kind} row")));
+        if field(row, "floor") < min_floor {
+            fail(&format!(
+                "BENCH_kernels.json: {kind} floor weakened below {min_floor:.2}x"
+            ));
+        }
+        field(row, "speedup")
+    };
+    let gemm = find("gemm_f32", SIMD_GEMM_FLOOR);
+    let f16 = find("kv_read_f16", F16_READ_FLOOR);
+    (gemm, f16)
+}
+
+/// Fails on any `BENCH_*.json` at the repo root this binary has no gate
+/// for — committed baselines must never be floor-less.
+fn check_no_ungated_baselines() {
+    let entries = std::fs::read_dir(repo_root())
+        .unwrap_or_else(|e| fail(&format!("cannot list repo root: {e}")));
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("BENCH_")
+            && name.ends_with(".json")
+            && !KNOWN_BASELINES.contains(&name.as_ref())
+        {
+            fail(&format!(
+                "{name} is committed but bench_check has no gate for it — \
+                 add a schema check and an acceptance floor"
+            ));
+        }
+    }
+}
+
+/// Best-of-5 mean microseconds per call over `iters` calls.
+fn time_us(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e6 / iters as f64);
+    }
+    best
+}
+
+/// Quick re-measurement of the two gated microkernel ratios, same shapes as
+/// the committed `gemm_kernels` bench at a quarter of the iterations.
+/// Returns (simd-gemm speedup, f16-read speedup).
+fn measure_kernel_ratios() -> (f64, f64) {
+    const M: usize = 8;
+    const N: usize = 512;
+    const K: usize = 256;
+    const KV_DIM: usize = 64;
+    const KV_POSITIONS: usize = 4096;
+    let mut rng = Rng::new(0x51);
+    let a = rng.normal_vec(M * K, 1.0);
+    let b_t = rng.normal_vec(N * K, 1.0);
+    let mut c_scalar = vec![0.0f32; M * N];
+    let mut c_simd = vec![0.0f32; M * N];
+    let mut scratch = GemmScratch::default();
+    let scalar_us = with_kernel(Kernel::Scalar, || {
+        time_us(25, || {
+            gemm_bt_into(M, N, K, &a, &b_t, &mut c_scalar, &mut scratch)
+        })
+    });
+    let simd_us = with_kernel(Kernel::Simd, || {
+        time_us(25, || {
+            gemm_bt_into(M, N, K, &a, &b_t, &mut c_simd, &mut scratch)
+        })
+    });
+    if c_scalar != c_simd {
+        fail("SIMD f32 GEMM diverged from the scalar microkernel (must be bit-identical)");
+    }
+    let mut kv32 = KvCache::new(KV_DIM);
+    let mut kv16 = KvCache::with_precision(KV_DIM, KvPrecision::F16);
+    for _ in 0..KV_POSITIONS {
+        let key = rng.normal_vec(KV_DIM, 1.0);
+        let value = rng.normal_vec(KV_DIM, 1.0);
+        kv32.push(&key, &value);
+        kv16.push(&key, &value);
+    }
+    let q = rng.normal_vec(KV_DIM, 1.0);
+    let mut scores = Vec::with_capacity(KV_POSITIONS);
+    let f32_us = time_us(50, || {
+        scores.clear();
+        kv32.score_keys_into(&q, &mut scores);
+    });
+    let f16_us = time_us(50, || {
+        scores.clear();
+        kv16.score_keys_into(&q, &mut scores);
+    });
+    (scalar_us / simd_us, f32_us / f16_us)
 }
 
 /// Quick serving workload: two waves of four ragged requests against a
@@ -323,7 +474,25 @@ fn main() {
             "accepted",
         ],
     );
-    println!("BENCH_gemm.json / BENCH_pool.json / BENCH_serve.json / BENCH_spec.json: schemas ok");
+    let kernels_doc = load("BENCH_kernels.json");
+    let kernel_results = check_schema(
+        "BENCH_kernels.json",
+        &kernels_doc,
+        &["baseline_us", "variant_us", "speedup", "floor", "bit_exact"],
+    );
+    println!(
+        "BENCH_gemm.json / BENCH_pool.json / BENCH_serve.json / BENCH_spec.json / \
+         BENCH_kernels.json: schemas ok"
+    );
+    check_no_ungated_baselines();
+    println!("no ungated BENCH_*.json at the repo root");
+
+    let (recorded_simd_gemm, recorded_f16_read) = check_kernel_rows(kernel_results);
+    println!(
+        "recorded microkernel speedups: gemm_f32 {recorded_simd_gemm:.2}x \
+         (floor {SIMD_GEMM_FLOOR:.2}x), kv_read_f16 {recorded_f16_read:.2}x \
+         (floor {F16_READ_FLOOR:.2}x)"
+    );
 
     let recorded_goodput = recorded_goodput_ratio(serve_results);
     println!(
@@ -428,6 +597,33 @@ fn main() {
             "measured accepted length {accept_len:.2} tokens/round — the verifier \
              never accepted a real draft token"
         ));
+    }
+
+    section("bench_check: quick re-measurement (gemm_kernels, scalar vs SIMD)");
+    if Kernel::Simd.available() {
+        let (simd_gemm, f16_read) = measure_kernel_ratios();
+        println!(
+            "gemm_f32 {simd_gemm:.2}x (recorded {recorded_simd_gemm:.2}x, floor \
+             {SIMD_GEMM_FLOOR:.2}x), kv_read_f16 {f16_read:.2}x (recorded \
+             {recorded_f16_read:.2}x, floor {F16_READ_FLOOR:.2}x)"
+        );
+        if simd_gemm < SIMD_GEMM_FLOOR {
+            fail(&format!(
+                "measured SIMD GEMM speedup {simd_gemm:.2}x regressed below the \
+                 {SIMD_GEMM_FLOOR:.2}x floor (baseline recorded {recorded_simd_gemm:.2}x)"
+            ));
+        }
+        if f16_read < F16_READ_FLOOR {
+            fail(&format!(
+                "measured fp16 KV read speedup {f16_read:.2}x regressed below the \
+                 {F16_READ_FLOOR:.2}x floor (baseline recorded {recorded_f16_read:.2}x)"
+            ));
+        }
+    } else {
+        println!(
+            "AVX2+F16C not available on this host; skipping the microkernel \
+             re-measurement (committed floors were still enforced above)"
+        );
     }
     println!("\nbench_check: OK");
 }

@@ -8,6 +8,46 @@
 //! rather than per-position allocations, so center scoring and correction
 //! reads walk sequential memory and appending a position never allocates
 //! beyond the amortised arena growth.
+//!
+//! The arena has two storage precisions: the default `f32` layout every
+//! existing caller sees unchanged, and an fp16 layout ([`KvPrecision::F16`],
+//! raw IEEE binary16 bits in `u16` arenas) that halves KV memory traffic —
+//! the quantity the paper's memory-access analysis is about. An fp16 cache is
+//! read through the precision-aware kernels ([`KvCache::score_keys_into`],
+//! [`KvCache::value_axpy`], [`KvCache::key_into`]); the raw `f32` slice
+//! accessors panic on it rather than silently decoding per call.
+
+use lad_math::{f16, simd, vector, F16};
+
+/// Storage precision of a [`KvCache`]'s arenas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KvPrecision {
+    /// Full-precision `f32` arenas — the bit-exact reference layout.
+    #[default]
+    F32,
+    /// IEEE binary16 arenas: keys/values are rounded to nearest-even on
+    /// `push` and decoded exactly on read. Halves bytes moved per attention
+    /// read at a bounded quantisation error (`≤ 2^-11` relative per element).
+    F16,
+}
+
+impl KvPrecision {
+    /// Bytes one stored element occupies.
+    pub fn bytes_per_element(self) -> usize {
+        match self {
+            KvPrecision::F32 => 4,
+            KvPrecision::F16 => 2,
+        }
+    }
+
+    /// Static name used for spans and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            KvPrecision::F32 => "f32",
+            KvPrecision::F16 => "f16",
+        }
+    }
+}
 
 /// The KV cache of a single attention head: `n` keys and values of dimension
 /// `d`, appended one pair per decoding step.
@@ -25,22 +65,38 @@
 #[derive(Debug, Clone, PartialEq)]
 pub struct KvCache {
     dim: usize,
+    precision: KvPrecision,
     keys: Vec<f32>,
     values: Vec<f32>,
+    keys16: Vec<u16>,
+    values16: Vec<u16>,
 }
 
 impl KvCache {
-    /// Creates an empty cache for head dimension `dim`.
+    /// Creates an empty full-precision (`f32`) cache for head dimension
+    /// `dim`.
     ///
     /// # Panics
     ///
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> KvCache {
+        KvCache::with_precision(dim, KvPrecision::F32)
+    }
+
+    /// Creates an empty cache with an explicit storage precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn with_precision(dim: usize, precision: KvPrecision) -> KvCache {
         assert!(dim > 0, "KvCache: dim must be positive");
         KvCache {
             dim,
+            precision,
             keys: Vec::new(),
             values: Vec::new(),
+            keys16: Vec::new(),
+            values16: Vec::new(),
         }
     }
 
@@ -49,18 +105,28 @@ impl KvCache {
         self.dim
     }
 
+    /// Storage precision of the arenas.
+    pub fn precision(&self) -> KvPrecision {
+        self.precision
+    }
+
     /// Number of cached positions `n`.
     pub fn len(&self) -> usize {
-        self.keys.len() / self.dim
+        match self.precision {
+            KvPrecision::F32 => self.keys.len() / self.dim,
+            KvPrecision::F16 => self.keys16.len() / self.dim,
+        }
     }
 
     /// `true` when no positions are cached.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.keys.is_empty() && self.keys16.is_empty()
     }
 
     /// Appends a new key/value pair (paper Eq. 1). The vectors are copied
-    /// into the arena; callers keep ownership of their buffers.
+    /// into the arena; callers keep ownership of their buffers. Under
+    /// [`KvPrecision::F16`] both are rounded to nearest-even fp16 here — the
+    /// single lossy step of the fp16 path.
     ///
     /// # Panics
     ///
@@ -68,16 +134,26 @@ impl KvCache {
     pub fn push(&mut self, key: &[f32], value: &[f32]) {
         assert_eq!(key.len(), self.dim, "KvCache::push: key dim mismatch");
         assert_eq!(value.len(), self.dim, "KvCache::push: value dim mismatch");
-        self.keys.extend_from_slice(key);
-        self.values.extend_from_slice(value);
+        match self.precision {
+            KvPrecision::F32 => {
+                self.keys.extend_from_slice(key);
+                self.values.extend_from_slice(value);
+            }
+            KvPrecision::F16 => {
+                f16::encode_bits_into(key, &mut self.keys16);
+                f16::encode_bits_into(value, &mut self.values16);
+            }
+        }
     }
 
     /// Key at `position`.
     ///
     /// # Panics
     ///
-    /// Panics if out of bounds.
+    /// Panics if out of bounds, or on an fp16 cache (use [`KvCache::key_into`]
+    /// / the precision-aware read kernels).
     pub fn key(&self, position: usize) -> &[f32] {
+        self.assert_f32("key");
         &self.keys[position * self.dim..(position + 1) * self.dim]
     }
 
@@ -85,13 +161,20 @@ impl KvCache {
     ///
     /// # Panics
     ///
-    /// Panics if out of bounds.
+    /// Panics if out of bounds, or on an fp16 cache (use
+    /// [`KvCache::value_axpy`]).
     pub fn value(&self, position: usize) -> &[f32] {
+        self.assert_f32("value");
         &self.values[position * self.dim..(position + 1) * self.dim]
     }
 
     /// View over all keys, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an fp16 cache (use [`KvCache::score_keys_into`]).
     pub fn keys(&self) -> KeysView<'_> {
+        self.assert_f32("keys");
         KeysView {
             dim: self.dim,
             flat: &self.keys,
@@ -99,8 +182,106 @@ impl KvCache {
     }
 
     /// Iterator over all values, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an fp16 cache (use [`KvCache::value_axpy`]).
     pub fn values(&self) -> impl Iterator<Item = &[f32]> {
+        self.assert_f32("values");
         self.values.chunks_exact(self.dim)
+    }
+
+    /// Raw fp16 bits of the key at `position` (fp16 caches only — tests and
+    /// benches that want the encoded form directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds or on an `f32` cache.
+    pub fn key_bits(&self, position: usize) -> &[u16] {
+        assert_eq!(
+            self.precision,
+            KvPrecision::F16,
+            "KvCache::key_bits: f32 cache has no fp16 encoding"
+        );
+        &self.keys16[position * self.dim..(position + 1) * self.dim]
+    }
+
+    /// Decodes the key at `position` into `out`, whatever the storage
+    /// precision (fp16 decode is exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds or `out.len() != dim`.
+    pub fn key_into(&self, position: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "KvCache::key_into: dim mismatch");
+        match self.precision {
+            KvPrecision::F32 => {
+                out.copy_from_slice(&self.keys[position * self.dim..(position + 1) * self.dim]);
+            }
+            KvPrecision::F16 => {
+                f16::decode_bits_into(
+                    &self.keys16[position * self.dim..(position + 1) * self.dim],
+                    out,
+                );
+            }
+        }
+    }
+
+    /// The hot attention score read: appends `qs · kᵢ` (as `f64`) to `out`
+    /// for every cached position, oldest first. `qs` is the already-scaled
+    /// query.
+    ///
+    /// In `f32` mode this is exactly the sequential [`vector::dot`] the
+    /// reference attention always used — bit-identical to the pre-precision
+    /// path. In fp16 mode keys stream at half the bytes through the
+    /// dispatched fp16 dot kernel ([`simd::dot_f16`]); its SIMD variant
+    /// reorders the in-dot summation and is bounded-error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qs.len() != dim`.
+    pub fn score_keys_into(&self, qs: &[f32], out: &mut Vec<f64>) {
+        assert_eq!(qs.len(), self.dim, "KvCache::score_keys_into: dim mismatch");
+        match self.precision {
+            KvPrecision::F32 => {
+                out.extend(
+                    self.keys
+                        .chunks_exact(self.dim)
+                        .map(|k| f64::from(vector::dot(qs, k))),
+                );
+            }
+            KvPrecision::F16 => {
+                out.extend(
+                    self.keys16
+                        .chunks_exact(self.dim)
+                        .map(|bits| f64::from(simd::dot_f16(qs, bits))),
+                );
+            }
+        }
+    }
+
+    /// The hot attention value read: `acc[j] += w · v_position[j]`, decoding
+    /// fp16 values exactly on the fly. In `f32` mode this is bit-identical to
+    /// the loop the reference attention always ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds or `acc.len() != dim`.
+    pub fn value_axpy(&self, position: usize, w: f64, acc: &mut [f64]) {
+        assert_eq!(acc.len(), self.dim, "KvCache::value_axpy: dim mismatch");
+        let range = position * self.dim..(position + 1) * self.dim;
+        match self.precision {
+            KvPrecision::F32 => {
+                for (slot, &vc) in acc.iter_mut().zip(&self.values[range]) {
+                    *slot += w * f64::from(vc);
+                }
+            }
+            KvPrecision::F16 => {
+                for (slot, &b) in acc.iter_mut().zip(&self.values16[range]) {
+                    *slot += w * f64::from(F16::from_bits(b).to_f32());
+                }
+            }
+        }
     }
 
     /// Discards every position at index `len` and beyond, keeping the first
@@ -112,14 +293,36 @@ impl KvCache {
     /// Panics if `len` exceeds the current length.
     pub fn truncate(&mut self, len: usize) {
         assert!(len <= self.len(), "KvCache::truncate: len beyond cache");
-        self.keys.truncate(len * self.dim);
-        self.values.truncate(len * self.dim);
+        match self.precision {
+            KvPrecision::F32 => {
+                self.keys.truncate(len * self.dim);
+                self.values.truncate(len * self.dim);
+            }
+            KvPrecision::F16 => {
+                self.keys16.truncate(len * self.dim);
+                self.values16.truncate(len * self.dim);
+            }
+        }
     }
 
     /// Size in bytes of the cache under fp16 storage (`2 · n · d · 2` bytes —
     /// the quantity the paper's memory-access analysis is about).
     pub fn fp16_bytes(&self) -> usize {
         2 * self.len() * self.dim * 2
+    }
+
+    /// Actual bytes this cache's arenas occupy at its storage precision.
+    pub fn stored_bytes(&self) -> usize {
+        2 * self.len() * self.dim * self.precision.bytes_per_element()
+    }
+
+    fn assert_f32(&self, accessor: &str) {
+        assert_eq!(
+            self.precision,
+            KvPrecision::F32,
+            "KvCache::{accessor}: fp16 cache must be read through the \
+             precision-aware kernels (score_keys_into / value_axpy / key_into)"
+        );
     }
 }
 
@@ -284,5 +487,108 @@ mod tests {
     #[should_panic(expected = "dim must be positive")]
     fn zero_dim_panics() {
         KvCache::new(0);
+    }
+
+    #[test]
+    fn f32_read_kernels_match_dense_accessors_bitwise() {
+        use lad_math::vector;
+        let mut kv = KvCache::new(3);
+        for i in 0..5 {
+            let base = i as f32;
+            kv.push(
+                &[base + 0.1, base - 0.2, base * 0.3],
+                &[base * 1.1, -base, base + 7.0],
+            );
+        }
+        let qs = [0.25f32, -1.5, 0.75];
+        let mut scored = Vec::new();
+        kv.score_keys_into(&qs, &mut scored);
+        assert_eq!(scored.len(), kv.len());
+        for (i, &s) in scored.iter().enumerate() {
+            assert_eq!(s, f64::from(vector::dot(&qs, kv.key(i))));
+        }
+        let mut via_axpy = vec![0.0f64; 3];
+        let mut dense = vec![0.0f64; 3];
+        for i in 0..kv.len() {
+            let w = 0.5 + i as f64;
+            kv.value_axpy(i, w, &mut via_axpy);
+            for (slot, &vc) in dense.iter_mut().zip(kv.value(i)) {
+                *slot += w * f64::from(vc);
+            }
+        }
+        assert_eq!(via_axpy, dense);
+        let mut key_buf = vec![0.0f32; 3];
+        kv.key_into(2, &mut key_buf);
+        assert_eq!(&key_buf[..], kv.key(2));
+    }
+
+    #[test]
+    fn f16_cache_quantizes_on_push_and_decodes_exactly() {
+        use lad_math::F16;
+        let mut kv = KvCache::with_precision(2, KvPrecision::F16);
+        assert_eq!(kv.precision(), KvPrecision::F16);
+        kv.push(&[1.0 / 3.0, -2.5], &[0.1, 4.0]);
+        assert_eq!(kv.len(), 1);
+        let mut key = vec![0.0f32; 2];
+        kv.key_into(0, &mut key);
+        // Decode returns exactly the fp16-rounded values: -2.5 is exact,
+        // 1/3 is rounded once at push time.
+        assert_eq!(key[0], F16::from_f32(1.0 / 3.0).to_f32());
+        assert_eq!(key[1], -2.5);
+        assert_eq!(kv.key_bits(0).len(), 2);
+
+        // Scores and value reads go through the quantised data.
+        let qs = [1.0f32, 1.0];
+        let mut scored = Vec::new();
+        kv.score_keys_into(&qs, &mut scored);
+        let expect = f64::from(lad_math::simd::dot_f16_scalar(&qs, kv.key_bits(0)));
+        assert!((scored[0] - expect).abs() <= 1e-6 * (1.0 + expect.abs()));
+        let mut acc = vec![0.0f64; 2];
+        kv.value_axpy(0, 2.0, &mut acc);
+        assert_eq!(acc[0], 2.0 * f64::from(F16::from_f32(0.1).to_f32()));
+        assert_eq!(acc[1], 8.0);
+    }
+
+    #[test]
+    fn f16_truncate_and_byte_accounting() {
+        let mut kv = KvCache::with_precision(4, KvPrecision::F16);
+        for i in 0..6 {
+            kv.push(&[i as f32; 4], &[1.0; 4]);
+        }
+        assert_eq!(kv.stored_bytes(), 2 * 6 * 4 * 2);
+        assert_eq!(kv.fp16_bytes(), kv.stored_bytes());
+        kv.truncate(2);
+        assert_eq!(kv.len(), 2);
+        let mut key = vec![0.0f32; 4];
+        kv.key_into(1, &mut key);
+        assert_eq!(key, vec![1.0; 4]);
+
+        let f32_kv = KvCache::new(4);
+        assert_eq!(f32_kv.precision().bytes_per_element(), 4);
+        assert_eq!(KvPrecision::F16.bytes_per_element(), 2);
+        assert_eq!(KvPrecision::F16.name(), "f16");
+    }
+
+    #[test]
+    #[should_panic(expected = "precision-aware kernels")]
+    fn f16_dense_key_accessor_panics() {
+        let mut kv = KvCache::with_precision(2, KvPrecision::F16);
+        kv.push(&[1.0, 2.0], &[3.0, 4.0]);
+        let _ = kv.key(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision-aware kernels")]
+    fn f16_keys_view_panics() {
+        let kv = KvCache::with_precision(2, KvPrecision::F16);
+        let _ = kv.keys();
+    }
+
+    #[test]
+    #[should_panic(expected = "f32 cache has no fp16 encoding")]
+    fn key_bits_on_f32_cache_panics() {
+        let mut kv = KvCache::new(2);
+        kv.push(&[1.0, 2.0], &[3.0, 4.0]);
+        let _ = kv.key_bits(0);
     }
 }

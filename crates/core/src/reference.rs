@@ -10,7 +10,6 @@
 
 use crate::kv::KvCache;
 use lad_math::pwl::PwlExp;
-use lad_math::vector;
 
 /// Scales a query by `1/√d` (the attention temperature).
 pub fn scale_query(q: &[f32]) -> Vec<f32> {
@@ -18,13 +17,14 @@ pub fn scale_query(q: &[f32]) -> Vec<f32> {
     q.iter().map(|&x| x * scale).collect()
 }
 
-/// Raw scaled scores `q·kᵢ / √d` for every cached position.
+/// Raw scaled scores `q·kᵢ / √d` for every cached position, read through the
+/// cache's precision-aware score kernel: bit-identical to the historic
+/// sequential-dot path on `f32` caches, half the key traffic on fp16 ones.
 pub fn scores(q: &[f32], kv: &KvCache) -> Vec<f64> {
     let qs = scale_query(q);
-    kv.keys()
-        .iter()
-        .map(|k| f64::from(vector::dot(&qs, k)))
-        .collect()
+    let mut out = Vec::with_capacity(kv.len());
+    kv.score_keys_into(&qs, &mut out);
+    out
 }
 
 /// Standard softmax attention output (paper Eq. 2).
@@ -42,9 +42,7 @@ pub fn exact_attention(q: &[f32], kv: &KvCache) -> Vec<f32> {
     for (i, &si) in s.iter().enumerate() {
         let w = (si - m).exp();
         den += w;
-        for (slot, &vc) in num.iter_mut().zip(kv.value(i)) {
-            *slot += w * f64::from(vc);
-        }
+        kv.value_axpy(i, w, &mut num);
     }
     num.into_iter().map(|x| (x / den) as f32).collect()
 }
@@ -81,9 +79,7 @@ pub fn pwl_attention_detailed(q: &[f32], kv: &KvCache, pwl: &PwlExp) -> (Vec<f32
         let (a, b) = pwl.coeffs(id);
         let w = a * (si - m) + b;
         den += w;
-        for (slot, &vc) in num.iter_mut().zip(kv.value(i)) {
-            *slot += w * f64::from(vc);
-        }
+        kv.value_axpy(i, w, &mut num);
     }
     (
         num.into_iter().map(|x| (x / den) as f32).collect(),
@@ -94,7 +90,7 @@ pub fn pwl_attention_detailed(q: &[f32], kv: &KvCache, pwl: &PwlExp) -> (Vec<f32
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lad_math::Rng;
+    use lad_math::{vector, Rng};
 
     fn random_kv(rng: &mut Rng, n: usize, d: usize) -> KvCache {
         let mut kv = KvCache::new(d);
@@ -174,5 +170,51 @@ mod tests {
     #[should_panic(expected = "empty KV cache")]
     fn empty_cache_panics() {
         exact_attention(&[1.0], &KvCache::new(1));
+    }
+
+    #[test]
+    fn f16_cache_attention_is_close_to_f32() {
+        use crate::kv::KvPrecision;
+        let mut rng = Rng::new(77);
+        for _ in 0..10 {
+            let d = 16;
+            let mut kv32 = KvCache::new(d);
+            let mut kv16 = KvCache::with_precision(d, KvPrecision::F16);
+            for _ in 0..40 {
+                let k = rng.normal_vec(d, 1.0);
+                let v = rng.normal_vec(d, 1.0);
+                kv32.push(&k, &v);
+                kv16.push(&k, &v);
+            }
+            let q = rng.normal_vec(d, 1.0);
+            let exact = exact_attention(&q, &kv32);
+            let half = exact_attention(&q, &kv16);
+            // fp16 carries 11 significant bits; keys and values each
+            // contribute ≤ 2^-11 relative, softmax re-normalisation keeps the
+            // output a convex combination of (quantised) values.
+            let rel = vector::relative_l2(&half, &exact);
+            assert!(rel < 5e-3, "relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn f16_attention_is_deterministic_across_kernels() {
+        use crate::kv::KvPrecision;
+        use lad_math::{with_kernel, Kernel};
+        let mut rng = Rng::new(78);
+        let d = 16;
+        let mut kv = KvCache::with_precision(d, KvPrecision::F16);
+        for _ in 0..33 {
+            let k = rng.normal_vec(d, 1.0);
+            let v = rng.normal_vec(d, 1.0);
+            kv.push(&k, &v);
+        }
+        let q = rng.normal_vec(d, 1.0);
+        let scalar = with_kernel(Kernel::Scalar, || exact_attention(&q, &kv));
+        let simd = with_kernel(Kernel::Simd, || exact_attention(&q, &kv));
+        // The SIMD fp16 dot reorders the in-dot sum: outputs agree to
+        // rounding, not necessarily bit-for-bit.
+        let rel = vector::relative_l2(&simd, &scalar);
+        assert!(rel < 1e-5, "relative error {rel}");
     }
 }

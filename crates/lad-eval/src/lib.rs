@@ -3,6 +3,8 @@
 //! * [`rouge`] — ROUGE-1/2/L/Lsum over token sequences (paper Table I).
 //! * [`quality`] — perplexity, multiple-choice accuracy and generation
 //!   fidelity harnesses (paper Tables I and II).
+//! * [`precision`] — quality-per-byte scorecards for the reduced-precision
+//!   decode paths (fp16 KV arenas, int8 projection weights).
 //! * [`datasets`] — seeded synthetic prompt sets and corpora shaped after the
 //!   paper's benchmark suites (alpaca/gsm8k/mmlu, wikitext2/openbookQA/
 //!   lambada) — see `DESIGN.md` for the substitution rationale.
@@ -20,11 +22,13 @@
 //! ```
 
 pub mod datasets;
+pub mod precision;
 pub mod quality;
 pub mod report;
 pub mod rouge;
 
 pub use datasets::{ChoiceTask, PromptSet, TokenSampler};
+pub use precision::{precision_quality_report, PrecisionVariant};
 pub use quality::{choice_accuracy, generation_fidelity, mean_nll, perplexity};
 pub use report::Table;
 pub use rouge::RougeScores;

@@ -1,0 +1,169 @@
+//! Quality-per-byte harness for the reduced-precision decode paths.
+//!
+//! The SIMD/f16/int8 kernel work trades exactness for bandwidth: fp16 KV
+//! arenas halve cache traffic and int8 weights quarter projection traffic,
+//! both within documented error bounds. This module measures what that buys —
+//! greedy-decode agreement with the exact f32 path per byte of weight + KV
+//! state streamed — so a precision configuration that loses quality faster
+//! than it sheds bytes fails review.
+
+use crate::datasets::PromptSet;
+use lad_model::backend::AttentionKind;
+use lad_model::transformer::{Model, Session};
+
+/// One precision configuration's scorecard from
+/// [`precision_quality_report`].
+#[derive(Debug, Clone)]
+pub struct PrecisionVariant {
+    /// Human-readable configuration name.
+    pub name: &'static str,
+    /// Fraction of greedy-decoded tokens (over all prompts and positions)
+    /// identical to the exact-f32 reference decode.
+    pub agreement: f64,
+    /// Projection-weight bytes one decode step streams
+    /// ([`Model::projection_weight_bytes`]).
+    pub weight_bytes: usize,
+    /// KV arena bytes held after decoding the full prompt set
+    /// ([`Session::kv_bytes`], summed over prompts).
+    pub kv_bytes: usize,
+}
+
+impl PrecisionVariant {
+    /// Agreement per megabyte of streamed state (weights + KV). Higher is
+    /// better; the reduced-precision paths must not fall below the exact
+    /// path here, otherwise the bytes saved are not paying for the quality
+    /// lost.
+    pub fn quality_per_mbyte(&self) -> f64 {
+        self.agreement / ((self.weight_bytes + self.kv_bytes) as f64 / 1e6)
+    }
+}
+
+/// Greedy-decodes `bench` under `kind`, returning per-token agreement with
+/// `reference` decodes plus the KV bytes the sessions held at the end.
+fn decode_agreement(
+    model: &Model,
+    kind: &AttentionKind,
+    bench: &PromptSet,
+    reference: &[Vec<u32>],
+) -> (f64, usize) {
+    let mut matches = 0usize;
+    let mut total = 0usize;
+    let mut kv_bytes = 0usize;
+    for (prompt, reference) in bench.prompts.iter().zip(reference) {
+        let mut session = Session::new(model, kind);
+        let candidate = session.generate_greedy(prompt, bench.gen_len);
+        kv_bytes += session.kv_bytes();
+        total += reference.len();
+        matches += candidate
+            .iter()
+            .zip(reference)
+            .filter(|(c, r)| c == r)
+            .count();
+    }
+    (matches as f64 / total.max(1) as f64, kv_bytes)
+}
+
+/// Scores the four precision configurations of the decode path — exact f32,
+/// fp16 KV, int8 projection weights, and both reductions combined — on
+/// greedy-decode agreement against the exact path over `bench`.
+///
+/// The returned variants are ordered exact, f16-kv, int8-weights,
+/// int8+f16-kv. The exact variant's agreement is 1.0 by construction (it is
+/// its own reference), so its [`PrecisionVariant::quality_per_mbyte`] is the
+/// bar the reduced-precision variants are judged against.
+pub fn precision_quality_report(model: &Model, bench: &PromptSet) -> Vec<PrecisionVariant> {
+    let reference: Vec<Vec<u32>> = bench
+        .prompts
+        .iter()
+        .map(|prompt| {
+            Session::new(model, &AttentionKind::Exact).generate_greedy(prompt, bench.gen_len)
+        })
+        .collect();
+
+    let mut quantized = model.clone();
+    quantized.quantize_int8_weights();
+
+    let configs: [(&'static str, &Model, AttentionKind); 4] = [
+        ("exact-f32", model, AttentionKind::Exact),
+        ("f16-kv", model, AttentionKind::ExactF16),
+        ("int8-weights", &quantized, AttentionKind::Exact),
+        ("int8+f16-kv", &quantized, AttentionKind::ExactF16),
+    ];
+    configs
+        .into_iter()
+        .map(|(name, m, kind)| {
+            let (agreement, kv_bytes) = decode_agreement(m, &kind, bench, &reference);
+            PrecisionVariant {
+                name,
+                agreement,
+                weight_bytes: m.projection_weight_bytes(),
+                kv_bytes,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_model::config::ModelConfig;
+
+    fn bench() -> PromptSet {
+        PromptSet {
+            name: "precision".to_string(),
+            prompts: vec![vec![3, 1, 4, 1, 5], vec![2, 7, 1, 8], vec![11, 9, 6]],
+            gen_len: 32,
+        }
+    }
+
+    #[test]
+    fn reduced_precision_keeps_quality_per_byte() {
+        let model = Model::random(ModelConfig::tiny("precision", 2, 32, 2), 41);
+        let report = precision_quality_report(&model, &bench());
+        assert_eq!(report.len(), 4);
+        let exact = &report[0];
+        assert_eq!(exact.name, "exact-f32");
+        assert_eq!(exact.agreement, 1.0);
+        for variant in &report[1..] {
+            // Bounded-error paths may flip a near-tie argmax but must track
+            // the exact decode closely...
+            assert!(
+                variant.agreement >= 0.9,
+                "{}: agreement {}",
+                variant.name,
+                variant.agreement
+            );
+            // ...while streaming strictly fewer bytes, so quality-per-byte
+            // must come out ahead of the exact path.
+            assert!(
+                variant.weight_bytes + variant.kv_bytes < exact.weight_bytes + exact.kv_bytes,
+                "{}: bytes did not shrink",
+                variant.name
+            );
+            assert!(
+                variant.quality_per_mbyte() > exact.quality_per_mbyte(),
+                "{}: {} vs exact {}",
+                variant.name,
+                variant.quality_per_mbyte(),
+                exact.quality_per_mbyte()
+            );
+        }
+        // The halved-KV and quartered-weight variants shave the bytes they
+        // claim: fp16 KV halves kv_bytes, int8 cuts projection weight bytes.
+        assert_eq!(report[1].kv_bytes * 2, exact.kv_bytes);
+        assert!(report[2].weight_bytes < exact.weight_bytes);
+        assert_eq!(report[3].kv_bytes, report[1].kv_bytes);
+        assert_eq!(report[3].weight_bytes, report[2].weight_bytes);
+    }
+
+    #[test]
+    fn quality_per_mbyte_is_agreement_over_megabytes() {
+        let v = PrecisionVariant {
+            name: "unit",
+            agreement: 0.5,
+            weight_bytes: 1_000_000,
+            kv_bytes: 1_000_000,
+        };
+        assert!((v.quality_per_mbyte() - 0.25).abs() < 1e-12);
+    }
+}

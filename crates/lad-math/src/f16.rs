@@ -218,6 +218,25 @@ pub fn quantize_slice(values: &[f32]) -> Vec<f32> {
     values.iter().map(|&v| F16::from_f32(v).to_f32()).collect()
 }
 
+/// Encodes a slice to raw fp16 bits, appending to `out` — the write half of
+/// the fp16 KV arena (amortised allocation-free once `out` has capacity).
+pub fn encode_bits_into(values: &[f32], out: &mut Vec<u16>) {
+    out.extend(values.iter().map(|&v| F16::from_f32(v).to_bits()));
+}
+
+/// Decodes raw fp16 bits into an `f32` buffer (exact — every f16 is
+/// representable).
+///
+/// # Panics
+///
+/// Panics if `bits.len() != out.len()`.
+pub fn decode_bits_into(bits: &[u16], out: &mut [f32]) {
+    assert_eq!(bits.len(), out.len(), "decode_bits_into: length mismatch");
+    for (slot, &b) in out.iter_mut().zip(bits) {
+        *slot = F16::from_bits(b).to_f32();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,6 +24,15 @@
 //! contiguous `chunks_exact` walk) — never the adds within one element.
 //! The differential harness (`tests/differential.rs`) and the lad-math
 //! proptests pin this contract down.
+//!
+//! **Kernel dispatch.** The inner block microkernel is selected per call via
+//! [`crate::simd::active_kernel`]: the scalar reference, or an explicit AVX2
+//! `f32x8` path ([`crate::simd`]) whose lanes run across the `MR` packed rows
+//! so each output element still accumulates sequentially in ascending `k` —
+//! the two are bit-identical, and tests below plus the differential grid pin
+//! that.
+
+use crate::simd::{self, Kernel};
 
 /// Register-block width over the `m` (batch/row) dimension: the micro-kernel
 /// keeps `MR` accumulators live and re-reads each `B` row once per `MR` rows
@@ -51,6 +60,44 @@ pub struct GemmScratch {
     panel: Vec<f32>,
 }
 
+/// How much larger than the current need the panel's retained capacity may
+/// grow before [`GemmScratch::prepare`] releases it. A hysteresis factor
+/// (rather than shrinking to fit every call) keeps steady-state same-shape
+/// call sequences allocation-free while stopping one peak-`k` call from
+/// pinning its high-water allocation across a stream of small shapes.
+const SHRINK_FACTOR: usize = 4;
+
+impl GemmScratch {
+    /// Clears and sizes the panel for a `k`-deep block, shrinking the backing
+    /// allocation when a smaller `k` follows a much larger one.
+    pub(crate) fn prepare(&mut self, k: usize) -> &mut [f32] {
+        let need = MR * k;
+        self.panel.clear();
+        if self.panel.capacity() > SHRINK_FACTOR * need {
+            self.panel.shrink_to(need);
+        }
+        self.panel.resize(need, 0.0);
+        &mut self.panel[..]
+    }
+
+    /// Current backing capacity in elements (observability for the
+    /// shrink-regression tests).
+    pub fn panel_capacity(&self) -> usize {
+        self.panel.capacity()
+    }
+}
+
+/// Packs the `mr`-row block of `a` starting at row `i0` transposed and
+/// `MR`-interleaved: `panel[l·MR + ii] = a[i0+ii][l]`. The microkernels then
+/// walk it one contiguous `MR`-vector per `k` index.
+pub(crate) fn pack_panel(panel: &mut [f32], a: &[f32], i0: usize, mr: usize, k: usize) {
+    for (l, chunk) in panel.chunks_exact_mut(MR).enumerate().take(k) {
+        for (ii, slot) in chunk[..mr].iter_mut().enumerate() {
+            *slot = a[(i0 + ii) * k + l];
+        }
+    }
+}
+
 /// Allocation-free [`gemm_bt`]: packs row blocks of `a` into `scratch` and
 /// re-uses its buffer across calls.
 ///
@@ -73,33 +120,16 @@ pub fn gemm_bt_into(
         c.fill(0.0);
         return;
     }
-    scratch.panel.clear();
-    scratch.panel.resize(MR * k, 0.0);
-    let panel = &mut scratch.panel[..];
+    let kernel = simd::active_kernel();
+    let panel = scratch.prepare(k);
 
     let mut i0 = 0;
     while i0 < m {
         let mr = MR.min(m - i0);
-        // Pack the A row block transposed and interleaved: panel[l·MR + ii] =
-        // a[i0+ii][l]. The micro-kernel then walks it with chunks_exact(MR),
-        // one contiguous MR-vector per k index.
-        for (l, chunk) in panel.chunks_exact_mut(MR).enumerate().take(k) {
-            for (ii, slot) in chunk[..mr].iter_mut().enumerate() {
-                *slot = a[(i0 + ii) * k + l];
-            }
-        }
-        for (j, b_row) in b_t.chunks_exact(k).enumerate().take(n) {
-            // MR dot products in lockstep: acc[ii] accumulates c[i0+ii][j]
-            // sequentially over ascending l — the bit-exactness contract.
-            let mut acc = [0.0f32; MR];
-            for (chunk, &w) in panel.chunks_exact(MR).zip(b_row) {
-                for (slot, &x) in acc.iter_mut().zip(chunk) {
-                    *slot += x * w;
-                }
-            }
-            for (ii, &v) in acc[..mr].iter().enumerate() {
-                c[(i0 + ii) * n + j] = v;
-            }
+        pack_panel(panel, a, i0, mr, k);
+        match kernel {
+            Kernel::Simd => simd::gemm_block_f32_simd(i0, mr, n, k, panel, b_t, c),
+            Kernel::Scalar => simd::gemm_block_f32_scalar(i0, mr, n, k, panel, b_t, c),
         }
         i0 += mr;
     }
@@ -170,6 +200,34 @@ mod tests {
     }
 
     #[test]
+    fn simd_and_scalar_kernels_are_bit_identical() {
+        use crate::simd::{with_kernel, Kernel};
+        // Shapes chosen to exercise every microkernel edge: partial MR
+        // blocks, NR tails, k = 1, and the MLP-dominant bench shape.
+        for (m, n, k, seed) in [
+            (1, 1, 1, 1u64),
+            (3, 5, 7, 2),
+            (8, 8, 8, 3),
+            (9, 17, 33, 4),
+            (16, 4, 64, 5),
+            (2, 256, 128, 6),
+            (7, 3, 1, 7),
+            (8, 512, 256, 8),
+        ] {
+            let a = random(m * k, seed);
+            let b_t = random(n * k, seed + 200);
+            let mut scalar = vec![0.0; m * n];
+            let mut simd = vec![0.0; m * n];
+            let mut naive = vec![0.0; m * n];
+            with_kernel(Kernel::Scalar, || gemm_bt(m, n, k, &a, &b_t, &mut scalar));
+            with_kernel(Kernel::Simd, || gemm_bt(m, n, k, &a, &b_t, &mut simd));
+            gemm_bt_naive(m, n, k, &a, &b_t, &mut naive);
+            assert_eq!(scalar, naive, "scalar vs naive m={m} n={n} k={k}");
+            assert_eq!(simd, naive, "simd vs naive m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
     fn scratch_is_reused_without_reallocation() {
         let mut scratch = GemmScratch::default();
         let (m, n, k) = (4, 6, 32);
@@ -182,6 +240,73 @@ mod tests {
             gemm_bt_into(m, n, k, &a, &b_t, &mut c, &mut scratch);
         }
         assert_eq!(scratch.panel.capacity(), cap);
+    }
+
+    #[test]
+    fn scratch_shrinks_after_peak_k_shapes() {
+        // Regression for the resize-up-only bug: one peak-k call must not pin
+        // its high-water allocation across a stream of much smaller shapes.
+        let mut scratch = GemmScratch::default();
+        let big_k = 1024;
+        let a_big = random(big_k, 11);
+        let b_big = random(2 * big_k, 12);
+        let mut c_big = vec![0.0; 2];
+        gemm_bt_into(1, 2, big_k, &a_big, &b_big, &mut c_big, &mut scratch);
+        assert!(scratch.panel_capacity() >= MR * big_k);
+
+        let small_k = 8;
+        let a_small = random(small_k, 13);
+        let b_small = random(2 * small_k, 14);
+        let mut c_small = vec![0.0; 2];
+        gemm_bt_into(
+            1,
+            2,
+            small_k,
+            &a_small,
+            &b_small,
+            &mut c_small,
+            &mut scratch,
+        );
+        assert!(
+            scratch.panel_capacity() <= SHRINK_FACTOR * MR * small_k,
+            "capacity {} retained after small shape",
+            scratch.panel_capacity()
+        );
+
+        // Interleaving shapes stays correct and re-grows on demand.
+        let mut expect_big = vec![0.0; 2];
+        gemm_bt_naive(1, 2, big_k, &a_big, &b_big, &mut expect_big);
+        for _ in 0..3 {
+            gemm_bt_into(1, 2, big_k, &a_big, &b_big, &mut c_big, &mut scratch);
+            assert_eq!(c_big, expect_big);
+            gemm_bt_into(
+                1,
+                2,
+                small_k,
+                &a_small,
+                &b_small,
+                &mut c_small,
+                &mut scratch,
+            );
+            assert!(scratch.panel_capacity() <= SHRINK_FACTOR * MR * small_k);
+        }
+    }
+
+    #[test]
+    fn scratch_same_shape_never_shrinks_mid_stream() {
+        // The hysteresis factor must keep steady-state same-shape streams
+        // (the batch engine's per-layer calls) free of churn.
+        let mut scratch = GemmScratch::default();
+        let (m, n, k) = (8, 16, 64);
+        let a = random(m * k, 15);
+        let b_t = random(n * k, 16);
+        let mut c = vec![0.0; m * n];
+        gemm_bt_into(m, n, k, &a, &b_t, &mut c, &mut scratch);
+        let cap = scratch.panel_capacity();
+        for _ in 0..8 {
+            gemm_bt_into(m, n, k, &a, &b_t, &mut c, &mut scratch);
+            assert_eq!(scratch.panel_capacity(), cap);
+        }
     }
 
     #[test]

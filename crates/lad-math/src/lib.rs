@@ -13,6 +13,11 @@
 //! * [`gemm`] — cache-blocked matrix-matrix kernels with a bit-exact
 //!   ascending-`k` accumulation contract, so batched projections agree with
 //!   per-sample `matvec` calls bit for bit.
+//! * [`simd`] — runtime-dispatched AVX2 microkernels behind the same
+//!   interfaces (`LAD_GEMM_KERNEL`, [`with_kernel`]): the f32 path is
+//!   bit-identical to scalar, the fp16 KV dot is bounded-error.
+//! * [`quant`] — int8 weight quantisation with per-output-row scales and the
+//!   `W8A32` GEMM/matvec kernels that consume it.
 //! * [`pwl`] — piecewise-linear approximation of `exp` on `(-inf, 0]` with
 //!   closed-form least-squares segment fitting (paper Sec. III-A).
 //! * [`softmax`] — numerically stable softmax and its PWL counterpart.
@@ -35,7 +40,9 @@ pub mod f16;
 pub mod gemm;
 pub mod matrix;
 pub mod pwl;
+pub mod quant;
 pub mod rng;
+pub mod simd;
 pub mod softmax;
 pub mod stats;
 pub mod vector;
@@ -43,4 +50,6 @@ pub mod vector;
 pub use f16::F16;
 pub use matrix::Matrix;
 pub use pwl::{PwlExp, Segment};
+pub use quant::Q8Matrix;
 pub use rng::Rng;
+pub use simd::{with_kernel, Kernel};

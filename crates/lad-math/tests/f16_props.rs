@@ -1,0 +1,119 @@
+//! Property tests hardening `lad_math::f16` before it carries the KV cache:
+//! round-trip identity and monotonicity across the whole encoding space,
+//! including subnormals, signed zeros, ±infinity and NaN payloads.
+
+use lad_math::F16;
+use proptest::prelude::*;
+
+/// Smallest positive f16 subnormal (2^-24) — the bottom of the encodable
+/// magnitude range.
+const MIN_SUBNORMAL: f32 = 5.960_464_5e-8;
+/// Largest f16 subnormal magnitude (just below 2^-14).
+const MAX_SUBNORMAL: f32 = 6.097_555e-5;
+
+proptest! {
+    /// Every non-NaN bit pattern — normals, subnormals, signed zeros and
+    /// ±inf — survives f16 -> f32 -> f16 with identical bits.
+    #[test]
+    fn roundtrip_identity_all_non_nan_bits(bits in 0u16..=u16::MAX) {
+        let h = F16::from_bits(bits);
+        prop_assume!(!h.is_nan());
+        prop_assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits);
+    }
+
+    /// Conversion from f32 is idempotent: re-encoding an already-quantised
+    /// value never moves it again (no double-rounding drift in the KV arena).
+    #[test]
+    fn conversion_is_idempotent(x in -70000.0f32..70000.0) {
+        let once = F16::from_f32(x);
+        let twice = F16::from_f32(once.to_f32());
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    /// Monotone over the full finite range: x <= y implies f16(x) <= f16(y).
+    #[test]
+    fn monotone_over_finite_range(x in -65504.0f32..65504.0, y in -65504.0f32..65504.0) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    /// Monotone through the subnormal band around zero, where the encoding
+    /// switches representation and flush-to-zero happens.
+    #[test]
+    fn monotone_across_subnormals(
+        x in -6.2e-5f32..6.2e-5,
+        y in -6.2e-5f32..6.2e-5,
+    ) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    /// Subnormal absolute error is bounded by half the subnormal spacing
+    /// (2^-25), and every subnormal round-trips exactly.
+    #[test]
+    fn subnormal_error_bound_and_roundtrip(mag in MIN_SUBNORMAL..MAX_SUBNORMAL, neg in 0u8..2) {
+        let x = if neg == 1 { -mag } else { mag };
+        let h = F16::from_f32(x);
+        prop_assert!(h.is_finite());
+        prop_assert!((h.to_f32() - x).abs() <= 2.0f32.powi(-25), "x={x} h={h}");
+        prop_assert_eq!(F16::from_f32(h.to_f32()).to_bits(), h.to_bits());
+    }
+
+    /// Bit-order agrees with numeric order for same-sign finite values:
+    /// within the positive half the encoding is lexicographic.
+    #[test]
+    fn positive_bit_order_is_numeric_order(a in 0u16..0x7C00, b in 0u16..0x7C00) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_bits(lo).to_f32() <= F16::from_bits(hi).to_f32());
+    }
+
+    /// Every NaN payload stays NaN through f32 and back: decode is NaN,
+    /// re-encode is NaN with the canonical quiet payload and the sign kept.
+    #[test]
+    fn nan_payloads_stay_nan(payload in 1u16..=0x3FF, sign in 0u8..2) {
+        let bits = if sign == 1 { 0xFC00 } else { 0x7C00 } | payload;
+        let h = F16::from_bits(bits);
+        prop_assert!(h.is_nan());
+        prop_assert!(h.to_f32().is_nan());
+        let back = F16::from_f32(h.to_f32());
+        prop_assert!(back.is_nan());
+        // from_f32 canonicalises payloads to the quiet 0x0200 pattern.
+        prop_assert_eq!(back.to_bits() & 0x3FF, 0x0200);
+        prop_assert_eq!(back.to_bits() & 0x8000, bits & 0x8000);
+    }
+
+    /// Infinities dominate every finite value and round-trip exactly.
+    #[test]
+    fn infinities_bound_all_finite(x in -65504.0f32..65504.0) {
+        let h = F16::from_f32(x);
+        prop_assert!(F16::NEG_INFINITY < h && h < F16::INFINITY);
+        prop_assert_eq!(F16::from_f32(f32::INFINITY).to_bits(), F16::INFINITY.to_bits());
+        prop_assert_eq!(
+            F16::from_f32(f32::NEG_INFINITY).to_bits(),
+            F16::NEG_INFINITY.to_bits()
+        );
+    }
+
+    /// The encode/decode slice helpers agree with element-wise conversion —
+    /// they are the KV arena's write/read halves.
+    #[test]
+    fn slice_helpers_match_elementwise(values in prop::collection::vec(-100.0f32..100.0, 0..65)) {
+        let mut bits = Vec::new();
+        lad_math::f16::encode_bits_into(&values, &mut bits);
+        prop_assert_eq!(bits.len(), values.len());
+        let mut decoded = vec![0.0f32; values.len()];
+        lad_math::f16::decode_bits_into(&bits, &mut decoded);
+        for (&v, &d) in values.iter().zip(&decoded) {
+            prop_assert_eq!(d, F16::from_f32(v).to_f32());
+        }
+    }
+}
+
+#[test]
+fn signed_zeros_are_distinct_encodings_with_equal_value() {
+    let pos = F16::from_f32(0.0);
+    let neg = F16::from_f32(-0.0);
+    assert_eq!(pos.to_bits(), 0x0000);
+    assert_eq!(neg.to_bits(), 0x8000);
+    assert_eq!(pos.to_f32(), neg.to_f32());
+}

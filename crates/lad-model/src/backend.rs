@@ -12,7 +12,7 @@
 //!   most recent ones are kept; the rest are evicted permanently.
 
 use lad_core::decoder::{LadAttention, LadCheckpoint, LadConfig};
-use lad_core::kv::KvCache;
+use lad_core::kv::{KvCache, KvPrecision};
 use lad_core::reference;
 use lad_core::stats::StepStats;
 use lad_math::softmax::softmax;
@@ -23,6 +23,13 @@ use lad_math::vector;
 pub enum AttentionKind {
     /// Exact softmax attention over the full KV cache.
     Exact,
+    /// Exact softmax attention over an fp16-stored KV cache: the same
+    /// algorithm as [`AttentionKind::Exact`], but keys/values are rounded to
+    /// IEEE binary16 on write and stream at half the bytes through the
+    /// precision-aware read kernels ([`lad_core::kv::KvPrecision::F16`]).
+    /// Bounded-error, not bit-exact — the fp16 analogue of the accelerator's
+    /// on-chip number format (paper Sec. V-A).
+    ExactF16,
     /// LAD attention with the given configuration.
     Lad(LadConfig),
     /// Qserve-style 4-bit KV-cache quantisation (per-vector asymmetric).
@@ -87,6 +94,11 @@ pub enum HeadState {
     /// Full-cache exact softmax.
     Exact {
         /// The head's KV cache.
+        kv: KvCache,
+    },
+    /// Full-cache exact softmax over fp16 KV arenas.
+    ExactF16 {
+        /// The head's fp16 KV cache.
         kv: KvCache,
     },
     /// LAD decoder state.
@@ -160,6 +172,9 @@ impl HeadState {
             AttentionKind::Exact => HeadState::Exact {
                 kv: KvCache::new(dim),
             },
+            AttentionKind::ExactF16 => HeadState::ExactF16 {
+                kv: KvCache::with_precision(dim, KvPrecision::F16),
+            },
             AttentionKind::Lad(cfg) => HeadState::Lad(LadAttention::new(dim, cfg.clone())),
             AttentionKind::QserveKv4 => HeadState::Qserve {
                 kv: KvCache::new(dim),
@@ -186,10 +201,27 @@ impl HeadState {
     /// Current KV length (for evicting backends this counts live positions).
     pub fn live_len(&self) -> usize {
         match self {
-            HeadState::Exact { kv } | HeadState::Qserve { kv } => kv.len(),
+            HeadState::Exact { kv } | HeadState::ExactF16 { kv } | HeadState::Qserve { kv } => {
+                kv.len()
+            }
             HeadState::Lad(head) => head.kv().len(),
             HeadState::H2o(state) => state.alive.iter().filter(|&&a| a).count(),
             HeadState::Streaming { alive, .. } => alive.iter().filter(|&&a| a).count(),
+        }
+    }
+
+    /// Bytes this head's KV arenas occupy right now (fp16 caches count two
+    /// bytes per element, f32 four). Qserve stores *dequantised* f32 copies,
+    /// so its in-memory footprint is the f32 one even though the modelled
+    /// accelerator format is 4-bit.
+    pub fn kv_bytes(&self) -> usize {
+        match self {
+            HeadState::Exact { kv }
+            | HeadState::ExactF16 { kv }
+            | HeadState::Qserve { kv }
+            | HeadState::Streaming { kv, .. } => kv.stored_bytes(),
+            HeadState::Lad(head) => head.kv().stored_bytes(),
+            HeadState::H2o(state) => state.kv.stored_bytes(),
         }
     }
 
@@ -198,7 +230,9 @@ impl HeadState {
     /// [`restore`]: HeadState::restore
     pub fn checkpoint(&self) -> HeadCheckpoint {
         match self {
-            HeadState::Exact { kv } | HeadState::Qserve { kv } => HeadCheckpoint::KvLen(kv.len()),
+            HeadState::Exact { kv } | HeadState::ExactF16 { kv } | HeadState::Qserve { kv } => {
+                HeadCheckpoint::KvLen(kv.len())
+            }
             HeadState::Lad(head) => HeadCheckpoint::Lad(Box::new(head.checkpoint())),
             HeadState::H2o(state) => HeadCheckpoint::H2o {
                 kv_len: state.kv.len(),
@@ -222,7 +256,10 @@ impl HeadState {
     /// has since been truncated below the checkpoint.
     pub fn restore(&mut self, ck: &HeadCheckpoint) {
         match (self, ck) {
-            (HeadState::Exact { kv } | HeadState::Qserve { kv }, HeadCheckpoint::KvLen(len)) => {
+            (
+                HeadState::Exact { kv } | HeadState::ExactF16 { kv } | HeadState::Qserve { kv },
+                HeadCheckpoint::KvLen(len),
+            ) => {
                 kv.truncate(*len);
             }
             (HeadState::Lad(head), HeadCheckpoint::Lad(lck)) => head.restore(lck),
@@ -256,6 +293,19 @@ impl HeadState {
     pub fn step(&mut self, q: &[f32], k: &[f32], v: &[f32], record_scores: bool) -> HeadStepOutput {
         match self {
             HeadState::Exact { kv } => {
+                let _kv_span = lad_obs::span("kernel.kv_read_f32");
+                kv.push(k, v);
+                let scores = reference::scores(q, kv);
+                let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let output = reference::exact_attention(q, kv);
+                HeadStepOutput {
+                    output,
+                    stats: None,
+                    shifted_scores: record_scores.then(|| scores.iter().map(|s| s - m).collect()),
+                }
+            }
+            HeadState::ExactF16 { kv } => {
+                let _kv_span = lad_obs::span("kernel.kv_read_f16");
                 kv.push(k, v);
                 let scores = reference::scores(q, kv);
                 let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -451,6 +501,37 @@ mod tests {
     }
 
     #[test]
+    fn exact_f16_backend_is_close_to_exact_and_cheaper() {
+        let mut rng = Rng::new(52);
+        let d = 8;
+        let mut exact = HeadState::new(d, &AttentionKind::Exact);
+        let mut half = HeadState::new(d, &AttentionKind::ExactF16);
+        let mut worst = 0.0f32;
+        for _ in 0..60 {
+            let (q, k, v) = (
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+            );
+            let e = exact.step(&q, &k, &v, true);
+            let h = half.step(&q, &k, &v, true);
+            worst = worst.max(vector::relative_l2(&h.output, &e.output));
+            assert!(h.shifted_scores.is_some(), "f16 backend records scores");
+        }
+        // fp16 must perturb (it quantises) but stay within its 2^-11-per-
+        // element budget after softmax normalisation.
+        assert!(worst > 1e-7, "fp16 should actually quantise");
+        assert!(worst < 5e-3, "fp16 error unreasonably large: {worst}");
+        let HeadState::ExactF16 { kv } = &half else {
+            unreachable!()
+        };
+        let HeadState::Exact { kv: kv32 } = &exact else {
+            unreachable!()
+        };
+        assert_eq!(kv.stored_bytes() * 2, kv32.stored_bytes());
+    }
+
+    #[test]
     fn qserve_backend_injects_bounded_error() {
         let mut rng = Rng::new(44);
         let d = 8;
@@ -565,6 +646,7 @@ mod tests {
         let d = 8;
         let kinds = [
             AttentionKind::Exact,
+            AttentionKind::ExactF16,
             AttentionKind::Lad(LadConfig::default()),
             AttentionKind::QserveKv4,
             AttentionKind::h2o_default(),

@@ -214,6 +214,52 @@ impl Model {
     pub fn config(&self) -> &ModelConfig {
         &self.cfg
     }
+
+    /// Quantises the MLP and attention-output projections (`wo`, `w_up`,
+    /// `w_down`, `w_gate`) of every block to int8 with per-row scales — the
+    /// GEMMs the traces say dominate step time. `wq`/`wk`/`wv` and the tied
+    /// embedding stay f32: they feed RoPE and the attention state, where
+    /// quantisation error would compound through the KV cache rather than
+    /// wash out in a single projection.
+    pub fn quantize_int8_weights(&mut self) {
+        for block in &mut self.blocks {
+            block.wo.quantize_int8();
+            block.w_up.quantize_int8();
+            block.w_down.quantize_int8();
+            if let Some(gate) = block.w_gate.as_mut() {
+                gate.quantize_int8();
+            }
+        }
+    }
+
+    /// Drops every int8 weight copy, returning all projections to f32.
+    pub fn dequantize_int8_weights(&mut self) {
+        for block in &mut self.blocks {
+            block.wo.dequantize_int8();
+            block.w_up.dequantize_int8();
+            block.w_down.dequantize_int8();
+            if let Some(gate) = block.w_gate.as_mut() {
+                gate.dequantize_int8();
+            }
+        }
+    }
+
+    /// Bytes of projection weights one decode step streams per sample
+    /// (all block projections at their current precision plus the f32
+    /// embedding/unembedding) — the denominator of quality-per-byte.
+    pub fn projection_weight_bytes(&self) -> usize {
+        let mut bytes = 4 * self.cfg.vocab * self.cfg.hidden;
+        for block in &self.blocks {
+            bytes += block.wq.weight_bytes()
+                + block.wk.weight_bytes()
+                + block.wv.weight_bytes()
+                + block.wo.weight_bytes()
+                + block.w_up.weight_bytes()
+                + block.w_down.weight_bytes()
+                + block.w_gate.as_ref().map_or(0, Linear::weight_bytes);
+        }
+        bytes
+    }
 }
 
 /// A decode session: the per-head attention state for one sample.
@@ -323,6 +369,12 @@ impl<'m> Session<'m> {
     /// decodes meter into the same counters).
     pub fn last_pool_metrics(&self) -> PoolMetrics {
         self.last_pool_metrics
+    }
+
+    /// Total bytes of KV state across every (layer, head) right now — the
+    /// cache-traffic denominator of quality-per-byte comparisons.
+    pub fn kv_bytes(&self) -> usize {
+        self.heads.iter().flatten().map(HeadState::kv_bytes).sum()
     }
 
     /// Enables recording of every head's per-step `(q, k, v)` triples

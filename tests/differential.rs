@@ -465,6 +465,86 @@ fn speculative_decode_matches_greedy_grid() {
     }
 }
 
+/// SIMD microkernel leg — the tentpole invariant of the kernel dispatch
+/// layer: the AVX2 f32 microkernel vectorises across packed *rows* and
+/// accumulates each output element in the same ascending-`k` order as the
+/// scalar reference, so forcing either kernel must produce bit-identical
+/// tokens and stats on every grid point, exact and LAD backends alike.
+/// On hosts without AVX2+F16C `Kernel::Simd` degrades to scalar and the leg
+/// passes vacuously (the bit-exactness claim is about the SIMD box CI runs
+/// on). Kernel overrides are thread-local and the batched-GEMM engine runs
+/// its GEMMs on the stepping thread, so `parallelism = 1` pins the whole
+/// decode to the forced kernel.
+#[test]
+fn simd_kernel_matches_scalar_on_grid() {
+    use lad::math::{with_kernel, Kernel};
+    if !Kernel::Simd.available() {
+        eprintln!("simd_kernel_matches_scalar_on_grid: no AVX2+F16C; leg is vacuous");
+    }
+    let grid = default_grid();
+    assert!(grid.len() >= 16, "grid shrank below the acceptance floor");
+    for cfg in &grid {
+        let model = cfg.model();
+        let prompts = cfg.prompts();
+        let kinds: [(&str, AttentionKind); 2] = [
+            ("exact", AttentionKind::Exact),
+            ("lad", AttentionKind::Lad(cfg.lad_config())),
+        ];
+        for (kind_name, kind) in &kinds {
+            let scalar = with_kernel(Kernel::Scalar, || {
+                decode_batch_gemm(&model, kind, &prompts, cfg.steps, 1)
+            });
+            let simd = with_kernel(Kernel::Simd, || {
+                decode_batch_gemm(&model, kind, &prompts, cfg.steps, 1)
+            });
+            assert_eq!(
+                scalar.sequences, simd.sequences,
+                "{}/{kind_name}: SIMD kernel changed decoded tokens",
+                cfg.label
+            );
+            assert_stats_match(cfg.label, kind_name, &scalar.final_stats, &simd.final_stats);
+        }
+    }
+}
+
+/// Speculative × SIMD leg: draft/verify decoding (K = 0 degenerate and K = 4
+/// with both drafter policies) under the forced SIMD kernel must emit the
+/// token stream of the scalar-kernel greedy decode — the verify batches go
+/// through the batched GEMM path, so this pins speculation's exact-rollback
+/// contract on top of the kernel-dispatch contract.
+#[test]
+fn speculative_decode_is_token_identical_under_simd_kernel() {
+    use lad::math::{with_kernel, Kernel};
+    let grid = default_grid();
+    assert!(grid.len() >= 16, "grid shrank below the acceptance floor");
+    for cfg in &grid {
+        let model = cfg.model();
+        let prompt = cfg.prompt(0);
+        let kinds: [(&str, AttentionKind); 2] = [
+            ("exact", AttentionKind::Exact),
+            ("lad", AttentionKind::Lad(cfg.lad_config())),
+        ];
+        for (kind_name, kind) in &kinds {
+            let expected = with_kernel(Kernel::Scalar, || {
+                Session::new(&model, kind).generate_greedy(&prompt, cfg.steps)
+            });
+            for k in [0usize, 4] {
+                for spec in [SpecConfig::recency(k), SpecConfig::ngram(k)] {
+                    let report = with_kernel(Kernel::Simd, || {
+                        decode_speculative(&model, kind, &prompt, cfg.steps, &spec)
+                    });
+                    assert_eq!(
+                        report.tokens, expected,
+                        "{}/{kind_name}/k{k}: speculative decode under the SIMD \
+                         kernel diverged from the scalar greedy stream",
+                        cfg.label
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Empty-step leg: `BatchSession::step(&[])` is the documented idle no-op
 /// (the serving engine leans on it for arrival gaps). Idle steps sprinkled
 /// through a decode must return `StepOutcome::Idle`, advance nothing, and
