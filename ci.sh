@@ -28,7 +28,8 @@ cargo bench --workspace --no-run
 echo "== observability smoke (trace_decode example; validates trace + JSONL)"
 cargo run --release --example trace_decode
 
-echo "== bench regression gate (gemm/serve/spec/kernel ratios vs committed BENCH_*.json floors;"
+echo "== bench regression gate (gemm/serve/spec/kernel/backend-zoo ratios vs committed"
+echo "   BENCH_*.json floors, incl. the backend_quality quality-per-byte smoke;"
 echo "   also fails on any committed BENCH_*.json bench_check has no gate for)"
 cargo run --release -p lad-bench --bin bench_check
 

@@ -17,7 +17,14 @@
 //!   scalar microkernel on the MLP shape (and bit-identical to it), and the
 //!   fp16 KV score read at least 1.2x the f32 read. Skipped (with a notice)
 //!   on hosts without AVX2+F16C, where only the committed numbers are
-//!   checked.
+//!   checked;
+//! * the `backend_quality` quality-per-byte-moved ratios of the sparse
+//!   backend zoo: on every (dataset, length) cell the best non-exact
+//!   backend holds 0.95x of exact attention's agreement per KV megabyte
+//!   moved, and somewhere in the sweep a sparse backend beats exact by
+//!   1.2x. This gate is fully deterministic (traffic counters, not timers),
+//!   so the quick re-measurement runs one small cell in-process and must
+//!   reproduce the effect exactly.
 //!
 //! Additionally, every `BENCH_*.json` at the repo root must be one this
 //! binary knows how to gate — a new committed baseline without a matching
@@ -31,7 +38,10 @@
 
 use lad_accel::paged::{BlockPool, BLOCK_TOKENS};
 use lad_bench::section;
+use lad_core::decoder::LadConfig;
 use lad_core::kv::{KvCache, KvPrecision};
+use lad_eval::backends::backend_quality_report;
+use lad_eval::datasets::alpaca_shaped;
 use lad_math::gemm::{gemm_bt_into, GemmScratch};
 use lad_math::{with_kernel, Kernel, Rng};
 use lad_model::backend::AttentionKind;
@@ -61,14 +71,24 @@ const SIMD_GEMM_FLOOR: f64 = 1.5;
 /// Acceptance floor of the `gemm_kernels` fp16 KV score read row (vs f32).
 const F16_READ_FLOOR: f64 = 1.2;
 
+/// Per-cell floor of the `backend_quality` bench: the best non-exact
+/// backend must stay within 5% of exact attention on quality per megabyte
+/// of KV traffic.
+const BACKEND_QPB_FLOOR: f64 = 0.95;
+
+/// Sweep-wide floor of the `backend_quality` bench: somewhere a sparse
+/// backend must beat exact attention outright on quality per byte moved.
+const BACKEND_HERO_FLOOR: f64 = 1.2;
+
 /// Every committed baseline this binary gates. Any other `BENCH_*.json` at
 /// the repo root is a baseline without a floor, and fails the run.
-const KNOWN_BASELINES: [&str; 5] = [
+const KNOWN_BASELINES: [&str; 6] = [
     "BENCH_gemm.json",
     "BENCH_pool.json",
     "BENCH_serve.json",
     "BENCH_spec.json",
     "BENCH_kernels.json",
+    "BENCH_backends.json",
 ];
 
 /// Quick-mode decode length: half the committed run, same prompt length.
@@ -214,6 +234,108 @@ fn check_kernel_rows(results: &[Value]) -> (f64, f64) {
     let gemm = find("gemm_f32", SIMD_GEMM_FLOOR);
     let f16 = find("kv_read_f16", F16_READ_FLOOR);
     (gemm, f16)
+}
+
+/// Validates the committed `BENCH_backends.json` rows: agreements are
+/// fractions, every (dataset, gen_len) cell has an exact row that is its
+/// own reference, the cell's best non-exact quality-per-byte ratio meets
+/// the per-cell floor, and the H2O family actually evicted. Returns the
+/// recorded sweep-wide best ratio.
+fn check_backend_rows(results: &[Value]) -> f64 {
+    let field = |row: &Value, name: &str| -> f64 {
+        row.get(name)
+            .and_then(Value::as_f64)
+            .expect("validated above")
+    };
+    let mut cells: Vec<(String, u64)> = Vec::new();
+    let mut evictions = 0.0;
+    for row in results {
+        let agreement = field(row, "agreement");
+        if !(0.0..=1.0).contains(&agreement) {
+            fail("BENCH_backends.json: agreement outside [0, 1]");
+        }
+        evictions += field(row, "evictions");
+        let kind = row
+            .get("kind")
+            .and_then(Value::as_str)
+            .expect("validated above");
+        if kind == "exact"
+            && (agreement != 1.0 || (field(row, "qpb_ratio_vs_exact") - 1.0).abs() > 1e-6)
+        {
+            fail("BENCH_backends.json: an exact row is not its own reference");
+        }
+        let cell = (
+            row.get("dataset")
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| fail("BENCH_backends.json: row missing string 'dataset'"))
+                .to_string(),
+            field(row, "gen_len") as u64,
+        );
+        if !cells.contains(&cell) {
+            cells.push(cell);
+        }
+    }
+    if evictions <= 0.0 {
+        fail("BENCH_backends.json: the H2O rows never evicted");
+    }
+    let mut hero = f64::NEG_INFINITY;
+    for (dataset, gen_len) in &cells {
+        let best = results
+            .iter()
+            .filter(|r| {
+                r.get("dataset").and_then(Value::as_str) == Some(dataset)
+                    && field(r, "gen_len") as u64 == *gen_len
+                    && r.get("kind").and_then(Value::as_str) != Some("exact")
+            })
+            .map(|r| field(r, "qpb_ratio_vs_exact"))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best < BACKEND_QPB_FLOOR {
+            fail(&format!(
+                "BENCH_backends.json: {dataset}/g{gen_len} records a best non-exact \
+                 quality-per-byte ratio of {best:.2}x, below the {BACKEND_QPB_FLOOR:.2}x \
+                 floor — the baseline itself regressed"
+            ));
+        }
+        hero = hero.max(best);
+    }
+    if hero < BACKEND_HERO_FLOOR {
+        fail(&format!(
+            "BENCH_backends.json: sweep-best quality-per-byte ratio {hero:.2}x never \
+             reached the {BACKEND_HERO_FLOOR:.2}x floor — no sparse backend beat exact"
+        ));
+    }
+    hero
+}
+
+/// Quick re-measurement of the backend-zoo quality-per-byte effect: the
+/// committed sweep's hero cell (alpaca-shaped, gen 32), four backends,
+/// in-process. The traffic counters are deterministic, so unlike the timed
+/// gates this one must reproduce exactly; it pins that H2O eviction still
+/// beats exact attention per KV byte moved on the short-prompt workload.
+fn measure_backend_qpb() -> (f64, f64) {
+    let model = Model::random(ModelConfig::tiny("backend-bench", 2, 256, 4), 7);
+    let mut bench = alpaca_shaped(256, 2, 23);
+    bench.gen_len = 32;
+    let kinds = vec![
+        ("exact".to_string(), AttentionKind::Exact),
+        ("lad".to_string(), AttentionKind::Lad(LadConfig::default())),
+        ("topk-16".to_string(), AttentionKind::topk(16)),
+        ("h2o-8+4".to_string(), AttentionKind::h2o_budget(8, 4)),
+    ];
+    let rows = backend_quality_report(&model, &[bench], &kinds);
+    let exact_qpb = rows[0].quality_per_mbyte_moved();
+    if rows[0].backend != "exact" || rows[0].agreement != 1.0 {
+        fail("backend_quality re-measure: exact row is not its own reference");
+    }
+    if rows[3].evictions == 0 {
+        fail("backend_quality re-measure: the H2O cell never evicted");
+    }
+    let best = rows[1..]
+        .iter()
+        .map(|r| r.quality_per_mbyte_moved() / exact_qpb)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let h2o = rows[3].quality_per_mbyte_moved() / exact_qpb;
+    (best, h2o)
 }
 
 /// Fails on any `BENCH_*.json` at the repo root this binary has no gate
@@ -480,12 +602,31 @@ fn main() {
         &kernels_doc,
         &["baseline_us", "variant_us", "speedup", "floor", "bit_exact"],
     );
+    let backends_doc = load("BENCH_backends.json");
+    let backend_results = check_schema(
+        "BENCH_backends.json",
+        &backends_doc,
+        &[
+            "gen_len",
+            "agreement",
+            "mbytes_moved",
+            "evictions",
+            "quality_per_mbyte",
+            "qpb_ratio_vs_exact",
+        ],
+    );
     println!(
         "BENCH_gemm.json / BENCH_pool.json / BENCH_serve.json / BENCH_spec.json / \
-         BENCH_kernels.json: schemas ok"
+         BENCH_kernels.json / BENCH_backends.json: schemas ok"
     );
     check_no_ungated_baselines();
     println!("no ungated BENCH_*.json at the repo root");
+
+    let recorded_backend_hero = check_backend_rows(backend_results);
+    println!(
+        "recorded backend-zoo best quality-per-byte ratio: {recorded_backend_hero:.2}x \
+         (per-cell floor {BACKEND_QPB_FLOOR:.2}x, sweep floor {BACKEND_HERO_FLOOR:.2}x)"
+    );
 
     let (recorded_simd_gemm, recorded_f16_read) = check_kernel_rows(kernel_results);
     println!(
@@ -596,6 +737,27 @@ fn main() {
         fail(&format!(
             "measured accepted length {accept_len:.2} tokens/round — the verifier \
              never accepted a real draft token"
+        ));
+    }
+
+    section("bench_check: quick re-measurement (backend_quality, one alpaca cell)");
+    let (backend_best, backend_h2o) = measure_backend_qpb();
+    println!(
+        "best non-exact qpb ratio {backend_best:.2}x, h2o-8+4 {backend_h2o:.2}x \
+         (recorded sweep best {recorded_backend_hero:.2}x, floor {BACKEND_QPB_FLOOR:.2}x)"
+    );
+    if backend_best < BACKEND_QPB_FLOOR {
+        fail(&format!(
+            "measured backend-zoo quality-per-byte ratio {backend_best:.2}x regressed \
+             below the {BACKEND_QPB_FLOOR:.2}x floor (baseline recorded \
+             {recorded_backend_hero:.2}x sweep best)"
+        ));
+    }
+    if backend_h2o < BACKEND_HERO_FLOOR {
+        fail(&format!(
+            "measured H2O quality-per-byte ratio {backend_h2o:.2}x regressed below the \
+             {BACKEND_HERO_FLOOR:.2}x hero floor — eviction no longer pays for itself \
+             on the hero cell"
         ));
     }
 

@@ -55,7 +55,7 @@ pub enum Identification {
 }
 
 /// Configuration of a LAD attention head.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LadConfig {
     /// The interval partition and PWL coefficients.
     pub pwl: PwlExp,
@@ -305,6 +305,12 @@ impl LadAttention {
         let scores = &mut scratch.scores;
         let exact = &mut scratch.exact;
         let mut large_mode_exact = 0usize;
+        // Traffic counters: key/value vectors fetched from the KV arena this
+        // step, incremented at every read site below. Center-book internal
+        // maintenance (`add_key` above) reads through a detached view and is
+        // modelled by the `centers` stat instead.
+        let mut keys_fetched = 0usize;
+        let mut values_fetched = 0usize;
 
         let identify_span = lad_obs::span("lad.identify");
         match self.cfg.identification {
@@ -313,6 +319,7 @@ impl LadAttention {
                     scores[i] = f64::from(vector::dot(q_scaled, self.kv.key(i)));
                     exact[i] = true;
                 }
+                keys_fetched += n;
             }
             Identification::Approximate => {
                 // EAS.1: exact scores of directional centers only.
@@ -323,6 +330,7 @@ impl LadAttention {
                     scratch.by_pos[c] = s;
                     scores[c] = s;
                     exact[c] = true;
+                    keys_fetched += 1;
                 }
                 // EAS.2: rescale via dnorm.
                 for i in 0..n {
@@ -341,6 +349,7 @@ impl LadAttention {
                             scores[i] = f64::from(vector::dot(q_scaled, self.kv.key(i)));
                             exact[i] = true;
                             large_mode_exact += 1;
+                            keys_fetched += 1;
                         }
                     }
                 }
@@ -350,6 +359,7 @@ impl LadAttention {
                     if !exact[i] && self.cached_mode[i].is_none() {
                         scores[i] = f64::from(vector::dot(q_scaled, self.kv.key(i)));
                         exact[i] = true;
+                        keys_fetched += 1;
                     }
                 }
             }
@@ -391,6 +401,7 @@ impl LadAttention {
             let s_exact = if exact[j] {
                 scores[j]
             } else {
+                keys_fetched += 1;
                 f64::from(vector::dot(q_scaled, self.kv.key(j)))
             };
             let shifted = s_exact - m;
@@ -403,6 +414,7 @@ impl LadAttention {
             // Correction factor; zero for false positives (id == cached).
             let cf = alpha * shifted + beta;
             if cf != 0.0 {
+                values_fetched += 1;
                 for (slot, &vc) in num.iter_mut().zip(self.kv.value(j)) {
                     *slot += cf * f64::from(vc);
                 }
@@ -420,6 +432,8 @@ impl LadAttention {
                     .delta_update(alpha, beta, self.kv.key(j), self.kv.value(j));
                 self.cached_mode[j] = Some(id);
                 mode_updates += 1;
+                keys_fetched += 1;
+                values_fetched += 1;
             }
         }
         drop(correct_span);
@@ -440,6 +454,7 @@ impl LadAttention {
                 let (a, b) = self.cfg.pwl.coeffs(id);
                 let w = a * shifted + b;
                 if w != 0.0 {
+                    values_fetched += 1;
                     for (slot, &vc) in num.iter_mut().zip(self.kv.value(i)) {
                         *slot += w * f64::from(vc);
                     }
@@ -474,6 +489,7 @@ impl LadAttention {
             num.clear();
             num.resize(d, 0.0);
             let mut w_den = 0.0f64;
+            values_fetched += scratch.window_scores.len();
             for &(i, score) in &scratch.window_scores {
                 let w = (score - m_w).exp();
                 w_den += w;
@@ -487,6 +503,8 @@ impl LadAttention {
         // -- Diagnostics: oracle comparison of the active set.
         let (false_negatives, false_positives) =
             if self.cfg.diagnostics && self.cfg.identification == Identification::Approximate {
+                // The oracle comparison re-reads every cached position's key.
+                keys_fetched += self.cached_mode.iter().flatten().count();
                 self.identification_errors(q_scaled, m, &scratch.next_active)
             } else {
                 (0, 0)
@@ -502,6 +520,8 @@ impl LadAttention {
                 self.cache
                     .insert(a, b, self.kv.key(aged), self.kv.value(aged));
                 self.cached_mode[aged] = Some(mode);
+                keys_fetched += 1;
+                values_fetched += 1;
             }
         }
 
@@ -524,6 +544,14 @@ impl LadAttention {
                 false_negatives,
                 false_positives,
                 den_fallbacks,
+                // Every position receives a score (exact or center-estimated);
+                // only `keys_read` of them cost arena bandwidth.
+                keys_scored: n,
+                keys_read: keys_fetched,
+                bytes_moved: (keys_fetched + values_fetched)
+                    * d
+                    * self.kv.precision().bytes_per_element(),
+                evictions: 0,
                 // Scheduling metadata: the session that fanned this head out
                 // (if any) overwrites it with the scheduled width.
                 fanout_width: 0,

@@ -18,6 +18,33 @@
 //! accessors panic on it rather than silently decoding per call.
 
 use lad_math::{f16, simd, vector, F16};
+use std::cell::Cell;
+
+thread_local! {
+    /// Bytes fetched from KV arenas on this thread through the read
+    /// accessors below. A diagnostic shadow meter: the `bytes_moved`
+    /// invariant tests reset it, run a (single-threaded) decode and compare
+    /// the delta against the backend-reported [`crate::stats::StepStats`]
+    /// traffic counters. Reads through a detached [`KeysView`] (center-book
+    /// maintenance) are not metered — that traffic is modelled separately.
+    static TRAFFIC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Bytes read from KV arenas on this thread since the last
+/// [`reset_traffic_bytes`].
+pub fn traffic_bytes() -> u64 {
+    TRAFFIC_BYTES.with(Cell::get)
+}
+
+/// Zeroes this thread's KV traffic meter.
+pub fn reset_traffic_bytes() {
+    TRAFFIC_BYTES.with(|c| c.set(0));
+}
+
+#[inline]
+fn meter(bytes: usize) {
+    TRAFFIC_BYTES.with(|c| c.set(c.get() + bytes as u64));
+}
 
 /// Storage precision of a [`KvCache`]'s arenas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -154,6 +181,7 @@ impl KvCache {
     /// / the precision-aware read kernels).
     pub fn key(&self, position: usize) -> &[f32] {
         self.assert_f32("key");
+        meter(self.dim * 4);
         &self.keys[position * self.dim..(position + 1) * self.dim]
     }
 
@@ -165,6 +193,7 @@ impl KvCache {
     /// [`KvCache::value_axpy`]).
     pub fn value(&self, position: usize) -> &[f32] {
         self.assert_f32("value");
+        meter(self.dim * 4);
         &self.values[position * self.dim..(position + 1) * self.dim]
     }
 
@@ -203,6 +232,7 @@ impl KvCache {
             KvPrecision::F16,
             "KvCache::key_bits: f32 cache has no fp16 encoding"
         );
+        meter(self.dim * 2);
         &self.keys16[position * self.dim..(position + 1) * self.dim]
     }
 
@@ -214,6 +244,7 @@ impl KvCache {
     /// Panics if out of bounds or `out.len() != dim`.
     pub fn key_into(&self, position: usize, out: &mut [f32]) {
         assert_eq!(out.len(), self.dim, "KvCache::key_into: dim mismatch");
+        meter(self.dim * self.precision.bytes_per_element());
         match self.precision {
             KvPrecision::F32 => {
                 out.copy_from_slice(&self.keys[position * self.dim..(position + 1) * self.dim]);
@@ -242,6 +273,7 @@ impl KvCache {
     /// Panics if `qs.len() != dim`.
     pub fn score_keys_into(&self, qs: &[f32], out: &mut Vec<f64>) {
         assert_eq!(qs.len(), self.dim, "KvCache::score_keys_into: dim mismatch");
+        meter(self.len() * self.dim * self.precision.bytes_per_element());
         match self.precision {
             KvPrecision::F32 => {
                 out.extend(
@@ -269,6 +301,7 @@ impl KvCache {
     /// Panics if out of bounds or `acc.len() != dim`.
     pub fn value_axpy(&self, position: usize, w: f64, acc: &mut [f64]) {
         assert_eq!(acc.len(), self.dim, "KvCache::value_axpy: dim mismatch");
+        meter(self.dim * self.precision.bytes_per_element());
         let range = position * self.dim..(position + 1) * self.dim;
         match self.precision {
             KvPrecision::F32 => {
@@ -520,6 +553,35 @@ mod tests {
         let mut key_buf = vec![0.0f32; 3];
         kv.key_into(2, &mut key_buf);
         assert_eq!(&key_buf[..], kv.key(2));
+    }
+
+    #[test]
+    fn traffic_meter_counts_read_bytes() {
+        let mut kv = KvCache::new(4);
+        for i in 0..3 {
+            kv.push(&[i as f32; 4], &[1.0; 4]);
+        }
+        reset_traffic_bytes();
+        assert_eq!(traffic_bytes(), 0);
+        let _ = kv.key(0); // 16 B
+        let _ = kv.value(1); // 16 B
+        let mut scores = Vec::new();
+        kv.score_keys_into(&[1.0; 4], &mut scores); // 3 keys = 48 B
+        let mut acc = vec![0.0f64; 4];
+        kv.value_axpy(2, 1.0, &mut acc); // 16 B
+        let mut buf = vec![0.0f32; 4];
+        kv.key_into(0, &mut buf); // 16 B
+        assert_eq!(traffic_bytes(), 16 + 16 + 48 + 16 + 16);
+
+        // fp16 arenas meter at two bytes per element.
+        let mut kv16 = KvCache::with_precision(4, KvPrecision::F16);
+        kv16.push(&[1.0; 4], &[2.0; 4]);
+        reset_traffic_bytes();
+        kv16.key_into(0, &mut buf); // 8 B
+        kv16.value_axpy(0, 1.0, &mut acc); // 8 B
+        let _ = kv16.key_bits(0); // 8 B
+        assert_eq!(traffic_bytes(), 24);
+        reset_traffic_bytes();
     }
 
     #[test]

@@ -33,6 +33,23 @@ pub struct StepStats {
     /// 1 when the PWL denominator degenerated (near-zero / negative /
     /// non-finite) and the step fell back to exact window-only softmax.
     pub den_fallbacks: usize,
+    /// Positions that received an attention score this step (exact or
+    /// approximated). Full-cache backends score all `n`; evicting backends
+    /// score only their live set.
+    pub keys_scored: usize,
+    /// Key vectors physically fetched from the KV arena this step. For LAD
+    /// this counts the sparse exact-score fetches (centers, large modes,
+    /// window, corrections, maintenance) — the bandwidth the accelerator
+    /// actually spends; center-book internal maintenance reads are modelled
+    /// by `centers` and excluded here.
+    pub keys_read: usize,
+    /// KV arena bytes fetched this step (keys and values, at the arena's
+    /// storage precision) — the quality-per-byte-moved denominator. Matches
+    /// the [`crate::kv`] traffic meter for every backend.
+    pub bytes_moved: usize,
+    /// Positions evicted (masked dead) by the backend this step; 0 for
+    /// non-evicting backends.
+    pub evictions: usize,
     /// Width of the head fan-out this step was scheduled with (1 = inline
     /// sequential, >1 = shared-pool fan-out, 0 = head stepped outside a
     /// session). Scheduling metadata only — see [`StepStats::algorithmic`].
@@ -115,6 +132,15 @@ pub struct StatsSummary {
     /// Total degenerate-denominator fallbacks across the aggregated steps —
     /// a *sum*, not a mean: a single fallback anywhere is worth surfacing.
     pub total_den_fallbacks: usize,
+    /// Mean positions scored per step.
+    pub mean_keys_scored: f64,
+    /// Mean key vectors fetched from the KV arena per step.
+    pub mean_keys_read: f64,
+    /// Total KV arena bytes fetched across the aggregated steps — a *sum*:
+    /// the quality-per-byte-moved denominator of the backend comparison.
+    pub total_bytes_moved: usize,
+    /// Total positions evicted across the aggregated steps — a *sum*.
+    pub total_evictions: usize,
     /// Mean scheduled head fan-out width.
     pub mean_fanout_width: f64,
     /// Worker-pool tasks stolen while these steps decoded (0 unless injected
@@ -166,6 +192,10 @@ impl StatsSummary {
             sum.mean_false_positives += s.false_positives as f64;
             sum.mean_kv_reads += s.kv_reads() as f64;
             sum.total_den_fallbacks += s.den_fallbacks;
+            sum.mean_keys_scored += s.keys_scored as f64;
+            sum.mean_keys_read += s.keys_read as f64;
+            sum.total_bytes_moved += s.bytes_moved;
+            sum.total_evictions += s.evictions;
             sum.mean_fanout_width += s.fanout_width as f64;
         }
         if sum.steps > 0 {
@@ -179,6 +209,8 @@ impl StatsSummary {
             sum.mean_false_negatives /= n;
             sum.mean_false_positives /= n;
             sum.mean_kv_reads /= n;
+            sum.mean_keys_scored /= n;
+            sum.mean_keys_read /= n;
             sum.mean_fanout_width /= n;
         }
         sum
@@ -264,6 +296,10 @@ mod tests {
             false_negatives: 0,
             false_positives: 1,
             den_fallbacks: 0,
+            keys_scored: 100,
+            keys_read: 27,
+            bytes_moved: 4_320,
+            evictions: 0,
             fanout_width: 1,
         };
         assert_eq!(s.kv_reads(), 27);
@@ -366,6 +402,31 @@ mod tests {
     }
 
     #[test]
+    fn traffic_counters_aggregate_as_means_and_sums() {
+        let a = StepStats {
+            n: 10,
+            keys_scored: 10,
+            keys_read: 6,
+            bytes_moved: 640,
+            evictions: 1,
+            ..StepStats::default()
+        };
+        let b = StepStats {
+            n: 11,
+            keys_scored: 8,
+            keys_read: 8,
+            bytes_moved: 512,
+            evictions: 2,
+            ..StepStats::default()
+        };
+        let sum = StatsSummary::from_steps([&a, &b]);
+        assert!((sum.mean_keys_scored - 9.0).abs() < 1e-12);
+        assert!((sum.mean_keys_read - 7.0).abs() < 1e-12);
+        assert_eq!(sum.total_bytes_moved, 1_152, "bytes_moved is a sum");
+        assert_eq!(sum.total_evictions, 3, "evictions is a sum");
+    }
+
+    #[test]
     fn pool_metrics_attach_to_summary() {
         let metrics = crate::pool::PoolMetrics {
             tasks_executed: 10,
@@ -424,6 +485,10 @@ mod tests {
             false_negatives: 8,
             false_positives: 9,
             den_fallbacks: 10,
+            keys_scored: 12,
+            keys_read: 13,
+            bytes_moved: 14,
+            evictions: 15,
             fanout_width: 11,
         };
         let StepStats {
@@ -438,6 +503,13 @@ mod tests {
             false_negatives,
             false_positives,
             den_fallbacks,
+            // Traffic counters: determined by the backend's read policy
+            // alone, so they are algorithmic — the differential harness pins
+            // them across schedules for every backend.
+            keys_scored,
+            keys_read,
+            bytes_moved,
+            evictions,
             // Metadata fields: `algorithmic()` must zero them.
             fanout_width,
         } = step.algorithmic();
@@ -455,6 +527,10 @@ mod tests {
             ),
             (6, 7, 8, 9, 10)
         );
+        assert_eq!(
+            (keys_scored, keys_read, bytes_moved, evictions),
+            (12, 13, 14, 15)
+        );
         assert_eq!(fanout_width, 0, "metadata must not survive algorithmic()");
 
         let StatsSummary {
@@ -471,6 +547,10 @@ mod tests {
             mean_false_positives: _,
             mean_kv_reads: _,
             total_den_fallbacks: _,
+            mean_keys_scored: _,
+            mean_keys_read: _,
+            total_bytes_moved: _,
+            total_evictions: _,
             // Scheduling metadata: injected via with_pool_metrics /
             // with_gemm_metrics or aggregated from StepStats metadata.
             mean_fanout_width: _,

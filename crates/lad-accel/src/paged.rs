@@ -20,6 +20,40 @@ use serde::{Deserialize, Serialize};
 /// Tokens per KV block (vLLM's default).
 pub const BLOCK_TOKENS: usize = 16;
 
+/// Per-sequence paged state: token count, per-token liveness, and which of
+/// the sequence's blocks have been reclaimed by eviction.
+///
+/// Evicting attention backends (H2O, streaming) mark positions dead via
+/// [`BlockPool::mark_dead`]; a block whose 16 tokens are all dead *and* all
+/// materialised (no partial tail block) is returned to the pool while the
+/// sequence keeps running — the paged analogue of H2O freeing device memory
+/// mid-decode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SeqState {
+    /// Tokens admitted plus appended (dead ones included).
+    tokens: usize,
+    /// Per-token eviction flag (`true` = every head dropped it).
+    dead: Vec<bool>,
+    /// Per-block reclaimed flag; a reclaimed block has been handed back to
+    /// the pool while the sequence stays live.
+    reclaimed: Vec<bool>,
+}
+
+impl SeqState {
+    fn new(tokens: usize) -> SeqState {
+        SeqState {
+            tokens,
+            dead: vec![false; tokens],
+            reclaimed: vec![false; BlockPool::blocks_for(tokens)],
+        }
+    }
+
+    /// Blocks this sequence currently holds from the pool.
+    fn blocks_held(&self) -> usize {
+        BlockPool::blocks_for(self.tokens) - self.reclaimed.iter().filter(|&&r| r).count()
+    }
+}
+
 /// A paged KV-cache pool for one model on one device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BlockPool {
@@ -29,9 +63,9 @@ pub struct BlockPool {
     total_blocks: usize,
     /// Free block count.
     free_blocks: usize,
-    /// Sequence slots: token count of each live sequence, `None` for a
+    /// Sequence slots: paged state of each live sequence, `None` for a
     /// released slot awaiting reuse. Slot index == sequence id.
-    slots: Vec<Option<usize>>,
+    slots: Vec<Option<SeqState>>,
     /// Released slot indices available for reuse (LIFO).
     free_ids: Vec<usize>,
 }
@@ -73,9 +107,34 @@ impl BlockPool {
         self.slots.iter().flatten().count()
     }
 
-    /// Token count of live sequence `id`, `None` if the slot is released.
+    /// Token count of live sequence `id` (dead tokens included), `None` if
+    /// the slot is released.
     pub fn sequence_tokens(&self, id: usize) -> Option<usize> {
-        self.slots.get(id).copied().flatten()
+        self.slots.get(id)?.as_ref().map(|s| s.tokens)
+    }
+
+    /// Tokens of live sequence `id` not yet marked dead, `None` if released.
+    pub fn live_tokens(&self, id: usize) -> Option<usize> {
+        let state = self.slots.get(id)?.as_ref()?;
+        Some(state.tokens - state.dead.iter().filter(|&&d| d).count())
+    }
+
+    /// Whether position `pos` of sequence `id` has been marked dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range/released or `pos` is out of range.
+    pub fn is_dead(&self, id: usize, pos: usize) -> bool {
+        let state = self.slots[id]
+            .as_ref()
+            .expect("BlockPool::is_dead: released sequence");
+        state.dead[pos]
+    }
+
+    /// Blocks sequence `id` currently holds from the pool (reclaimed blocks
+    /// excluded), `None` if released.
+    pub fn blocks_held(&self, id: usize) -> Option<usize> {
+        Some(self.slots.get(id)?.as_ref()?.blocks_held())
     }
 
     /// Blocks needed to hold `tokens` tokens.
@@ -103,14 +162,51 @@ impl BlockPool {
         match self.free_ids.pop() {
             Some(id) => {
                 debug_assert!(self.slots[id].is_none(), "free list held a live slot");
-                self.slots[id] = Some(prompt_tokens);
+                self.slots[id] = Some(SeqState::new(prompt_tokens));
                 Some(id)
             }
             None => {
-                self.slots.push(Some(prompt_tokens));
+                self.slots.push(Some(SeqState::new(prompt_tokens)));
                 Some(self.slots.len() - 1)
             }
         }
+    }
+
+    /// Marks position `pos` of sequence `id` dead (evicted by every
+    /// attention head). When this completes a fully-materialised,
+    /// fully-dead block, the block is handed back to the pool immediately;
+    /// returns `true` exactly when that happened. Idempotent per position.
+    ///
+    /// The sequence's *partial tail block* is never reclaimed even if all
+    /// its tokens die — the sequence is still appending into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range/released or `pos >= sequence_tokens`.
+    pub fn mark_dead(&mut self, id: usize, pos: usize) -> bool {
+        let state = self.slots[id]
+            .as_mut()
+            .expect("BlockPool::mark_dead: released sequence");
+        assert!(
+            pos < state.tokens,
+            "BlockPool::mark_dead: position {pos} beyond sequence length {}",
+            state.tokens
+        );
+        if state.dead[pos] {
+            return false;
+        }
+        state.dead[pos] = true;
+        let block = pos / BLOCK_TOKENS;
+        let start = block * BLOCK_TOKENS;
+        let end = start + BLOCK_TOKENS;
+        let fully_covered = end <= state.tokens;
+        if fully_covered && !state.reclaimed[block] && state.dead[start..end].iter().all(|&d| d) {
+            state.reclaimed[block] = true;
+            self.free_blocks += 1;
+            debug_assert!(self.free_blocks <= self.total_blocks);
+            return true;
+        }
+        false
     }
 
     /// Appends one token to sequence `id`. Returns `false` (preemption
@@ -120,7 +216,10 @@ impl BlockPool {
     ///
     /// Panics if `id` is out of range or already released.
     pub fn append_token(&mut self, id: usize) -> bool {
-        let tokens = self.slots[id].expect("BlockPool::append_token: released sequence");
+        let tokens = self.slots[id]
+            .as_ref()
+            .expect("BlockPool::append_token: released sequence")
+            .tokens;
         let needs_block = tokens.is_multiple_of(BLOCK_TOKENS);
         if needs_block {
             if self.free_blocks == 0 {
@@ -128,7 +227,12 @@ impl BlockPool {
             }
             self.free_blocks -= 1;
         }
-        self.slots[id] = Some(tokens + 1);
+        let state = self.slots[id].as_mut().expect("checked live above");
+        state.tokens = tokens + 1;
+        state.dead.push(false);
+        if needs_block {
+            state.reclaimed.push(false);
+        }
         true
     }
 
@@ -143,7 +247,10 @@ impl BlockPool {
     /// (release the sequence instead), or if `keep_tokens` exceeds the
     /// sequence's current token count (truncation never grows).
     pub fn truncate(&mut self, id: usize, keep_tokens: usize) {
-        let tokens = self.slots[id].expect("BlockPool::truncate: released sequence");
+        let state = self.slots[id]
+            .as_mut()
+            .expect("BlockPool::truncate: released sequence");
+        let tokens = state.tokens;
         assert!(
             keep_tokens > 0,
             "BlockPool::truncate: cannot keep zero tokens"
@@ -152,9 +259,29 @@ impl BlockPool {
             keep_tokens <= tokens,
             "BlockPool::truncate: keep {keep_tokens} exceeds current {tokens}"
         );
-        self.free_blocks += BlockPool::blocks_for(tokens) - BlockPool::blocks_for(keep_tokens);
+        let keep_blocks = BlockPool::blocks_for(keep_tokens);
+        // The dropped tail only returns blocks the sequence still holds —
+        // reclaimed ones already went back to the pool via `mark_dead`.
+        let freed = state.reclaimed[keep_blocks..]
+            .iter()
+            .filter(|&&r| !r)
+            .count();
+        state.tokens = keep_tokens;
+        state.dead.truncate(keep_tokens);
+        state.reclaimed.truncate(keep_blocks);
+        // A reclaimed block that just became the partial tail must be taken
+        // back: the sequence will append into it again.
+        let mut rematerialized = 0;
+        if !keep_tokens.is_multiple_of(BLOCK_TOKENS) && state.reclaimed[keep_blocks - 1] {
+            state.reclaimed[keep_blocks - 1] = false;
+            rematerialized = 1;
+        }
+        assert!(
+            self.free_blocks + freed >= rematerialized,
+            "BlockPool::truncate: cannot re-materialise the reclaimed tail block"
+        );
+        self.free_blocks = self.free_blocks + freed - rematerialized;
         debug_assert!(self.free_blocks <= self.total_blocks);
-        self.slots[id] = Some(keep_tokens);
     }
 
     /// Releases exactly the blocks of sequence `id` (retirement or
@@ -164,8 +291,11 @@ impl BlockPool {
     ///
     /// Panics if `id` is out of range or already released (double free).
     pub fn release(&mut self, id: usize) {
-        let tokens = self.slots[id].expect("BlockPool::release: double free");
-        self.free_blocks += BlockPool::blocks_for(tokens);
+        let held = self.slots[id]
+            .as_ref()
+            .expect("BlockPool::release: double free")
+            .blocks_held();
+        self.free_blocks += held;
         debug_assert!(self.free_blocks <= self.total_blocks);
         self.slots[id] = None;
         self.free_ids.push(id);
@@ -183,8 +313,8 @@ impl BlockPool {
         self.slots
             .iter()
             .flatten()
-            .map(|&tokens| {
-                let used = tokens % BLOCK_TOKENS;
+            .map(|state| {
+                let used = state.tokens % BLOCK_TOKENS;
                 if used == 0 {
                     0
                 } else {
@@ -421,6 +551,193 @@ mod tests {
         let id = p.admit(16).unwrap();
         p.release(id);
         p.append_token(id);
+    }
+
+    #[test]
+    fn mark_dead_reclaims_only_full_interior_blocks() {
+        let mut p = pool(64); // 8 blocks
+        let id = p.admit(40).unwrap(); // 3 blocks (16 + 16 + 8)
+        assert_eq!(p.free_blocks(), 5);
+        // Kill block 0 one token at a time: only the 16th flip reclaims.
+        for pos in 0..15 {
+            assert!(!p.mark_dead(id, pos));
+            assert_eq!(p.free_blocks(), 5);
+        }
+        assert!(p.mark_dead(id, 15), "16th dead token reclaims block 0");
+        assert_eq!(p.free_blocks(), 6);
+        assert_eq!(p.blocks_held(id), Some(2));
+        assert_eq!(p.live_tokens(id), Some(24));
+        // Idempotent: re-marking a dead position changes nothing.
+        assert!(!p.mark_dead(id, 3));
+        assert_eq!(p.free_blocks(), 6);
+        // The partial tail block (tokens 32..40) is never reclaimed.
+        for pos in 32..40 {
+            assert!(!p.mark_dead(id, pos));
+        }
+        assert_eq!(p.free_blocks(), 6);
+        assert!(p.is_dead(id, 15) && !p.is_dead(id, 16));
+    }
+
+    #[test]
+    fn append_into_dead_tail_completes_and_reclaims_block() {
+        let mut p = pool(64);
+        let id = p.admit(24).unwrap(); // 2 blocks, tail half full
+        for pos in 16..24 {
+            assert!(!p.mark_dead(id, pos), "partial tail must not reclaim");
+        }
+        // Growing the tail to 32 tokens materialises the block fully; the
+        // live appends keep it un-reclaimed until they die too.
+        for _ in 0..8 {
+            assert!(p.append_token(id));
+        }
+        assert_eq!(p.free_blocks(), 6);
+        for pos in 24..31 {
+            assert!(!p.mark_dead(id, pos));
+        }
+        assert!(p.mark_dead(id, 31), "fully-dead full block reclaims");
+        assert_eq!(p.free_blocks(), 7);
+        assert_eq!(p.blocks_held(id), Some(1));
+    }
+
+    #[test]
+    fn release_returns_only_held_blocks_after_reclaim() {
+        let mut p = pool(64); // 8 blocks
+        let id = p.admit(48).unwrap(); // 3 blocks
+        for pos in 16..32 {
+            p.mark_dead(id, pos);
+        }
+        assert_eq!(p.free_blocks(), 6, "interior block reclaimed");
+        p.release(id);
+        assert_eq!(p.free_blocks(), p.total_blocks(), "no double count");
+    }
+
+    #[test]
+    fn truncate_skips_already_reclaimed_tail_blocks() {
+        let mut p = pool(64); // 8 blocks
+        let id = p.admit(48).unwrap(); // 3 blocks
+        for pos in 32..48 {
+            p.mark_dead(id, pos);
+        }
+        assert_eq!(p.free_blocks(), 6, "tail block 2 reclaimed by eviction");
+        // Dropping the dead tail must not free block 2 a second time.
+        p.truncate(id, 32);
+        assert_eq!(p.free_blocks(), 6);
+        assert_eq!(p.blocks_held(id), Some(2));
+        p.release(id);
+        assert_eq!(p.free_blocks(), p.total_blocks());
+    }
+
+    #[test]
+    fn truncate_rematerializes_reclaimed_partial_tail() {
+        let mut p = pool(64); // 8 blocks
+        let id = p.admit(48).unwrap(); // 3 blocks
+        for pos in 16..32 {
+            p.mark_dead(id, pos);
+        }
+        assert_eq!(p.free_blocks(), 6);
+        // Truncating into the middle of reclaimed block 1 makes it the
+        // partial tail again: the pool must take one block back for it.
+        p.truncate(id, 24);
+        assert_eq!(p.blocks_held(id), Some(2));
+        // Block 2 was freed by the truncation, block 1 re-materialised:
+        // net 6 + 1 - 1 = 6 free.
+        assert_eq!(p.free_blocks(), 6);
+        assert!(p.append_token(id), "tail block is writable again");
+        assert_eq!(p.sequence_tokens(id), Some(25));
+        p.release(id);
+        assert_eq!(p.free_blocks(), p.total_blocks());
+    }
+
+    #[test]
+    fn eviction_mix_keeps_shadow_accounting_consistent() {
+        // Randomised admit/append/mark_dead/truncate/release mix; after
+        // every op, free + sum(blocks_held) == total and blocks_held matches
+        // a from-scratch recount of each sequence's dead map.
+        let mut p = pool(256); // 32 blocks
+        let mut shadow: Vec<(usize, Vec<bool>)> = Vec::new(); // (id, dead)
+        let mut rng = 0x2545f491u64;
+        let mut next = |m: usize| {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((rng >> 33) as usize) % m.max(1)
+        };
+        for step in 0..600 {
+            match next(5) {
+                0 => {
+                    let prompt = next(60) + 1;
+                    if let Some(id) = p.admit(prompt) {
+                        shadow.push((id, vec![false; prompt]));
+                    }
+                }
+                1 if !shadow.is_empty() => {
+                    let idx = next(shadow.len());
+                    let (id, dead) = &mut shadow[idx];
+                    if p.append_token(*id) {
+                        dead.push(false);
+                    }
+                }
+                2 if !shadow.is_empty() => {
+                    let idx = next(shadow.len());
+                    let (id, dead) = &mut shadow[idx];
+                    let pos = next(dead.len());
+                    p.mark_dead(*id, pos);
+                    dead[pos] = true;
+                }
+                3 if !shadow.is_empty() => {
+                    let idx = next(shadow.len());
+                    let (id, dead) = &mut shadow[idx];
+                    let keep = next(dead.len()) + 1;
+                    // Skip the one unrepresentable case: re-materialising a
+                    // reclaimed tail block from an empty pool.
+                    let keep_blocks = BlockPool::blocks_for(keep);
+                    let tail_reclaimed = !keep.is_multiple_of(BLOCK_TOKENS)
+                        && (keep_blocks * BLOCK_TOKENS <= dead.len())
+                        && dead[(keep_blocks - 1) * BLOCK_TOKENS..keep_blocks * BLOCK_TOKENS]
+                            .iter()
+                            .all(|&d| d);
+                    if !(tail_reclaimed && p.free_blocks() == 0) {
+                        p.truncate(*id, keep);
+                        dead.truncate(keep);
+                        if tail_reclaimed {
+                            // The impl re-materialised the tail: mirror by
+                            // keeping the dead flags (they stay dead).
+                        }
+                    }
+                }
+                4 if !shadow.is_empty() => {
+                    let idx = next(shadow.len());
+                    let (id, _) = shadow.swap_remove(idx);
+                    p.release(id);
+                }
+                _ => {}
+            }
+            // Shadow recount.
+            let mut held_total = 0;
+            for (id, dead) in &shadow {
+                let tokens = dead.len();
+                assert_eq!(p.sequence_tokens(*id), Some(tokens), "step {step}");
+                let blocks = BlockPool::blocks_for(tokens);
+                let mut held = 0;
+                for b in 0..blocks {
+                    let start = b * BLOCK_TOKENS;
+                    let end = start + BLOCK_TOKENS;
+                    let reclaimed = end <= tokens && dead[start..end].iter().all(|&d| d);
+                    if !reclaimed {
+                        held += 1;
+                    }
+                }
+                assert_eq!(p.blocks_held(*id), Some(held), "step {step} seq {id}");
+                let live = tokens - dead.iter().filter(|&&d| d).count();
+                assert_eq!(p.live_tokens(*id), Some(live), "step {step} seq {id}");
+                held_total += held;
+            }
+            assert_eq!(
+                p.free_blocks() + held_total,
+                p.total_blocks(),
+                "step {step}: pool accounting diverged from shadow recount"
+            );
+        }
     }
 
     #[test]

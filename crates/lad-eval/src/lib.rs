@@ -5,6 +5,9 @@
 //!   fidelity harnesses (paper Tables I and II).
 //! * [`precision`] — quality-per-byte scorecards for the reduced-precision
 //!   decode paths (fp16 KV arenas, int8 projection weights).
+//! * [`backends`] — quality-per-byte-**moved** scorecards for the sparse
+//!   attention backend zoo (exact, LAD, top-k, H2O) from the per-step
+//!   traffic counters.
 //! * [`datasets`] — seeded synthetic prompt sets and corpora shaped after the
 //!   paper's benchmark suites (alpaca/gsm8k/mmlu, wikitext2/openbookQA/
 //!   lambada) — see `DESIGN.md` for the substitution rationale.
@@ -21,12 +24,14 @@
 //! assert!(scores.rouge1 > 0.8);
 //! ```
 
+pub mod backends;
 pub mod datasets;
 pub mod precision;
 pub mod quality;
 pub mod report;
 pub mod rouge;
 
+pub use backends::{backend_quality_report, backend_zoo, BackendQualityRow};
 pub use datasets::{ChoiceTask, PromptSet, TokenSampler};
 pub use precision::{precision_quality_report, PrecisionVariant};
 pub use quality::{choice_accuracy, generation_fidelity, mean_nll, perplexity};

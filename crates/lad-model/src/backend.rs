@@ -1,15 +1,26 @@
 //! Pluggable attention backends.
 //!
-//! Each attention head of a decode session runs one of four backends,
-//! mirroring the paper's comparison set (Sec. V-A):
+//! Each attention head of a decode session runs one backend from the zoo,
+//! mirroring the paper's comparison set (Sec. V-A) plus the sparse-attention
+//! families it implicitly argues with:
 //!
 //! * [`AttentionKind::Exact`] — the original model (vLLM baseline).
 //! * [`AttentionKind::Lad`] — LAD attention ([`lad_core`]).
 //! * [`AttentionKind::QserveKv4`] — Qserve's A16W16KV4 configuration: the KV
 //!   cache is quantised to 4 bits, everything else fp16.
-//! * [`AttentionKind::H2o`] — the Heavy-Hitter Oracle: only the top
-//!   `heavy_ratio` cumulative-attention positions plus the `recent_ratio`
-//!   most recent ones are kept; the rest are evicted permanently.
+//! * [`AttentionKind::H2o`] — the Heavy-Hitter Oracle with *ratio* knobs:
+//!   only the top `heavy_ratio` cumulative-attention positions plus the
+//!   `recent_ratio` most recent ones are kept; the rest are evicted.
+//! * [`AttentionKind::TopK`] — dynamic top-k selection: exact scores over
+//!   every key, softmax restricted to the `k` best-scoring positions
+//!   (deterministic ties: lowest index wins).
+//! * [`AttentionKind::H2O`] — budget-based H2O eviction: an absolute
+//!   `budget` of heavy hitters plus a `recent` window, evicting per step so
+//!   the live set never exceeds `budget + recent`.
+//!
+//! Every backend reports the shared [`StepStats`] traffic counters
+//! (`keys_scored`, `keys_read`, `bytes_moved`, `evictions`) and implements
+//! the full checkpoint/rollback contract speculative decoding relies on.
 
 use lad_core::decoder::{LadAttention, LadCheckpoint, LadConfig};
 use lad_core::kv::{KvCache, KvPrecision};
@@ -19,7 +30,7 @@ use lad_math::softmax::softmax;
 use lad_math::vector;
 
 /// Which attention algorithm a head runs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AttentionKind {
     /// Exact softmax attention over the full KV cache.
     Exact,
@@ -51,6 +62,28 @@ pub enum AttentionKind {
         /// Recent positions kept.
         window: usize,
     },
+    /// Dynamic top-k selection: exact scores over **all** keys, softmax
+    /// restricted to the `k` best-scoring positions. Ties are broken
+    /// deterministically by lowest position index, so decodes are
+    /// reproducible across schedules and kernels. With `k >= n` this is
+    /// bit-identical to [`AttentionKind::Exact`].
+    TopK {
+        /// Positions kept per step (must be at least 1).
+        k: usize,
+    },
+    /// Budget-based H2O eviction: the `budget` positions with the highest
+    /// accumulated attention mass plus the `recent` newest live positions
+    /// survive each step; everything else is evicted (masked dead in the
+    /// arena, accounted exactly in the paged pool). Cumulative-mass ties are
+    /// broken deterministically: the lowest index is kept. While the live
+    /// set fits inside `budget + recent`, outputs are bit-identical to
+    /// [`AttentionKind::Exact`].
+    H2O {
+        /// Heavy-hitter positions retained by accumulated attention mass.
+        budget: usize,
+        /// Newest live positions always retained (must be at least 1).
+        recent: usize,
+    },
 }
 
 impl AttentionKind {
@@ -69,6 +102,16 @@ impl AttentionKind {
             window: 256,
         }
     }
+
+    /// Top-k selection keeping `k` positions per step.
+    pub fn topk(k: usize) -> AttentionKind {
+        AttentionKind::TopK { k }
+    }
+
+    /// Budget-based H2O keeping `budget` heavy hitters + `recent` newest.
+    pub fn h2o_budget(budget: usize, recent: usize) -> AttentionKind {
+        AttentionKind::H2O { budget, recent }
+    }
 }
 
 /// Output of one head step.
@@ -76,7 +119,10 @@ impl AttentionKind {
 pub struct HeadStepOutput {
     /// Attention output (length `d`).
     pub output: Vec<f32>,
-    /// LAD instrumentation (only for the LAD backend).
+    /// Per-step instrumentation. Every backend reports the shared traffic
+    /// counters (`n`, `keys_scored`, `keys_read`, `bytes_moved`,
+    /// `evictions`); the LAD backend additionally fills its
+    /// identification/correction fields.
     pub stats: Option<StepStats>,
     /// Shifted scores (`sᵢ − m`) when recording was requested and the backend
     /// computes dense scores.
@@ -121,6 +167,15 @@ pub enum HeadState {
         /// Window size.
         window: usize,
     },
+    /// Top-k selection over the full cache (no eviction).
+    TopK {
+        /// The head's KV cache.
+        kv: KvCache,
+        /// Positions kept per step.
+        k: usize,
+    },
+    /// Budget-based H2O eviction state.
+    H2OBudget(H2oBudgetState),
 }
 
 /// State of an H2O head: KV cache plus cumulative attention mass and
@@ -132,6 +187,20 @@ pub struct H2oState {
     alive: Vec<bool>,
     heavy_ratio: f64,
     recent_ratio: f64,
+}
+
+/// State of a budget-based H2O head ([`AttentionKind::H2O`]): the KV arena
+/// stays append-only (evicted positions are masked dead, never compacted),
+/// so checkpoint/rollback and paged accounting work exactly like every other
+/// backend. All reads go through the precision-aware kernels, so fp16 arenas
+/// work unchanged.
+#[derive(Debug, Clone)]
+pub struct H2oBudgetState {
+    kv: KvCache,
+    cumulative: Vec<f64>,
+    alive: Vec<bool>,
+    budget: usize,
+    recent: usize,
 }
 
 /// Snapshot of a [`HeadState`], taken before a speculative row so rejected
@@ -160,6 +229,15 @@ pub enum HeadCheckpoint {
     Streaming {
         /// KV arena length at the checkpoint.
         kv_len: usize,
+        /// Liveness per position.
+        alive: Vec<bool>,
+    },
+    /// Budget-based H2O head: arena length plus cumulative mass and liveness.
+    H2OBudget {
+        /// KV arena length at the checkpoint.
+        kv_len: usize,
+        /// Cumulative attention mass per position.
+        cumulative: Vec<f64>,
         /// Liveness per position.
         alive: Vec<bool>,
     },
@@ -195,18 +273,103 @@ impl HeadState {
                 sinks: *sinks,
                 window: *window,
             },
+            AttentionKind::TopK { k } => {
+                assert!(*k >= 1, "AttentionKind::TopK: k must be at least 1");
+                HeadState::TopK {
+                    kv: KvCache::new(dim),
+                    k: *k,
+                }
+            }
+            AttentionKind::H2O { budget, recent } => {
+                assert!(
+                    *recent >= 1,
+                    "AttentionKind::H2O: recent must be at least 1"
+                );
+                HeadState::H2OBudget(H2oBudgetState {
+                    kv: KvCache::new(dim),
+                    cumulative: Vec::new(),
+                    alive: Vec::new(),
+                    budget: *budget,
+                    recent: *recent,
+                })
+            }
+        }
+    }
+
+    /// Like [`HeadState::new`] but with an explicit KV storage precision.
+    ///
+    /// Only the full-cache and sparse-selection backends support fp16 arenas
+    /// (`Exact`/`ExactF16`, `TopK`, `H2O`) — their reads all go through the
+    /// precision-aware kernels. `Exact` with [`KvPrecision::F16`] is the
+    /// `ExactF16` backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics for backends without an fp16 read path (LAD, Qserve, ratio-H2O,
+    /// streaming).
+    pub fn with_kv_precision(
+        dim: usize,
+        kind: &AttentionKind,
+        precision: KvPrecision,
+    ) -> HeadState {
+        if precision == KvPrecision::F32 {
+            return HeadState::new(dim, kind);
+        }
+        match kind {
+            AttentionKind::Exact | AttentionKind::ExactF16 => HeadState::ExactF16 {
+                kv: KvCache::with_precision(dim, KvPrecision::F16),
+            },
+            AttentionKind::TopK { k } => {
+                assert!(*k >= 1, "AttentionKind::TopK: k must be at least 1");
+                HeadState::TopK {
+                    kv: KvCache::with_precision(dim, KvPrecision::F16),
+                    k: *k,
+                }
+            }
+            AttentionKind::H2O { budget, recent } => {
+                assert!(
+                    *recent >= 1,
+                    "AttentionKind::H2O: recent must be at least 1"
+                );
+                HeadState::H2OBudget(H2oBudgetState {
+                    kv: KvCache::with_precision(dim, KvPrecision::F16),
+                    cumulative: Vec::new(),
+                    alive: Vec::new(),
+                    budget: *budget,
+                    recent: *recent,
+                })
+            }
+            other => panic!("HeadState::with_kv_precision: no fp16 read path for {other:?}"),
         }
     }
 
     /// Current KV length (for evicting backends this counts live positions).
     pub fn live_len(&self) -> usize {
         match self {
-            HeadState::Exact { kv } | HeadState::ExactF16 { kv } | HeadState::Qserve { kv } => {
-                kv.len()
-            }
+            HeadState::Exact { kv }
+            | HeadState::ExactF16 { kv }
+            | HeadState::Qserve { kv }
+            | HeadState::TopK { kv, .. } => kv.len(),
             HeadState::Lad(head) => head.kv().len(),
             HeadState::H2o(state) => state.alive.iter().filter(|&&a| a).count(),
             HeadState::Streaming { alive, .. } => alive.iter().filter(|&&a| a).count(),
+            HeadState::H2OBudget(state) => state.alive.iter().filter(|&&a| a).count(),
+        }
+    }
+
+    /// Whether arena position `pos` is still live: `false` once an evicting
+    /// backend (H2O, streaming) has discarded it, or if it was never decoded.
+    /// Non-evicting backends report every decoded position live.
+    pub fn is_alive(&self, pos: usize) -> bool {
+        match self {
+            HeadState::Exact { kv }
+            | HeadState::ExactF16 { kv }
+            | HeadState::Qserve { kv }
+            | HeadState::TopK { kv, .. } => pos < kv.len(),
+            HeadState::Lad(head) => pos < head.kv().len(),
+            HeadState::H2o(state) => state.alive.get(pos).copied().unwrap_or(false),
+            HeadState::Streaming { alive, .. } => alive.get(pos).copied().unwrap_or(false),
+            HeadState::H2OBudget(state) => state.alive.get(pos).copied().unwrap_or(false),
         }
     }
 
@@ -219,9 +382,11 @@ impl HeadState {
             HeadState::Exact { kv }
             | HeadState::ExactF16 { kv }
             | HeadState::Qserve { kv }
-            | HeadState::Streaming { kv, .. } => kv.stored_bytes(),
+            | HeadState::Streaming { kv, .. }
+            | HeadState::TopK { kv, .. } => kv.stored_bytes(),
             HeadState::Lad(head) => head.kv().stored_bytes(),
             HeadState::H2o(state) => state.kv.stored_bytes(),
+            HeadState::H2OBudget(state) => state.kv.stored_bytes(),
         }
     }
 
@@ -230,9 +395,10 @@ impl HeadState {
     /// [`restore`]: HeadState::restore
     pub fn checkpoint(&self) -> HeadCheckpoint {
         match self {
-            HeadState::Exact { kv } | HeadState::ExactF16 { kv } | HeadState::Qserve { kv } => {
-                HeadCheckpoint::KvLen(kv.len())
-            }
+            HeadState::Exact { kv }
+            | HeadState::ExactF16 { kv }
+            | HeadState::Qserve { kv }
+            | HeadState::TopK { kv, .. } => HeadCheckpoint::KvLen(kv.len()),
             HeadState::Lad(head) => HeadCheckpoint::Lad(Box::new(head.checkpoint())),
             HeadState::H2o(state) => HeadCheckpoint::H2o {
                 kv_len: state.kv.len(),
@@ -242,6 +408,11 @@ impl HeadState {
             HeadState::Streaming { kv, alive, .. } => HeadCheckpoint::Streaming {
                 kv_len: kv.len(),
                 alive: alive.clone(),
+            },
+            HeadState::H2OBudget(state) => HeadCheckpoint::H2OBudget {
+                kv_len: state.kv.len(),
+                cumulative: state.cumulative.clone(),
+                alive: state.alive.clone(),
             },
         }
     }
@@ -257,7 +428,10 @@ impl HeadState {
     pub fn restore(&mut self, ck: &HeadCheckpoint) {
         match (self, ck) {
             (
-                HeadState::Exact { kv } | HeadState::ExactF16 { kv } | HeadState::Qserve { kv },
+                HeadState::Exact { kv }
+                | HeadState::ExactF16 { kv }
+                | HeadState::Qserve { kv }
+                | HeadState::TopK { kv, .. },
                 HeadCheckpoint::KvLen(len),
             ) => {
                 kv.truncate(*len);
@@ -285,6 +459,18 @@ impl HeadState {
                 kv.truncate(*kv_len);
                 alive.clone_from(ck_alive);
             }
+            (
+                HeadState::H2OBudget(state),
+                HeadCheckpoint::H2OBudget {
+                    kv_len,
+                    cumulative,
+                    alive,
+                },
+            ) => {
+                state.kv.truncate(*kv_len);
+                state.cumulative.clone_from(cumulative);
+                state.alive.clone_from(alive);
+            }
             _ => panic!("HeadState::restore: checkpoint from a different backend"),
         }
     }
@@ -292,27 +478,18 @@ impl HeadState {
     /// Executes one decoding step.
     pub fn step(&mut self, q: &[f32], k: &[f32], v: &[f32], record_scores: bool) -> HeadStepOutput {
         match self {
-            HeadState::Exact { kv } => {
-                let _kv_span = lad_obs::span("kernel.kv_read_f32");
+            HeadState::Exact { kv } | HeadState::ExactF16 { kv } => {
+                let _kv_span = lad_obs::span(match kv.precision() {
+                    KvPrecision::F32 => "kernel.kv_read_f32",
+                    KvPrecision::F16 => "kernel.kv_read_f16",
+                });
                 kv.push(k, v);
-                let scores = reference::scores(q, kv);
-                let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let output = reference::exact_attention(q, kv);
+                let n = kv.len();
+                let bpe = kv.precision().bytes_per_element();
+                let (output, scores, m) = exact_single_pass(q, kv);
                 HeadStepOutput {
                     output,
-                    stats: None,
-                    shifted_scores: record_scores.then(|| scores.iter().map(|s| s - m).collect()),
-                }
-            }
-            HeadState::ExactF16 { kv } => {
-                let _kv_span = lad_obs::span("kernel.kv_read_f16");
-                kv.push(k, v);
-                let scores = reference::scores(q, kv);
-                let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let output = reference::exact_attention(q, kv);
-                HeadStepOutput {
-                    output,
-                    stats: None,
+                    stats: Some(traffic_stats(n, n, n, 2 * n * kv.dim() * bpe, 0)),
                     shifted_scores: record_scores.then(|| scores.iter().map(|s| s - m).collect()),
                 }
             }
@@ -326,17 +503,21 @@ impl HeadState {
             }
             HeadState::Qserve { kv } => {
                 kv.push(&quantize_int4(k), &quantize_int4(v));
+                let n = kv.len();
                 HeadStepOutput {
                     output: reference::exact_attention(q, kv),
-                    stats: None,
+                    stats: Some(traffic_stats(n, n, n, 2 * n * kv.dim() * 4, 0)),
                     shifted_scores: None,
                 }
             }
-            HeadState::H2o(state) => HeadStepOutput {
-                output: state.step(q, k, v),
-                stats: None,
-                shifted_scores: None,
-            },
+            HeadState::H2o(state) => {
+                let (output, stats) = state.step(q, k, v);
+                HeadStepOutput {
+                    output,
+                    stats: Some(stats),
+                    shifted_scores: None,
+                }
+            }
             HeadState::Streaming {
                 kv,
                 alive,
@@ -346,11 +527,13 @@ impl HeadState {
                 kv.push(k, v);
                 alive.push(true);
                 let n = kv.len();
+                let mut evictions = 0usize;
                 // Evict the position leaving the window (sinks survive).
                 if n > *sinks + *window {
                     let leaving = n - *window - 1;
-                    if leaving >= *sinks {
+                    if leaving >= *sinks && alive[leaving] {
                         alive[leaving] = false;
+                        evictions = 1;
                     }
                 }
                 let qs = reference::scale_query(q);
@@ -361,22 +544,125 @@ impl HeadState {
                 for (&i, &p) in live.iter().zip(&probs) {
                     vector::axpy(&mut output, p, kv.value(i));
                 }
+                let d = kv.dim();
                 HeadStepOutput {
                     output,
-                    stats: None,
+                    stats: Some(traffic_stats(
+                        n,
+                        live.len(),
+                        live.len(),
+                        2 * live.len() * d * 4,
+                        evictions,
+                    )),
                     shifted_scores: None,
                 }
             }
+            HeadState::TopK { kv, k: top_k } => {
+                kv.push(k, v);
+                let n = kv.len();
+                let d = kv.dim();
+                let bpe = kv.precision().bytes_per_element();
+                let scores = reference::scores(q, kv);
+                let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                // Selection: highest score first, ties broken by lowest
+                // index, so the kept set (and therefore the decode) is
+                // deterministic across schedules and kernels.
+                let selected = {
+                    let _span = lad_obs::span("attn.topk_select");
+                    let mut idx: Vec<usize> = (0..n).collect();
+                    idx.sort_by(|&a, &b| {
+                        scores[b]
+                            .partial_cmp(&scores[a])
+                            .expect("attention scores are finite")
+                            .then_with(|| a.cmp(&b))
+                    });
+                    idx.truncate(*top_k);
+                    idx.sort_unstable();
+                    idx
+                };
+                // Softmax restricted to the selection, accumulated in the
+                // same ascending-index order as exact attention. The global
+                // max is always selected, so `m` is also the selected max —
+                // with `k >= n` this loop is bit-identical to Exact.
+                let mut num = vec![0.0f64; d];
+                let mut den = 0.0f64;
+                for &i in &selected {
+                    let w = (scores[i] - m).exp();
+                    den += w;
+                    kv.value_axpy(i, w, &mut num);
+                }
+                let output = num.into_iter().map(|x| (x / den) as f32).collect();
+                HeadStepOutput {
+                    output,
+                    stats: Some(traffic_stats(
+                        n,
+                        n,
+                        n,
+                        n * d * bpe + selected.len() * d * bpe,
+                        0,
+                    )),
+                    shifted_scores: record_scores.then(|| scores.iter().map(|s| s - m).collect()),
+                }
+            }
+            HeadState::H2OBudget(state) => state.step(q, k, v, record_scores),
         }
     }
 }
 
+/// Single-pass exact softmax over the whole cache: one metered score sweep,
+/// one value read per position, accumulated in [`reference::exact_attention`]'s
+/// exact order (bit-identical output) while exposing the dense scores and
+/// their max for recording.
+fn exact_single_pass(q: &[f32], kv: &KvCache) -> (Vec<f32>, Vec<f64>, f64) {
+    let scores = reference::scores(q, kv);
+    let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut num = vec![0.0f64; kv.dim()];
+    let mut den = 0.0f64;
+    for (i, &si) in scores.iter().enumerate() {
+        let w = (si - m).exp();
+        den += w;
+        kv.value_axpy(i, w, &mut num);
+    }
+    let output = num.into_iter().map(|x| (x / den) as f32).collect();
+    (output, scores, m)
+}
+
+/// Builds a [`StepStats`] carrying only the shared traffic counters — the
+/// identification/correction fields are LAD-specific and stay zero for the
+/// rest of the zoo.
+fn traffic_stats(
+    n: usize,
+    keys_scored: usize,
+    keys_read: usize,
+    bytes_moved: usize,
+    evictions: usize,
+) -> StepStats {
+    StepStats {
+        n,
+        centers: 0,
+        large_mode_exact: 0,
+        active: 0,
+        window: 0,
+        mode_updates: 0,
+        new_active: 0,
+        false_negatives: 0,
+        false_positives: 0,
+        den_fallbacks: 0,
+        keys_scored,
+        keys_read,
+        bytes_moved,
+        evictions,
+        fanout_width: 0,
+    }
+}
+
 impl H2oState {
-    fn step(&mut self, q: &[f32], k: &[f32], v: &[f32]) -> Vec<f32> {
+    fn step(&mut self, q: &[f32], k: &[f32], v: &[f32]) -> (Vec<f32>, StepStats) {
         self.kv.push(k, v);
         self.cumulative.push(0.0);
         self.alive.push(true);
         let n = self.kv.len();
+        let d = self.kv.dim();
         let qs = reference::scale_query(q);
 
         // Scores over live positions only.
@@ -387,7 +673,7 @@ impl H2oState {
             .collect();
         let probs = softmax(&scores);
 
-        let mut output = vec![0.0f32; self.kv.dim()];
+        let mut output = vec![0.0f32; d];
         for (&i, &p) in live.iter().zip(&probs) {
             self.cumulative[i] += f64::from(p);
             vector::axpy(&mut output, p, self.kv.value(i));
@@ -395,6 +681,7 @@ impl H2oState {
 
         // Eviction: keep the most recent `recent_k` live positions plus the
         // `heavy_k` highest cumulative-mass among the rest.
+        let mut evictions = 0usize;
         let recent_k = ((self.recent_ratio * n as f64).ceil() as usize).max(1);
         let heavy_k = ((self.heavy_ratio * n as f64).ceil() as usize).max(1);
         if live.len() > recent_k + heavy_k {
@@ -407,9 +694,83 @@ impl H2oState {
             });
             for &evict in &older[heavy_k..] {
                 self.alive[evict] = false;
+                evictions += 1;
             }
         }
-        output
+        let stats = traffic_stats(n, live.len(), live.len(), 2 * live.len() * d * 4, evictions);
+        (output, stats)
+    }
+}
+
+impl H2oBudgetState {
+    fn step(&mut self, q: &[f32], k: &[f32], v: &[f32], record_scores: bool) -> HeadStepOutput {
+        self.kv.push(k, v);
+        self.cumulative.push(0.0);
+        self.alive.push(true);
+        let n = self.kv.len();
+        let d = self.kv.dim();
+        let bpe = self.kv.precision().bytes_per_element();
+        let qs = reference::scale_query(q);
+
+        // Scores over live positions only, read per-key through the
+        // precision-aware decode. On f32 arenas each dot is bit-identical to
+        // the bulk score sweep Exact runs, so until the first eviction the
+        // whole step mirrors exact attention bit-for-bit.
+        let live: Vec<usize> = (0..n).filter(|&i| self.alive[i]).collect();
+        let mut key_buf = vec![0.0f32; d];
+        let scores: Vec<f64> = live
+            .iter()
+            .map(|&i| {
+                self.kv.key_into(i, &mut key_buf);
+                f64::from(vector::dot(&qs, &key_buf))
+            })
+            .collect();
+        let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut num = vec![0.0f64; d];
+        let mut den = 0.0f64;
+        let mut weights = Vec::with_capacity(live.len());
+        for (&i, &si) in live.iter().zip(&scores) {
+            let w = (si - m).exp();
+            den += w;
+            weights.push(w);
+            self.kv.value_axpy(i, w, &mut num);
+        }
+        let output: Vec<f32> = num.into_iter().map(|x| (x / den) as f32).collect();
+        for (&i, &w) in live.iter().zip(&weights) {
+            self.cumulative[i] += w / den;
+        }
+
+        // Evict down to `budget + recent`: the newest `recent` live
+        // positions always survive; among the older ones the `budget`
+        // highest accumulated-mass positions are kept (ties: lowest index).
+        let mut evictions = 0usize;
+        if live.len() > self.budget + self.recent {
+            let _span = lad_obs::span("attn.h2o_evict");
+            let recent_cut = live.len() - self.recent;
+            let mut older: Vec<usize> = live[..recent_cut].to_vec();
+            older.sort_by(|&a, &b| {
+                self.cumulative[b]
+                    .partial_cmp(&self.cumulative[a])
+                    .expect("cumulative mass is finite")
+                    .then_with(|| a.cmp(&b))
+            });
+            for &evict in &older[self.budget..] {
+                self.alive[evict] = false;
+                evictions += 1;
+            }
+        }
+
+        HeadStepOutput {
+            output,
+            stats: Some(traffic_stats(
+                n,
+                live.len(),
+                live.len(),
+                2 * live.len() * d * bpe,
+                evictions,
+            )),
+            shifted_scores: record_scores.then(|| scores.iter().map(|s| s - m).collect()),
+        }
     }
 }
 
@@ -654,6 +1015,8 @@ mod tests {
                 sinks: 2,
                 window: 8,
             },
+            AttentionKind::topk(4),
+            AttentionKind::h2o_budget(12, 4),
         ];
         for kind in &kinds {
             let mut rng = Rng::new(51);
@@ -695,6 +1058,225 @@ mod tests {
         let exact = HeadState::new(4, &AttentionKind::Exact);
         let mut lad = HeadState::new(4, &AttentionKind::Lad(LadConfig::default()));
         lad.restore(&exact.checkpoint());
+    }
+
+    #[test]
+    fn topk_matches_exact_bitwise_when_k_covers_cache() {
+        let mut rng = Rng::new(54);
+        let d = 8;
+        let mut exact = HeadState::new(d, &AttentionKind::Exact);
+        let mut topk = HeadState::new(d, &AttentionKind::topk(64));
+        for _ in 0..30 {
+            let (q, k, v) = (
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+            );
+            let e = exact.step(&q, &k, &v, true);
+            let t = topk.step(&q, &k, &v, true);
+            assert_eq!(t.output, e.output, "k >= n must be bit-identical");
+            assert_eq!(t.shifted_scores, e.shifted_scores);
+        }
+    }
+
+    #[test]
+    fn topk_diverges_from_exact_when_k_is_small() {
+        let mut rng = Rng::new(55);
+        let d = 8;
+        let mut exact = HeadState::new(d, &AttentionKind::Exact);
+        let mut topk = HeadState::new(d, &AttentionKind::topk(4));
+        let mut drift = 0.0f32;
+        for _ in 0..60 {
+            let (q, k, v) = (
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+            );
+            let e = exact.step(&q, &k, &v, false);
+            let t = topk.step(&q, &k, &v, false);
+            drift = drift.max(vector::relative_l2(&t.output, &e.output));
+        }
+        assert!(drift > 1e-4, "top-4 of 60 should drift, drift = {drift}");
+    }
+
+    #[test]
+    fn topk_tie_break_keeps_lowest_index() {
+        // Identical keys -> identical scores; the deterministic tie-break
+        // must keep position 0, so the output is exactly its value.
+        let d = 4;
+        let mut head = HeadState::new(d, &AttentionKind::topk(1));
+        let key = [1.0, 0.0, 0.0, 0.0];
+        let q = [1.0; 4];
+        let values = [[1.0f32; 4], [2.0; 4], [3.0; 4]];
+        let mut last = Vec::new();
+        for v in &values {
+            last = head.step(&q, &key, v, false).output;
+        }
+        assert_eq!(last, values[0].to_vec());
+    }
+
+    #[test]
+    fn h2o_budget_caps_live_set_and_keeps_recent() {
+        let mut rng = Rng::new(56);
+        let d = 8;
+        let mut head = HeadState::new(d, &AttentionKind::h2o_budget(8, 4));
+        let mut total_evictions = 0;
+        for _ in 0..100 {
+            let out = head.step(
+                &rng.normal_vec(d, 1.0),
+                &rng.normal_vec(d, 1.0),
+                &rng.normal_vec(d, 1.0),
+                false,
+            );
+            total_evictions += out.stats.expect("h2o reports stats").evictions;
+        }
+        assert_eq!(head.live_len(), 12, "live set must sit at budget + recent");
+        assert_eq!(total_evictions, 88, "every dead position is one eviction");
+        let HeadState::H2OBudget(state) = &head else {
+            unreachable!()
+        };
+        for i in 96..100 {
+            assert!(state.alive[i], "recent position {i} evicted");
+        }
+        let dead = (0..100).filter(|&i| !head.is_alive(i)).count();
+        assert_eq!(dead, 88);
+        assert!(head.is_alive(99));
+    }
+
+    #[test]
+    fn h2o_budget_matches_exact_bitwise_until_eviction() {
+        let mut rng = Rng::new(57);
+        let d = 8;
+        let mut exact = HeadState::new(d, &AttentionKind::Exact);
+        let mut h2o = HeadState::new(d, &AttentionKind::h2o_budget(40, 8));
+        // 30 steps never exceed the 48-position live cap: no eviction yet,
+        // so the decode must be bit-identical to exact attention.
+        for _ in 0..30 {
+            let (q, k, v) = (
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+                rng.normal_vec(d, 1.0),
+            );
+            let e = exact.step(&q, &k, &v, true);
+            let h = h2o.step(&q, &k, &v, true);
+            assert_eq!(h.output, e.output, "pre-eviction H2O must match exact");
+            assert_eq!(h.shifted_scores, e.shifted_scores);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "recent must be at least 1")]
+    fn h2o_budget_requires_recent() {
+        HeadState::new(4, &AttentionKind::h2o_budget(4, 0));
+    }
+
+    #[test]
+    fn every_backend_reports_traffic_stats() {
+        let d = 8;
+        let kinds = [
+            AttentionKind::Exact,
+            AttentionKind::ExactF16,
+            AttentionKind::Lad(LadConfig::default()),
+            AttentionKind::QserveKv4,
+            AttentionKind::h2o_default(),
+            AttentionKind::streaming_default(),
+            AttentionKind::topk(4),
+            AttentionKind::h2o_budget(8, 4),
+        ];
+        for kind in &kinds {
+            let mut rng = Rng::new(58);
+            let mut head = HeadState::new(d, kind);
+            for i in 0..10 {
+                let out = head.step(
+                    &rng.normal_vec(d, 1.0),
+                    &rng.normal_vec(d, 1.0),
+                    &rng.normal_vec(d, 1.0),
+                    false,
+                );
+                let stats = out.stats.unwrap_or_else(|| panic!("{kind:?}: no stats"));
+                assert_eq!(stats.n, i + 1, "{kind:?}");
+                assert!(stats.keys_scored >= 1, "{kind:?}");
+                assert!(stats.keys_read >= 1, "{kind:?}");
+                assert!(stats.bytes_moved > 0, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_bytes_match_traffic_meter() {
+        use lad_core::kv::{reset_traffic_bytes, traffic_bytes};
+        let d = 8;
+        let kinds = [
+            AttentionKind::Exact,
+            AttentionKind::ExactF16,
+            AttentionKind::QserveKv4,
+            AttentionKind::h2o_default(),
+            AttentionKind::streaming_default(),
+            AttentionKind::topk(4),
+            AttentionKind::h2o_budget(8, 4),
+        ];
+        for kind in &kinds {
+            let mut rng = Rng::new(59);
+            let mut head = HeadState::new(d, kind);
+            for i in 0..40 {
+                let (q, k, v) = (
+                    rng.normal_vec(d, 1.0),
+                    rng.normal_vec(d, 1.0),
+                    rng.normal_vec(d, 1.0),
+                );
+                reset_traffic_bytes();
+                let out = head.step(&q, &k, &v, false);
+                let stats = out.stats.expect("stats present");
+                assert_eq!(
+                    traffic_bytes(),
+                    stats.bytes_moved as u64,
+                    "{kind:?} step {i}: analytic bytes diverge from metered bytes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_backends_support_f16_arenas() {
+        for kind in [AttentionKind::topk(6), AttentionKind::h2o_budget(12, 4)] {
+            let mut rng = Rng::new(60);
+            let d = 8;
+            let mut full = HeadState::new(d, &kind);
+            let mut half = HeadState::with_kv_precision(d, &kind, KvPrecision::F16);
+            let mut worst = 0.0f32;
+            for _ in 0..40 {
+                let (q, k, v) = (
+                    rng.normal_vec(d, 1.0),
+                    rng.normal_vec(d, 1.0),
+                    rng.normal_vec(d, 1.0),
+                );
+                let a = full.step(&q, &k, &v, false);
+                let b = half.step(&q, &k, &v, false);
+                worst = worst.max(vector::relative_l2(&b.output, &a.output));
+                let (sa, sb) = (a.stats.unwrap(), b.stats.unwrap());
+                assert_eq!(
+                    sa.bytes_moved,
+                    2 * sb.bytes_moved,
+                    "{kind:?}: fp16 halves traffic"
+                );
+            }
+            assert!(worst > 1e-7, "{kind:?}: fp16 should actually quantise");
+            assert!(
+                worst < 5e-3,
+                "{kind:?}: fp16 error unreasonably large: {worst}"
+            );
+            assert_eq!(half.kv_bytes() * 2, full.kv_bytes());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no fp16 read path")]
+    fn with_kv_precision_rejects_lad() {
+        HeadState::with_kv_precision(
+            4,
+            &AttentionKind::Lad(LadConfig::default()),
+            KvPrecision::F16,
+        );
     }
 
     #[test]

@@ -36,8 +36,9 @@ use std::sync::Arc;
 pub struct BatchResult {
     /// Generated tokens per sample, prompt order.
     pub sequences: Vec<Vec<u32>>,
-    /// LAD step statistics of every (sample, layer, head) at the final step
-    /// (empty for non-LAD backends).
+    /// Step statistics of every (sample, layer, head) at the final step —
+    /// every backend reports the shared traffic counters; LAD additionally
+    /// fills its identification fields.
     pub final_stats: Vec<StepStats>,
     /// Worker-pool scheduling counters metered across the whole batch (zero
     /// on the sequential path; best-effort on a pool shared with concurrent
@@ -267,8 +268,8 @@ pub struct BatchSession<'m> {
     parallelism: usize,
     /// Explicit pool override (`None` = the process-global pool).
     pool: Option<Arc<WorkerPool>>,
-    /// Per-sample LAD statistics from each sample's latest step, in
-    /// (layer, head) order (empty for non-LAD backends).
+    /// Per-sample statistics from each sample's latest step, in
+    /// (layer, head) order.
     last_stats: Vec<Vec<StepStats>>,
     scratch: BatchScratch,
     gemm_metrics: GemmBatchMetrics,
@@ -385,14 +386,18 @@ impl<'m> BatchSession<'m> {
     /// same attention backend as the session) and returns its index. Freed
     /// slots are reused before the session grows.
     pub fn add_sample(&mut self) -> usize {
+        let kind = self.kind.clone();
+        self.add_sample_with_kind(&kind)
+    }
+
+    /// Like [`BatchSession::add_sample`], but the fresh sample's heads run
+    /// `kind` instead of the session default — the serving engine uses this
+    /// to mix attention backends inside one step-synchronous batch.
+    pub fn add_sample_with_kind(&mut self, kind: &AttentionKind) -> usize {
         let cfg = &self.model.cfg;
         let d = cfg.head_dim();
         let fresh: Vec<Vec<HeadState>> = (0..cfg.layers)
-            .map(|_| {
-                (0..cfg.heads)
-                    .map(|_| HeadState::new(d, &self.kind))
-                    .collect()
-            })
+            .map(|_| (0..cfg.heads).map(|_| HeadState::new(d, kind)).collect())
             .collect();
         match self.free_slots.pop() {
             Some(slot) => {
@@ -438,8 +443,26 @@ impl<'m> BatchSession<'m> {
         self.pos[sample]
     }
 
-    /// LAD statistics of `sample` from its latest step, in (layer, head)
-    /// order (empty for non-LAD backends).
+    /// Arena positions of `sample` that **every** (layer, head) state has
+    /// evicted — safe for a paged KV allocator to reclaim. Non-evicting
+    /// backends never report any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is not live.
+    pub fn dead_positions(&self, sample: usize) -> Vec<usize> {
+        assert!(
+            self.is_live(sample),
+            "BatchSession::dead_positions: sample {sample} is not live"
+        );
+        let heads = &self.heads[sample];
+        (0..self.pos[sample])
+            .filter(|&p| heads.iter().flatten().all(|h| !h.is_alive(p)))
+            .collect()
+    }
+
+    /// Step statistics of `sample` from its latest step, in (layer, head)
+    /// order.
     pub fn last_stats(&self, sample: usize) -> &[StepStats] {
         &self.last_stats[sample]
     }
@@ -1094,10 +1117,15 @@ mod tests {
     }
 
     #[test]
-    fn exact_batch_has_no_stats() {
+    fn exact_batch_reports_traffic_stats() {
         let model = model();
         let batch = decode_batch(&model, &AttentionKind::Exact, &prompts(), 4, 3);
-        assert!(batch.final_stats.is_empty());
+        // 4 samples x 2 layers x 2 heads, each carrying traffic counters.
+        assert_eq!(batch.final_stats.len(), 16);
+        assert!(batch
+            .final_stats
+            .iter()
+            .all(|s| s.keys_scored == s.n && s.bytes_moved > 0));
         assert_eq!(batch.sequences.len(), 4);
     }
 
@@ -1124,6 +1152,8 @@ mod tests {
         for kind in [
             AttentionKind::Exact,
             AttentionKind::Lad(LadConfig::default()),
+            AttentionKind::topk(6),
+            AttentionKind::h2o_budget(12, 4),
         ] {
             let reference = decode_batch(&model, &kind, &prompts(), 10, 1);
             let batched = decode_batch_gemm(&model, &kind, &prompts(), 10, 1);
@@ -1253,6 +1283,8 @@ mod tests {
         for kind in [
             AttentionKind::Exact,
             AttentionKind::Lad(LadConfig::default()),
+            AttentionKind::topk(6),
+            AttentionKind::h2o_budget(12, 4),
         ] {
             let mut spec = BatchSession::new(&model, &kind, 2, 1);
             let mut seq = BatchSession::new(&model, &kind, 2, 1);
@@ -1290,6 +1322,8 @@ mod tests {
         for kind in [
             AttentionKind::Exact,
             AttentionKind::Lad(LadConfig::default()),
+            AttentionKind::topk(6),
+            AttentionKind::h2o_budget(12, 4),
         ] {
             let mut spec = BatchSession::new(&model, &kind, 1, 1);
             let mut seq = BatchSession::new(&model, &kind, 1, 1);

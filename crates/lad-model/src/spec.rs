@@ -406,6 +406,26 @@ mod tests {
     }
 
     #[test]
+    fn speculative_matches_greedy_for_sparse_backends() {
+        // The acceptance criterion for the sparse zoo: speculation with
+        // rollback (K = 4) and the degenerate one-token rounds (K = 0) must
+        // both reproduce plain greedy decoding token-for-token, with the
+        // budgets tight enough that top-k selection and H2O eviction are
+        // actually exercised mid-speculation.
+        let model = model();
+        let prompt = vec![3u32, 1, 4, 1, 5];
+        for kind in [AttentionKind::topk(4), AttentionKind::h2o_budget(8, 4)] {
+            let mut reference = Session::new(&model, &kind);
+            let want = reference.generate_greedy(&prompt, 24);
+            for k in [0usize, 4] {
+                let report =
+                    decode_speculative(&model, &kind, &prompt, 24, &SpecConfig::recency(k));
+                assert_eq!(report.tokens, want, "{kind:?} K={k} diverged from greedy");
+            }
+        }
+    }
+
+    #[test]
     fn cyclic_stream_reaches_high_acceptance() {
         // Greedy decoding of a tiny random model settles into a short cycle;
         // once the cycle has been seen the recency drafter predicts it

@@ -413,8 +413,9 @@ impl<'m> Session<'m> {
         self.pos
     }
 
-    /// LAD step statistics of all (layer, head) pairs from the latest step
-    /// (empty for non-LAD backends).
+    /// Step statistics of all (layer, head) pairs from the latest step —
+    /// every backend reports the shared traffic counters; LAD additionally
+    /// fills its identification fields.
     pub fn last_stats(&self) -> &[StepStats] {
         &self.last_stats
     }
@@ -791,6 +792,8 @@ mod tests {
             AttentionKind::Exact,
             AttentionKind::Lad(LadConfig::new(PwlExp::accurate_default())),
             AttentionKind::h2o_default(),
+            AttentionKind::topk(6),
+            AttentionKind::h2o_budget(12, 4),
         ];
         for kind in &kinds {
             let mut serial = Session::with_parallelism(&model, kind, 1);

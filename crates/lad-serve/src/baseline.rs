@@ -42,7 +42,10 @@ struct Member {
 /// Serves `requests` (arrival order) in fixed FIFO batches of
 /// `cfg.max_active` and returns the same report the continuous engine
 /// produces. `cfg.prefill_chunk` is ignored: the naive loop advances every
-/// member one token per step, prompt or generated alike.
+/// member one token per step, prompt or generated alike. Per-request
+/// backend overrides ([`Request::with_backend`]) are rejected: the naive
+/// baseline predates per-request backends and decodes every member with
+/// `kind`.
 ///
 /// # Panics
 ///
@@ -57,6 +60,10 @@ pub fn serve_fixed_batches(
     let started = Instant::now();
     let mut states: Vec<ReqState> = Vec::with_capacity(requests.len());
     for req in requests {
+        assert!(
+            req.backend.is_none(),
+            "serve: the fixed-batch baseline does not support per-request backends"
+        );
         if let Some(prev) = states.last() {
             assert!(
                 req.arrival_step >= prev.arrival_step,

@@ -19,6 +19,16 @@
 //! decoding is deterministic, so whatever the admission pattern, each
 //! request's token stream equals its solo [`lad_model::Session`] decode
 //! (`tests/serving.rs` pins this, preemption included).
+//!
+//! Requests may carry their own attention backend
+//! ([`Request::with_backend`]): each sample's heads are built with that
+//! kind at admission, so exact, LAD, top-k and H2O requests share one
+//! tick's GEMMs. After every tick the engine folds attention evictions
+//! back into the paged pool — positions that every head of a sample has
+//! evicted are marked dead ([`BlockPool::mark_dead`]), and fully-dead
+//! blocks return to the free list for new admissions. Preemption still
+//! recomputes: the folded prompt replays through the same backend, so
+//! eviction decisions (and the resulting stream) are reproduced exactly.
 
 use crate::{FinishReason, ReqState, Request, ServeConfig, ServeReport};
 use lad_accel::paged::BlockPool;
@@ -77,6 +87,8 @@ pub struct Engine<'m> {
     cfg: ServeConfig,
     session: BatchSession<'m>,
     pool: BlockPool,
+    /// Default attention backend for requests without an explicit one.
+    kind: AttentionKind,
     /// Waiting requests, FIFO by arrival (preempted requests re-enter at
     /// the front, which preserves arrival order — they arrived before
     /// everything still queued).
@@ -117,6 +129,7 @@ impl<'m> Engine<'m> {
             cfg,
             session,
             pool,
+            kind: kind.clone(),
             queue: VecDeque::new(),
             active: Vec::new(),
             step: 0,
@@ -227,7 +240,24 @@ impl<'m> Engine<'m> {
             }
             self.run_substep(false);
         }
+        self.reclaim_evicted();
         self.step += 1;
+    }
+
+    /// Folds attention evictions into the paged accounting: a position that
+    /// every (layer, head) state of a sample has evicted (H2O budget /
+    /// streaming-window backends) is marked dead in the pool, and a block
+    /// whose tokens are all dead returns to the free list. Runs after the
+    /// tick's sub-steps — past any speculative rollback — so only decisions
+    /// that survived verification are committed ([`BlockPool::mark_dead`] is
+    /// irreversible). Exact, top-k and LAD heads never evict, so for those
+    /// requests this is a no-op.
+    fn reclaim_evicted(&mut self) {
+        for a in &self.active {
+            for pos in self.session.dead_positions(a.slot) {
+                self.pool.mark_dead(a.pool_id, pos);
+            }
+        }
     }
 
     /// Reserves this tick's KV token for every decode-phase request,
@@ -314,7 +344,8 @@ impl<'m> Engine<'m> {
                 break;
             };
             let state = self.queue.pop_front().expect("front checked above");
-            let slot = self.session.add_sample();
+            let kind = state.backend.as_ref().unwrap_or(&self.kind).clone();
+            let slot = self.session.add_sample_with_kind(&kind);
             self.admissions += 1;
             // The drafter observes the incarnation's prompt up front. After
             // a preemption that prompt includes every token generated so
@@ -513,15 +544,26 @@ mod tests {
             .collect()
     }
 
-    /// Solo greedy reference, truncated after the first EOS (inclusive) the
-    /// way the engine retires.
-    fn solo(model: &Model, prompt: &[u32], max_tokens: usize, eos: Option<u32>) -> Vec<u32> {
-        let mut session = Session::new(model, &AttentionKind::Exact);
+    /// Solo greedy reference under `kind`, truncated after the first EOS
+    /// (inclusive) the way the engine retires.
+    fn solo_kind(
+        model: &Model,
+        kind: &AttentionKind,
+        prompt: &[u32],
+        max_tokens: usize,
+        eos: Option<u32>,
+    ) -> Vec<u32> {
+        let mut session = Session::new(model, kind);
         let full = session.generate_greedy(prompt, max_tokens);
         match eos.and_then(|e| full.iter().position(|&t| t == e)) {
             Some(at) => full[..=at].to_vec(),
             None => full,
         }
+    }
+
+    /// Exact-attention solo reference.
+    fn solo(model: &Model, prompt: &[u32], max_tokens: usize, eos: Option<u32>) -> Vec<u32> {
+        solo_kind(model, &AttentionKind::Exact, prompt, max_tokens, eos)
     }
 
     #[test]
@@ -801,6 +843,148 @@ mod tests {
         let out = &report.outcomes[0];
         assert_eq!(out.finish, FinishReason::Eos);
         assert_eq!(out.tokens, expect, "tokens past EOS must be discarded");
+    }
+
+    #[test]
+    fn mixed_backend_requests_match_their_solo_streams() {
+        let model = tiny_model();
+        let cfg = ServeConfig {
+            max_active: 4,
+            prefill_chunk: 2,
+            eos: None,
+            parallelism: 1,
+        };
+        let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(64));
+        // Engine default is exact; the other three override per request, so
+        // all four backends share the same engine ticks.
+        let mut engine = Engine::new(&model, &AttentionKind::Exact, pool, cfg);
+        let kinds: [(u64, Option<AttentionKind>); 4] = [
+            (0, None),
+            (
+                1,
+                Some(AttentionKind::Lad(lad_core::decoder::LadConfig::default())),
+            ),
+            (2, Some(AttentionKind::topk(6))),
+            (3, Some(AttentionKind::h2o_budget(12, 4))),
+        ];
+        for (id, kind) in &kinds {
+            let mut req =
+                Request::new(*id, prompt(*id, 8 + *id as usize), 20).arriving_at(*id as usize);
+            if let Some(kind) = kind {
+                req = req.with_backend(kind.clone());
+            }
+            engine.submit(req);
+        }
+        let report = engine.run();
+
+        assert_eq!(report.outcomes.len(), kinds.len());
+        assert_eq!(report.preemptions, 0);
+        let mut streams = Vec::new();
+        for (id, kind) in &kinds {
+            let got = report
+                .outcomes
+                .iter()
+                .find(|o| o.id == *id)
+                .expect("request retired")
+                .tokens
+                .clone();
+            let kind = kind.clone().unwrap_or(AttentionKind::Exact);
+            let want = solo_kind(&model, &kind, &prompt(*id, 8 + *id as usize), 20, None);
+            assert_eq!(got, want, "request {id} under {kind:?}");
+            streams.push(got);
+        }
+        // The backends genuinely disagree on this model (otherwise the test
+        // would pass with the per-request kind silently ignored).
+        assert!(
+            streams.iter().any(|s| s != &streams[0]),
+            "all backends produced one stream; per-request kinds untested"
+        );
+    }
+
+    #[test]
+    fn h2o_request_survives_forced_preemption() {
+        let model = tiny_model();
+        let cfg = ServeConfig {
+            max_active: 2,
+            prefill_chunk: 1,
+            eos: None,
+            parallelism: 1,
+        };
+        let kind = AttentionKind::h2o_budget(10, 4);
+        // Same three-block squeeze as the exact-attention preemption test:
+        // the H2O victim's KV (eviction state included) is dropped and must
+        // be reproduced by replaying the folded prompt through H2O again.
+        let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(3));
+        let mut engine = Engine::new(&model, &AttentionKind::Exact, pool, cfg);
+        let specs = [(0u64, 8usize, 24usize), (1, 8, 24)];
+        for &(id, plen, max) in &specs {
+            engine.submit(Request::new(id, prompt(id, plen), max).with_backend(kind.clone()));
+        }
+        let report = engine.run();
+
+        assert!(
+            report.preemptions >= 1,
+            "pool pressure must force a preemption"
+        );
+        for &(id, plen, max) in &specs {
+            let got = &report
+                .outcomes
+                .iter()
+                .find(|o| o.id == id)
+                .expect("request retired")
+                .tokens;
+            assert_eq!(
+                got,
+                &solo_kind(&model, &kind, &prompt(id, plen), max, None),
+                "request {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_returns_blocks_to_the_pool() {
+        let model = tiny_model();
+        let cfg = ServeConfig {
+            max_active: 2,
+            prefill_chunk: 4,
+            eos: None,
+            parallelism: 1,
+        };
+        // Streaming-window requests keep only 4 sinks + the 8 newest
+        // positions alive, so interior blocks go fully dead as decode rolls
+        // past them. Each request spans 88 tokens = 6 blocks; two of them
+        // need 12 blocks at peak without eviction feedback, which would
+        // force a preemption in this 9-block pool. Reclaimed dead blocks
+        // keep each request's footprint at ~3 blocks, so both fit.
+        let kind = AttentionKind::StreamingWindow {
+            sinks: 4,
+            window: 8,
+        };
+        let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(9));
+        let mut engine = Engine::new(&model, &AttentionKind::Exact, pool, cfg);
+        let specs = [(0u64, 8usize, 80usize), (1, 8, 80)];
+        for &(id, plen, max) in &specs {
+            engine.submit(Request::new(id, prompt(id, plen), max).with_backend(kind.clone()));
+        }
+        let report = engine.run();
+
+        assert_eq!(
+            report.preemptions, 0,
+            "reclaimed blocks must absorb the concurrent overhang"
+        );
+        for &(id, plen, max) in &specs {
+            let got = &report
+                .outcomes
+                .iter()
+                .find(|o| o.id == id)
+                .expect("request retired")
+                .tokens;
+            assert_eq!(
+                got,
+                &solo_kind(&model, &kind, &prompt(id, plen), max, None),
+                "request {id}"
+            );
+        }
     }
 
     #[test]

@@ -45,11 +45,12 @@ pub mod engine;
 pub use engine::Engine;
 
 use lad_model::spec::SpecConfig;
+use lad_model::AttentionKind;
 use lad_obs::Histogram;
 use std::time::{Duration, Instant};
 
 /// One serving request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Caller-chosen request id, echoed in the [`RequestOutcome`].
     pub id: u64,
@@ -70,6 +71,11 @@ pub struct Request {
     /// in one tick; speculation commits only greedy-verified tokens, so the
     /// output stream is bit-identical either way.
     pub spec: Option<SpecConfig>,
+    /// Attention backend for this request (`None` = the engine's default).
+    /// Requests with different backends — exact, LAD, top-k, H2O — coexist
+    /// in one engine tick; each sample's heads are built with its own kind
+    /// at admission, and preemption replays through the same kind.
+    pub backend: Option<AttentionKind>,
 }
 
 impl Request {
@@ -82,6 +88,7 @@ impl Request {
             arrival_step: 0,
             deadline: None,
             spec: None,
+            backend: None,
         }
     }
 
@@ -102,6 +109,13 @@ impl Request {
     /// one multi-row forward, and the greedy-matching prefix commits.
     pub fn with_speculation(mut self, cfg: SpecConfig) -> Request {
         self.spec = Some(cfg);
+        self
+    }
+
+    /// Same request decoded with a specific attention backend instead of
+    /// the engine default.
+    pub fn with_backend(mut self, kind: AttentionKind) -> Request {
+        self.backend = Some(kind);
         self
     }
 }
@@ -260,6 +274,9 @@ pub(crate) struct ReqState {
     /// drafter itself is rebuilt deterministically from `prompt` on
     /// re-admission — the folded prefix replays the observed stream).
     pub spec: Option<SpecConfig>,
+    /// Per-request attention backend, preserved across preemptions so the
+    /// recompute incarnation evicts/selects identically to the first.
+    pub backend: Option<AttentionKind>,
 }
 
 impl ReqState {
@@ -278,6 +295,7 @@ impl ReqState {
             last_token_at: None,
             preemptions: 0,
             spec: req.spec,
+            backend: req.backend,
         }
     }
 

@@ -140,6 +140,13 @@ pub fn analyze(trace: &ScoreTrace, pwl: &PwlExp, cfg: &AnalysisConfig) -> Vec<St
             false_negatives: 0,
             false_positives: 0,
             den_fallbacks: 0,
+            // Trace rows carry scores, not vectors: every position is scored,
+            // exact fetches are the large-mode + window + correction reads,
+            // and byte traffic is dimensionless here (no head dim in a trace).
+            keys_scored: n,
+            keys_read: large_mode_exact + window_count + active.len(),
+            bytes_moved: 0,
+            evictions: 0,
             fanout_width: 0,
         });
     }

@@ -129,18 +129,19 @@ fn assert_stats_match(label: &str, kind: &str, seq: &[StepStats], pooled: &[Step
     }
 }
 
-/// Runs every differential leg for one grid point; returns the total LAD
-/// `den_fallbacks` observed on the sequential reference path.
-fn run_config(pool: &Arc<WorkerPool>, cfg: &DiffConfig) -> usize {
+/// Runs every differential leg for one grid point over the given attention
+/// backends; returns the total LAD `den_fallbacks` observed on the
+/// sequential reference path (0 when no LAD backend is in `kinds`).
+fn run_config_kinds(
+    pool: &Arc<WorkerPool>,
+    cfg: &DiffConfig,
+    kinds: &[(&str, AttentionKind)],
+) -> usize {
     let model = cfg.model();
     let prompts = cfg.prompts();
-    let kinds: [(&str, AttentionKind); 2] = [
-        ("exact", AttentionKind::Exact),
-        ("lad", AttentionKind::Lad(cfg.lad_config())),
-    ];
     let mut lad_fallbacks = 0usize;
 
-    for (kind_name, kind) in &kinds {
+    for (kind_name, kind) in kinds {
         // Leg 1 — per-sequence: pooled head fan-out vs inline sequential.
         let mut reference = Vec::new();
         for prompt in &prompts {
@@ -225,6 +226,17 @@ fn run_config(pool: &Arc<WorkerPool>, cfg: &DiffConfig) -> usize {
         );
     }
 
+    lad_fallbacks
+}
+
+/// The exact + LAD legs of one grid point, with the den-fallback
+/// expectation enforced.
+fn run_config(pool: &Arc<WorkerPool>, cfg: &DiffConfig) -> usize {
+    let kinds: [(&str, AttentionKind); 2] = [
+        ("exact", AttentionKind::Exact),
+        ("lad", AttentionKind::Lad(cfg.lad_config())),
+    ];
+    let lad_fallbacks = run_config_kinds(pool, cfg, &kinds);
     if cfg.expect_den_fallback {
         assert!(
             lad_fallbacks > 0,
@@ -396,6 +408,28 @@ fn differential_grid() {
     assert!(fallbacks > 0, "no grid point exercised the den fallback");
 }
 
+/// Backend-zoo leg: the scheduling contract extends verbatim to the sparse
+/// backends — top-k score selection and budget-based H2O eviction must be
+/// oblivious to pooled head fan-out, batch membership and the batched-GEMM
+/// engine on the same 16-point grid the exact/LAD sweep runs (den-fallback
+/// partition point included; its coarse PWL only parameterises LAD, but the
+/// long 48-step stream exercises many evictions). Stats equality covers the
+/// new traffic counters: `keys_scored`, `keys_read`, `bytes_moved` and
+/// `evictions` all survive `StepStats::algorithmic()`.
+#[test]
+fn backend_zoo_differential_grid() {
+    let pool = Arc::new(WorkerPool::new(3));
+    let grid = default_grid();
+    assert!(grid.len() >= 16, "grid shrank below the acceptance floor");
+    let kinds: [(&str, AttentionKind); 2] = [
+        ("topk", AttentionKind::topk(6)),
+        ("h2o", AttentionKind::h2o_budget(12, 4)),
+    ];
+    for cfg in &grid {
+        run_config_kinds(&pool, cfg, &kinds);
+    }
+}
+
 /// Speculative leg — acceptance equivalence: draft/verify decoding with a
 /// training-free drafter must produce *exactly* the greedy sequential
 /// stream, whatever the draft depth K or drafter policy, on every grid
@@ -486,9 +520,11 @@ fn simd_kernel_matches_scalar_on_grid() {
     for cfg in &grid {
         let model = cfg.model();
         let prompts = cfg.prompts();
-        let kinds: [(&str, AttentionKind); 2] = [
+        let kinds: [(&str, AttentionKind); 4] = [
             ("exact", AttentionKind::Exact),
             ("lad", AttentionKind::Lad(cfg.lad_config())),
+            ("topk", AttentionKind::topk(6)),
+            ("h2o", AttentionKind::h2o_budget(12, 4)),
         ];
         for (kind_name, kind) in &kinds {
             let scalar = with_kernel(Kernel::Scalar, || {
@@ -520,9 +556,11 @@ fn speculative_decode_is_token_identical_under_simd_kernel() {
     for cfg in &grid {
         let model = cfg.model();
         let prompt = cfg.prompt(0);
-        let kinds: [(&str, AttentionKind); 2] = [
+        let kinds: [(&str, AttentionKind); 4] = [
             ("exact", AttentionKind::Exact),
             ("lad", AttentionKind::Lad(cfg.lad_config())),
+            ("topk", AttentionKind::topk(6)),
+            ("h2o", AttentionKind::h2o_budget(12, 4)),
         ];
         for (kind_name, kind) in &kinds {
             let expected = with_kernel(Kernel::Scalar, || {
@@ -540,6 +578,69 @@ fn speculative_decode_is_token_identical_under_simd_kernel() {
                         cfg.label
                     );
                 }
+            }
+        }
+    }
+}
+
+/// Traffic-counter invariant leg: each backend's analytic `bytes_moved`
+/// (reported in `StepStats` from per-step arithmetic) must equal what a
+/// shadow byte meter at the KV-arena read sites actually observes. The
+/// meter is thread-local, so the decode is pinned inline (`parallelism 1`);
+/// every backend — exact, LAD (approximate identification, correction
+/// cache, den fallback included), top-k and H2O — is swept over a slice of
+/// the grid covering the LLaMA point, the wider-head point and the
+/// den-fallback point.
+#[test]
+fn stats_bytes_moved_matches_traffic_meter() {
+    use lad::core::kv::{reset_traffic_bytes, traffic_bytes};
+    let grid = default_grid();
+    let legs: Vec<&DiffConfig> = grid
+        .iter()
+        .filter(|cfg| {
+            matches!(
+                cfg.label,
+                "p2-b1-w16-s8" | "h4-p4-b2-w16-s8" | "denfb-p4-b1-w2-s48"
+            )
+        })
+        .collect();
+    assert_eq!(legs.len(), 3, "traffic leg lost a grid point");
+
+    for cfg in legs {
+        let model = cfg.model();
+        let prompt = cfg.prompt(0);
+        let kinds: [(&str, AttentionKind); 4] = [
+            ("exact", AttentionKind::Exact),
+            ("lad", AttentionKind::Lad(cfg.lad_config())),
+            ("topk", AttentionKind::topk(6)),
+            ("h2o", AttentionKind::h2o_budget(12, 4)),
+        ];
+        for (kind_name, kind) in &kinds {
+            let mut session = Session::with_parallelism(&model, kind, 1);
+            let mut logits = Vec::new();
+            let mut feed: Vec<u32> = prompt.clone();
+            for step in 0..prompt.len() + cfg.steps {
+                let t = if step < feed.len() {
+                    feed[step]
+                } else {
+                    let next = argmax(&logits);
+                    feed.push(next);
+                    next
+                };
+                reset_traffic_bytes();
+                logits = session.step(t);
+                let metered = traffic_bytes();
+                let reported: u64 = session
+                    .last_stats()
+                    .iter()
+                    .map(|s| s.bytes_moved as u64)
+                    .sum();
+                assert_eq!(
+                    metered, reported,
+                    "{}/{kind_name}: step {step} analytic bytes_moved diverged \
+                     from the shadow traffic meter",
+                    cfg.label
+                );
             }
         }
     }

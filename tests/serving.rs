@@ -28,10 +28,19 @@ use lad_accel::paged::{BlockPool, BLOCK_TOKENS};
 /// One request of a grid point: (id, prompt length, max_tokens, arrival).
 type Spec = (u64, usize, usize, usize);
 
+/// Which attention backend a grid point serves with.
+#[derive(Clone, Copy)]
+enum GridBackend {
+    Exact,
+    Lad,
+    TopK,
+    H2o,
+}
+
 /// One grid point of the serving sweep.
 struct ServeGrid {
     label: &'static str,
-    lad_attention: bool,
+    backend: GridBackend,
     model_seed: u64,
     /// KV pool capacity in blocks.
     pool_blocks: usize,
@@ -51,13 +60,14 @@ impl ServeGrid {
     }
 
     fn kind(&self) -> AttentionKind {
-        if self.lad_attention {
-            AttentionKind::Lad(LadConfig {
+        match self.backend {
+            GridBackend::Exact => AttentionKind::Exact,
+            GridBackend::Lad => AttentionKind::Lad(LadConfig {
                 window: 8,
                 ..LadConfig::new(PwlExp::accurate_default())
-            })
-        } else {
-            AttentionKind::Exact
+            }),
+            GridBackend::TopK => AttentionKind::topk(6),
+            GridBackend::H2o => AttentionKind::h2o_budget(10, 4),
         }
     }
 
@@ -206,7 +216,7 @@ static SPEC_PRESSURE: &[Spec] = &[(0, 12, 24, 0), (1, 12, 24, 0)];
 fn serving_differential_exact_ragged_retirement() {
     run_grid_point(&ServeGrid {
         label: "exact-ragged",
-        lad_attention: false,
+        backend: GridBackend::Exact,
         model_seed: 71,
         pool_blocks: 64,
         max_active: 2,
@@ -221,7 +231,7 @@ fn serving_differential_exact_ragged_retirement() {
 fn serving_differential_exact_staggered_chunked_prefill() {
     run_grid_point(&ServeGrid {
         label: "exact-staggered",
-        lad_attention: false,
+        backend: GridBackend::Exact,
         model_seed: 11,
         pool_blocks: 64,
         max_active: 3,
@@ -236,7 +246,7 @@ fn serving_differential_exact_staggered_chunked_prefill() {
 fn serving_differential_exact_forced_preemption() {
     run_grid_point(&ServeGrid {
         label: "exact-preempt",
-        lad_attention: false,
+        backend: GridBackend::Exact,
         model_seed: 71,
         pool_blocks: 3,
         max_active: 2,
@@ -251,7 +261,7 @@ fn serving_differential_exact_forced_preemption() {
 fn serving_differential_lad_staggered() {
     run_grid_point(&ServeGrid {
         label: "lad-staggered",
-        lad_attention: true,
+        backend: GridBackend::Lad,
         model_seed: 29,
         pool_blocks: 64,
         max_active: 3,
@@ -266,7 +276,7 @@ fn serving_differential_lad_staggered() {
 fn serving_differential_lad_forced_preemption() {
     run_grid_point(&ServeGrid {
         label: "lad-preempt",
-        lad_attention: true,
+        backend: GridBackend::Lad,
         model_seed: 71,
         pool_blocks: 3,
         max_active: 2,
@@ -285,7 +295,7 @@ fn serving_differential_lad_forced_preemption() {
 fn serving_differential_mixed_speculative_and_plain() {
     run_grid_point(&ServeGrid {
         label: "exact-mixed-spec",
-        lad_attention: false,
+        backend: GridBackend::Exact,
         model_seed: 71,
         pool_blocks: 64,
         max_active: 3,
@@ -303,7 +313,7 @@ fn serving_differential_mixed_speculative_and_plain() {
 fn serving_differential_lad_mixed_speculative() {
     run_grid_point(&ServeGrid {
         label: "lad-mixed-spec",
-        lad_attention: true,
+        backend: GridBackend::Lad,
         model_seed: 29,
         pool_blocks: 64,
         max_active: 3,
@@ -323,7 +333,7 @@ fn serving_differential_lad_mixed_speculative() {
 fn serving_differential_speculative_forced_preemption() {
     run_grid_point(&ServeGrid {
         label: "exact-spec-preempt",
-        lad_attention: false,
+        backend: GridBackend::Exact,
         model_seed: 71,
         pool_blocks: 3,
         max_active: 2,
@@ -334,13 +344,156 @@ fn serving_differential_speculative_forced_preemption() {
     });
 }
 
+/// Top-k sparse attention under staggered arrivals and chunked prefill:
+/// the per-step top-k selection must be oblivious to scheduling.
+#[test]
+fn serving_differential_topk_staggered() {
+    run_grid_point(&ServeGrid {
+        label: "topk-staggered",
+        backend: GridBackend::TopK,
+        model_seed: 29,
+        pool_blocks: 64,
+        max_active: 3,
+        prefill_chunk: 2,
+        specs: STAGGERED,
+        spec_ids: &[],
+        expect_preemption: false,
+    });
+}
+
+/// Top-k never evicts KV, so it hits pool pressure exactly like exact
+/// attention: the youngest request is recomputed and its per-step
+/// selections must replay identically from the folded prompt.
+#[test]
+fn serving_differential_topk_forced_preemption() {
+    run_grid_point(&ServeGrid {
+        label: "topk-preempt",
+        backend: GridBackend::TopK,
+        model_seed: 71,
+        pool_blocks: 3,
+        max_active: 2,
+        prefill_chunk: 1,
+        specs: PRESSURE,
+        spec_ids: &[],
+        expect_preemption: true,
+    });
+}
+
+/// H2O heavy-hitter eviction under staggered arrivals: accumulated
+/// attention scores (and therefore eviction picks) depend only on the
+/// request's own stream, never on batch membership.
+#[test]
+fn serving_differential_h2o_staggered() {
+    run_grid_point(&ServeGrid {
+        label: "h2o-staggered",
+        backend: GridBackend::H2o,
+        model_seed: 11,
+        pool_blocks: 64,
+        max_active: 3,
+        prefill_chunk: 4,
+        specs: STAGGERED,
+        spec_ids: &[],
+        expect_preemption: false,
+    });
+}
+
+/// Forced preemption of H2O sequences: the victim's eviction state
+/// (cumulative scores, alive mask) is dropped with its KV and must be
+/// reproduced exactly by replaying the folded prompt through H2O again.
+#[test]
+fn serving_differential_h2o_forced_preemption() {
+    run_grid_point(&ServeGrid {
+        label: "h2o-preempt",
+        backend: GridBackend::H2o,
+        model_seed: 71,
+        pool_blocks: 3,
+        max_active: 2,
+        prefill_chunk: 1,
+        specs: PRESSURE,
+        spec_ids: &[],
+        expect_preemption: true,
+    });
+}
+
+/// Speculative decoding over H2O: verify rounds evict based on draft rows
+/// and the rollback must restore the cumulative-score book and alive mask
+/// bit-exactly, invisible in the committed streams.
+#[test]
+fn serving_differential_h2o_mixed_speculative() {
+    run_grid_point(&ServeGrid {
+        label: "h2o-mixed-spec",
+        backend: GridBackend::H2o,
+        model_seed: 29,
+        pool_blocks: 64,
+        max_active: 3,
+        prefill_chunk: 2,
+        specs: STAGGERED,
+        spec_ids: &[1, 3],
+        expect_preemption: false,
+    });
+}
+
+/// Mixed-backend leg: one engine tick carries exact, LAD, top-k and H2O
+/// requests simultaneously (per-request [`Request::with_backend`]
+/// overrides); every stream must match its own backend's solo decode.
+#[test]
+fn serving_differential_mixed_backends_share_ticks() {
+    let g = ServeGrid {
+        label: "mixed-backends",
+        backend: GridBackend::Exact,
+        model_seed: 71,
+        pool_blocks: 64,
+        max_active: 4,
+        prefill_chunk: 2,
+        specs: &[],
+        spec_ids: &[],
+        expect_preemption: false,
+    };
+    let model = g.model();
+    let kinds: Vec<AttentionKind> = vec![
+        AttentionKind::Exact,
+        AttentionKind::Lad(LadConfig {
+            window: 8,
+            ..LadConfig::new(PwlExp::accurate_default())
+        }),
+        AttentionKind::topk(6),
+        AttentionKind::h2o_budget(10, 4),
+    ];
+    let mut engine = Engine::new(&model, &AttentionKind::Exact, g.pool(), g.cfg());
+    for (id, kind) in kinds.iter().enumerate() {
+        let id = id as u64;
+        engine.submit(
+            Request::new(id, g.prompt(id, 8 + id as usize), 16)
+                .arriving_at(id as usize)
+                .with_backend(kind.clone()),
+        );
+    }
+    let report = engine.run();
+    assert_eq!(report.outcomes.len(), kinds.len());
+    assert_eq!(report.preemptions, 0);
+    for (id, kind) in kinds.iter().enumerate() {
+        let id = id as u64;
+        let got = &report
+            .outcomes
+            .iter()
+            .find(|o| o.id == id)
+            .unwrap_or_else(|| panic!("mixed-backends: request {id} missing"))
+            .tokens;
+        let want = solo(&model, kind, &g.prompt(id, 8 + id as usize), 16, None);
+        assert_eq!(
+            got, &want,
+            "mixed-backends: request {id} diverged under {kind:?}"
+        );
+    }
+}
+
 /// EOS truncation leg: the engine must stop exactly where the solo decode
 /// first emits the EOS token, include it, and report `FinishReason::Eos`.
 #[test]
 fn serving_differential_eos_truncation() {
     let g = ServeGrid {
         label: "exact-eos",
-        lad_attention: false,
+        backend: GridBackend::Exact,
         model_seed: 71,
         pool_blocks: 64,
         max_active: 2,
