@@ -80,6 +80,7 @@ fn serve_cfg() -> ServeConfig {
         prefill_chunk: 1,
         eos: None,
         parallelism: 1,
+        ..ServeConfig::default()
     }
 }
 

@@ -18,6 +18,9 @@
 //!   fp16 KV score read at least 1.2x the f32 read. Skipped (with a notice)
 //!   on hosts without AVX2+F16C, where only the committed numbers are
 //!   checked;
+//! * the `obs_overhead` enabled-recorder cost: serving steps/s with spans,
+//!   metrics and the request timeline all recording may run at most 5%
+//!   behind the recorders-off run of the identical workload;
 //! * the `backend_quality` quality-per-byte-moved ratios of the sparse
 //!   backend zoo: on every (dataset, length) cell the best non-exact
 //!   backend holds 0.95x of exact attention's agreement per KV megabyte
@@ -71,6 +74,10 @@ const SIMD_GEMM_FLOOR: f64 = 1.5;
 /// Acceptance floor of the `gemm_kernels` fp16 KV score read row (vs f32).
 const F16_READ_FLOOR: f64 = 1.2;
 
+/// Ceiling on the enabled-recorder serving overhead (percent) committed
+/// by the `obs_overhead` bench.
+const OBS_OVERHEAD_CEILING_PCT: f64 = 5.0;
+
 /// Per-cell floor of the `backend_quality` bench: the best non-exact
 /// backend must stay within 5% of exact attention on quality per megabyte
 /// of KV traffic.
@@ -82,13 +89,14 @@ const BACKEND_HERO_FLOOR: f64 = 1.2;
 
 /// Every committed baseline this binary gates. Any other `BENCH_*.json` at
 /// the repo root is a baseline without a floor, and fails the run.
-const KNOWN_BASELINES: [&str; 6] = [
+const KNOWN_BASELINES: [&str; 7] = [
     "BENCH_gemm.json",
     "BENCH_pool.json",
     "BENCH_serve.json",
     "BENCH_spec.json",
     "BENCH_kernels.json",
     "BENCH_backends.json",
+    "BENCH_obs.json",
 ];
 
 /// Quick-mode decode length: half the committed run, same prompt length.
@@ -170,6 +178,24 @@ fn recorded_goodput_ratio(results: &[Value]) -> f64 {
     row.get("goodput_ratio_vs_fixed")
         .and_then(Value::as_f64)
         .expect("validated above")
+}
+
+/// The committed enabled-recorder overhead (percent, with its ceiling)
+/// from `BENCH_obs.json`.
+fn recorded_obs_overhead(results: &[Value]) -> (f64, f64) {
+    let row = results
+        .iter()
+        .find(|r| r.get("kind").and_then(Value::as_str) == Some("recorder_on"))
+        .unwrap_or_else(|| fail("BENCH_obs.json: no recorder_on row"));
+    let overhead = row
+        .get("overhead_pct")
+        .and_then(Value::as_f64)
+        .expect("validated above");
+    let ceiling = row
+        .get("max_overhead_pct")
+        .and_then(Value::as_f64)
+        .expect("validated above");
+    (overhead, ceiling)
 }
 
 /// The committed best speculative (speedup, mean accepted length) from
@@ -460,6 +486,7 @@ fn measure_goodput_ratio(model: &Model) -> (f64, usize, usize) {
         prefill_chunk: 1,
         eos: None,
         parallelism: 1,
+        ..ServeConfig::default()
     };
     let block_bytes = model_cfg.layers * 2 * model_cfg.hidden * 2 * BLOCK_TOKENS;
     let best = |mut run: Box<dyn FnMut() -> ServeReport + '_>| -> ServeReport {
@@ -518,6 +545,45 @@ fn measure_spec_speedup() -> (f64, f64) {
         })
         .max_by(|a, b| a.0.total_cmp(&b.0))
         .expect("two speculative configs measured")
+}
+
+/// Quick recorder-overhead re-measurement: the serving workload above,
+/// best-of-3 steps/s with every recorder off vs on, same process.
+fn measure_obs_overhead_pct(model: &Model) -> f64 {
+    let model_cfg = ModelConfig::tiny("gemm", 2, 256, 4);
+    let cfg = ServeConfig {
+        max_active: 4,
+        prefill_chunk: 1,
+        ..ServeConfig::default()
+    };
+    let block_bytes = model_cfg.layers * 2 * model_cfg.hidden * 2 * BLOCK_TOKENS;
+    let serve = || {
+        let pool = BlockPool::new(&model_cfg, 256 * block_bytes);
+        let mut engine = Engine::new(model, &AttentionKind::Exact, pool, cfg.clone());
+        for req in serve_requests() {
+            engine.submit(req);
+        }
+        engine.run()
+    };
+    let best = |on: bool| -> f64 {
+        lad_obs::set_enabled(on);
+        lad_obs::metrics::set_metrics_enabled(on);
+        lad_obs::timeline::set_timeline_enabled(on);
+        let mut top = 0.0f64;
+        for _ in 0..3 {
+            let r = serve();
+            top = top.max(r.steps as f64 / r.wall.as_secs_f64().max(1e-12));
+        }
+        lad_obs::set_enabled(false);
+        lad_obs::metrics::set_metrics_enabled(false);
+        lad_obs::timeline::set_timeline_enabled(false);
+        top
+    };
+    let off = best(false);
+    let on = best(true);
+    let _ = lad_obs::drain();
+    let _ = lad_obs::timeline::drain_timeline();
+    (off - on) / off * 100.0
 }
 
 /// Best-of-3 wall-clock seconds per token for one decode closure.
@@ -602,6 +668,12 @@ fn main() {
         &kernels_doc,
         &["baseline_us", "variant_us", "speedup", "floor", "bit_exact"],
     );
+    let obs_doc = load("BENCH_obs.json");
+    let obs_results = check_schema(
+        "BENCH_obs.json",
+        &obs_doc,
+        &["steps_per_s", "overhead_pct", "max_overhead_pct"],
+    );
     let backends_doc = load("BENCH_backends.json");
     let backend_results = check_schema(
         "BENCH_backends.json",
@@ -617,7 +689,7 @@ fn main() {
     );
     println!(
         "BENCH_gemm.json / BENCH_pool.json / BENCH_serve.json / BENCH_spec.json / \
-         BENCH_kernels.json / BENCH_backends.json: schemas ok"
+         BENCH_kernels.json / BENCH_backends.json / BENCH_obs.json: schemas ok"
     );
     check_no_ungated_baselines();
     println!("no ungated BENCH_*.json at the repo root");
@@ -644,6 +716,24 @@ fn main() {
         fail(&format!(
             "committed serving baseline records {recorded_goodput:.2}x, below the \
              {GOODPUT_FLOOR:.2}x floor — the baseline itself regressed"
+        ));
+    }
+
+    let (recorded_obs, recorded_obs_ceiling) = recorded_obs_overhead(obs_results);
+    println!(
+        "recorded enabled-recorder overhead: {recorded_obs:.2}% \
+         (ceiling {OBS_OVERHEAD_CEILING_PCT:.1}%)"
+    );
+    if recorded_obs_ceiling > OBS_OVERHEAD_CEILING_PCT {
+        fail(&format!(
+            "BENCH_obs.json commits a {recorded_obs_ceiling:.1}% ceiling, weaker than \
+             this binary's {OBS_OVERHEAD_CEILING_PCT:.1}% gate"
+        ));
+    }
+    if recorded_obs > OBS_OVERHEAD_CEILING_PCT {
+        fail(&format!(
+            "committed recorder overhead {recorded_obs:.2}% exceeds the \
+             {OBS_OVERHEAD_CEILING_PCT:.1}% ceiling — the baseline itself regressed"
         ));
     }
 
@@ -721,6 +811,20 @@ fn main() {
              {GOODPUT_FLOOR:.2}x floor (baseline recorded {recorded_goodput:.2}x)"
         ));
     }
+    section("bench_check: quick re-measurement (obs_overhead, recorders on vs off)");
+    let obs_overhead = measure_obs_overhead_pct(&model);
+    println!(
+        "enabled-recorder overhead {obs_overhead:.2}% (recorded {recorded_obs:.2}%, \
+         ceiling {OBS_OVERHEAD_CEILING_PCT:.1}%)"
+    );
+    if obs_overhead > OBS_OVERHEAD_CEILING_PCT {
+        fail(&format!(
+            "measured recorder overhead {obs_overhead:.2}% exceeds the \
+             {OBS_OVERHEAD_CEILING_PCT:.1}% ceiling (baseline recorded \
+             {recorded_obs:.2}%)"
+        ));
+    }
+
     section("bench_check: quick re-measurement (spec_decode, draft/verify vs plain)");
     let (spec_ratio, accept_len) = measure_spec_speedup();
     println!(

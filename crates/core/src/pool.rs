@@ -106,6 +106,29 @@ impl Queues {
     }
 }
 
+/// Live registry handles mirroring the pool's counters into the process
+/// metrics exposition (`lad_obs::metrics`). All no-ops while metrics are
+/// disabled; the handles are resolved once at pool construction.
+struct PoolObs {
+    queue_depth: lad_obs::metrics::Gauge,
+    tasks_executed: lad_obs::metrics::Counter,
+    tasks_stolen: lad_obs::metrics::Counter,
+    park_nanos: lad_obs::metrics::Counter,
+    idle_wakeups: lad_obs::metrics::Counter,
+}
+
+impl PoolObs {
+    fn new() -> PoolObs {
+        PoolObs {
+            queue_depth: lad_obs::metrics::gauge("pool.queue_depth"),
+            tasks_executed: lad_obs::metrics::counter("pool.tasks_executed"),
+            tasks_stolen: lad_obs::metrics::counter("pool.tasks_stolen"),
+            park_nanos: lad_obs::metrics::counter("pool.park_nanos"),
+            idle_wakeups: lad_obs::metrics::counter("pool.idle_wakeups"),
+        }
+    }
+}
+
 struct Shared {
     queues: Mutex<Queues>,
     /// Notified on new work, task completion and shutdown; workers and
@@ -117,6 +140,7 @@ struct Shared {
     idle_wakeups: AtomicUsize,
     scopes_completed: AtomicUsize,
     park_nanos: AtomicU64,
+    obs: PoolObs,
 }
 
 struct ScopeState {
@@ -182,6 +206,7 @@ impl WorkerPool {
             idle_wakeups: AtomicUsize::new(0),
             scopes_completed: AtomicUsize::new(0),
             park_nanos: AtomicU64::new(0),
+            obs: PoolObs::new(),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -261,6 +286,10 @@ impl WorkerPool {
                         return;
                     }
                     if let Some(task) = queues.pop() {
+                        self.shared
+                            .obs
+                            .queue_depth
+                            .set((queues.head.len() + queues.seq.len()) as i64);
                         break task;
                     }
                     queues = parked_wait(&self.shared, queues, "pool.help_wait");
@@ -319,6 +348,11 @@ impl<'pool, 'env> PoolScope<'pool, 'env> {
                 TaskLevel::Head => queues.head.push_back(task),
                 TaskLevel::Sequence => queues.seq.push_back(task),
             }
+            self.pool
+                .shared
+                .obs
+                .queue_depth
+                .set((queues.head.len() + queues.seq.len()) as i64);
         }
         self.pool.shared.work_cv.notify_one();
     }
@@ -327,8 +361,10 @@ impl<'pool, 'env> PoolScope<'pool, 'env> {
 fn execute(shared: &Shared, task: Task) {
     let _task_span = lad_obs::span("pool.task");
     shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    shared.obs.tasks_executed.inc(1);
     if thread::current().id() != task.submitter {
         shared.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+        shared.obs.tasks_stolen.inc(1);
         lad_obs::instant("pool.steal");
     }
     let outcome = panic::catch_unwind(AssertUnwindSafe(task.run));
@@ -359,9 +395,9 @@ fn parked_wait<'q>(
     let _span = lad_obs::span(span_name);
     let parked_at = Instant::now();
     let queues = shared.work_cv.wait(queues).unwrap();
-    shared
-        .park_nanos
-        .fetch_add(parked_at.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    let parked_ns = parked_at.elapsed().as_nanos() as u64;
+    shared.park_nanos.fetch_add(parked_ns, Ordering::Relaxed);
+    shared.obs.park_nanos.inc(parked_ns);
     queues
 }
 
@@ -371,6 +407,10 @@ fn worker_loop(shared: &Arc<Shared>) {
             let mut queues = shared.queues.lock().unwrap();
             loop {
                 if let Some(task) = queues.pop() {
+                    shared
+                        .obs
+                        .queue_depth
+                        .set((queues.head.len() + queues.seq.len()) as i64);
                     break Some(task);
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
@@ -379,6 +419,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 queues = parked_wait(shared, queues, "pool.park");
                 if queues.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
                     shared.idle_wakeups.fetch_add(1, Ordering::Relaxed);
+                    shared.obs.idle_wakeups.inc(1);
                 }
             }
         };
@@ -548,6 +589,22 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
             pool.shared.work_cv.notify_all();
         }
+    }
+
+    #[test]
+    fn registry_counters_mirror_pool_metrics() {
+        let c = lad_obs::metrics::counter("pool.tasks_executed");
+        let before = c.value();
+        let pool = WorkerPool::new(1);
+        lad_obs::metrics::set_metrics_enabled(true);
+        pool.scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(TaskLevel::Head, || {});
+            }
+        });
+        lad_obs::metrics::set_metrics_enabled(false);
+        // Other tests may run concurrently and add more, never less.
+        assert!(c.value() - before >= 8);
     }
 
     #[test]

@@ -16,9 +16,37 @@
 
 use lad_model::config::ModelConfig;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Tokens per KV block (vLLM's default).
 pub const BLOCK_TOKENS: usize = 16;
+
+/// Registry handles for the pool's live gauges, resolved once per process.
+/// They are module-level (not per-`BlockPool`) so the pool type stays a
+/// plain serialisable value; with several pools alive the gauges show the
+/// most recently mutated one (last-writer-wins, the usual gauge semantics).
+struct KvObs {
+    blocks_total: lad_obs::metrics::Gauge,
+    blocks_free: lad_obs::metrics::Gauge,
+    blocks_used: lad_obs::metrics::Gauge,
+    live_sequences: lad_obs::metrics::Gauge,
+    fragmentation_bytes: lad_obs::metrics::Gauge,
+    dead_tokens: lad_obs::metrics::Gauge,
+    blocks_reclaimed: lad_obs::metrics::Counter,
+}
+
+fn kv_obs() -> &'static KvObs {
+    static OBS: OnceLock<KvObs> = OnceLock::new();
+    OBS.get_or_init(|| KvObs {
+        blocks_total: lad_obs::metrics::gauge("kv.blocks_total"),
+        blocks_free: lad_obs::metrics::gauge("kv.blocks_free"),
+        blocks_used: lad_obs::metrics::gauge("kv.blocks_used"),
+        live_sequences: lad_obs::metrics::gauge("kv.live_sequences"),
+        fragmentation_bytes: lad_obs::metrics::gauge("kv.fragmentation_bytes"),
+        dead_tokens: lad_obs::metrics::gauge("kv.dead_tokens"),
+        blocks_reclaimed: lad_obs::metrics::counter("kv.blocks_reclaimed"),
+    })
+}
 
 /// Per-sequence paged state: token count, per-token liveness, and which of
 /// the sequence's blocks have been reclaimed by eviction.
@@ -159,17 +187,19 @@ impl BlockPool {
             return None;
         }
         self.free_blocks -= needed;
-        match self.free_ids.pop() {
+        let id = match self.free_ids.pop() {
             Some(id) => {
                 debug_assert!(self.slots[id].is_none(), "free list held a live slot");
                 self.slots[id] = Some(SeqState::new(prompt_tokens));
-                Some(id)
+                id
             }
             None => {
                 self.slots.push(Some(SeqState::new(prompt_tokens)));
-                Some(self.slots.len() - 1)
+                self.slots.len() - 1
             }
-        }
+        };
+        self.publish_gauges();
+        Some(id)
     }
 
     /// Marks position `pos` of sequence `id` dead (evicted by every
@@ -200,13 +230,16 @@ impl BlockPool {
         let start = block * BLOCK_TOKENS;
         let end = start + BLOCK_TOKENS;
         let fully_covered = end <= state.tokens;
-        if fully_covered && !state.reclaimed[block] && state.dead[start..end].iter().all(|&d| d) {
+        let reclaimed =
+            fully_covered && !state.reclaimed[block] && state.dead[start..end].iter().all(|&d| d);
+        if reclaimed {
             state.reclaimed[block] = true;
             self.free_blocks += 1;
             debug_assert!(self.free_blocks <= self.total_blocks);
-            return true;
+            kv_obs().blocks_reclaimed.inc(1);
         }
-        false
+        self.publish_gauges();
+        reclaimed
     }
 
     /// Appends one token to sequence `id`. Returns `false` (preemption
@@ -233,6 +266,7 @@ impl BlockPool {
         if needs_block {
             state.reclaimed.push(false);
         }
+        self.publish_gauges();
         true
     }
 
@@ -282,6 +316,7 @@ impl BlockPool {
         );
         self.free_blocks = self.free_blocks + freed - rematerialized;
         debug_assert!(self.free_blocks <= self.total_blocks);
+        self.publish_gauges();
     }
 
     /// Releases exactly the blocks of sequence `id` (retirement or
@@ -299,6 +334,7 @@ impl BlockPool {
         debug_assert!(self.free_blocks <= self.total_blocks);
         self.slots[id] = None;
         self.free_ids.push(id);
+        self.publish_gauges();
     }
 
     /// Releases every block of all sequences (end of a batch).
@@ -306,6 +342,7 @@ impl BlockPool {
         self.free_blocks = self.total_blocks;
         self.slots.clear();
         self.free_ids.clear();
+        self.publish_gauges();
     }
 
     /// Bytes wasted to last-block internal fragmentation right now.
@@ -322,6 +359,31 @@ impl BlockPool {
                 }
             })
             .sum()
+    }
+
+    /// Publishes the pool's occupancy, fragmentation and dead-token state
+    /// to the process metrics registry. One relaxed load and out while
+    /// metrics are disabled; called by every mutating method, and callable
+    /// directly to refresh the gauges from a specific pool.
+    pub fn publish_gauges(&self) {
+        if !lad_obs::metrics::metrics_enabled() {
+            return;
+        }
+        let obs = kv_obs();
+        obs.blocks_total.set(self.total_blocks as i64);
+        obs.blocks_free.set(self.free_blocks as i64);
+        obs.blocks_used
+            .set((self.total_blocks - self.free_blocks) as i64);
+        obs.live_sequences.set(self.live_sequences() as i64);
+        obs.fragmentation_bytes
+            .set(self.fragmentation_bytes() as i64);
+        let dead: usize = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|s| s.dead.iter().filter(|&&d| d).count())
+            .sum();
+        obs.dead_tokens.set(dead as i64);
     }
 
     /// Largest batch of equal-length sequences (`tokens` each, growing to

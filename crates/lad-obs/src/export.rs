@@ -29,7 +29,9 @@ const TRACE_PID: u64 = 1;
 /// (a span's `B` overwritten while its `E` survived, or a drain taken while
 /// spans were still open); those are repaired so the output always nests —
 /// orphaned `E` events are dropped and unclosed `B` events get a synthetic
-/// `E` at the thread's last timestamp.
+/// `E` at the thread's last timestamp. A thread that lost events to ring
+/// overflow additionally emits an `obs.dropped_events` counter (`C`)
+/// sample, so silent loss is visible in the trace itself.
 pub fn chrome_trace(threads: &[ThreadEvents]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
@@ -74,6 +76,20 @@ pub fn chrome_trace(threads: &[ThreadEvents]) -> String {
         while let Some(name) = open.pop() {
             emit(&mut out, &event_record("E", name, last_ts, t.tid, false));
         }
+        // Surface silent event loss as a Chrome counter sample on the
+        // thread's track (rendered as a counter lane in Perfetto).
+        if t.dropped > 0 {
+            emit(
+                &mut out,
+                &format!(
+                    "{{\"name\":\"obs.dropped_events\",\"ph\":\"C\",\"ts\":{},\
+                     \"pid\":{TRACE_PID},\"tid\":{},\"args\":{{\"dropped\":{}}}}}",
+                    micros(last_ts),
+                    t.tid,
+                    t.dropped
+                ),
+            );
+        }
     }
     out.push_str("\n]}\n");
     out
@@ -110,6 +126,20 @@ pub fn jsonl(threads: &[ThreadEvents]) -> String {
                 json::escape(ev.name),
                 ev.kind.code(),
                 ev.t_ns
+            );
+        }
+        // Ring overflow on this thread: one trailing marker carrying the
+        // drop count, timestamped at the thread's last surviving event so
+        // per-tid monotonicity holds.
+        if t.dropped > 0 {
+            let last_ts = t.events.iter().map(|e| e.t_ns).max().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{{\"tid\":{},\"thread\":\"{}\",\"name\":\"obs.dropped_events\",\
+                 \"kind\":\"I\",\"t_ns\":{last_ts},\"dropped\":{}}}",
+                t.tid,
+                json::escape(&t.label),
+                t.dropped
             );
         }
     }
@@ -176,6 +206,22 @@ pub fn validate_chrome_trace(trace: &str) -> Result<(), String> {
                 }
             }
             "i" => {}
+            // Counter samples (dropped-event lanes) must carry an args
+            // object with at least one numeric series.
+            "C" => {
+                let args = ev
+                    .get("args")
+                    .ok_or_else(|| format!("event {i} ({name}): counter without args"))?;
+                if !matches!(args, Value::Object(pairs) if pairs
+                    .iter()
+                    .all(|(_, v)| v.as_f64().is_some())
+                    && !pairs.is_empty())
+                {
+                    return Err(format!(
+                        "event {i} ({name}): counter args must be a non-empty numeric object"
+                    ));
+                }
+            }
             other => return Err(format!("event {i} ({name}): unexpected phase '{other}'")),
         }
     }
@@ -350,6 +396,49 @@ mod tests {
         assert_eq!(first.get("thread").unwrap().as_str(), Some("lad-pool-1"));
         assert_eq!(first.get("kind").unwrap().as_str(), Some("B"));
         assert_eq!(first.get("t_ns").unwrap().as_u64(), Some(10));
+    }
+
+    #[test]
+    fn dropped_events_surface_in_both_exporters() {
+        let mut t = thread(
+            1,
+            "main",
+            vec![
+                ev("step", EventKind::Begin, 100),
+                ev("step", EventKind::End, 200),
+            ],
+        );
+        t.dropped = 17;
+        let threads = vec![t];
+
+        let trace = chrome_trace(&threads);
+        validate_chrome_trace(&trace).unwrap();
+        assert!(trace.contains("\"ph\":\"C\""));
+        assert!(trace.contains("\"dropped\":17"));
+
+        let text = jsonl(&threads);
+        validate_jsonl(&text).unwrap();
+        let last = json::parse(text.lines().last().unwrap()).unwrap();
+        assert_eq!(
+            last.get("name").unwrap().as_str(),
+            Some("obs.dropped_events")
+        );
+        assert_eq!(last.get("dropped").unwrap().as_u64(), Some(17));
+        // The marker reuses the last surviving timestamp, so per-tid
+        // monotonicity holds.
+        assert_eq!(last.get("t_ns").unwrap().as_u64(), Some(200));
+    }
+
+    #[test]
+    fn counter_events_require_numeric_args() {
+        let no_args = r#"{"traceEvents":[{"name":"c","ph":"C","ts":1.0,"pid":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(no_args).is_err());
+        let bad_args =
+            r#"{"traceEvents":[{"name":"c","ph":"C","ts":1.0,"pid":1,"tid":0,"args":{"d":"x"}}]}"#;
+        assert!(validate_chrome_trace(bad_args).is_err());
+        let good =
+            r#"{"traceEvents":[{"name":"c","ph":"C","ts":1.0,"pid":1,"tid":0,"args":{"d":3}}]}"#;
+        validate_chrome_trace(good).unwrap();
     }
 
     #[test]

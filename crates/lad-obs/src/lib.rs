@@ -45,6 +45,8 @@ pub mod breakdown;
 pub mod export;
 pub mod histogram;
 pub mod json;
+pub mod metrics;
+pub mod timeline;
 
 pub use breakdown::{StageBreakdown, StageStat};
 pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
@@ -57,18 +59,40 @@ use std::time::Instant;
 
 /// Number of flag shards. Each recording thread reads its own shard, so the
 /// disabled-path check never bounces a shared cache line between workers.
-const FLAG_SHARDS: usize = 8;
+pub(crate) const FLAG_SHARDS: usize = 8;
 
 /// Events a per-thread ring buffer holds before overwriting the oldest.
 const RING_CAPACITY: usize = 1 << 16;
 
-/// One cache-line-padded shard of the global enable flag.
+/// One cache-line-padded shard of a global enable flag.
 #[repr(align(64))]
 struct FlagShard(AtomicBool);
 
-#[allow(clippy::declare_interior_mutable_const)] // template for the static array below
-const FLAG_OFF: FlagShard = FlagShard(AtomicBool::new(false));
-static ENABLED: [FlagShard; FLAG_SHARDS] = [FLAG_OFF; FLAG_SHARDS];
+/// A process-wide boolean sharded over cache-line-padded atomics, so that
+/// checking it from many threads never bounces a shared line. The span
+/// recorder, the metrics registry and the timeline each own one.
+pub(crate) struct ShardedFlag([FlagShard; FLAG_SHARDS]);
+
+impl ShardedFlag {
+    pub(crate) const fn new() -> ShardedFlag {
+        #[allow(clippy::declare_interior_mutable_const)] // array template
+        const OFF: FlagShard = FlagShard(AtomicBool::new(false));
+        ShardedFlag([OFF; FLAG_SHARDS])
+    }
+
+    pub(crate) fn set(&self, on: bool) {
+        for shard in &self.0 {
+            shard.0.store(on, Ordering::SeqCst);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self) -> bool {
+        self.0[shard_index()].0.load(Ordering::Relaxed)
+    }
+}
+
+static ENABLED: ShardedFlag = ShardedFlag::new();
 
 thread_local! {
     /// This thread's shard index (assigned round-robin on first use) — a
@@ -77,7 +101,7 @@ thread_local! {
     static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
-fn shard_index() -> usize {
+pub(crate) fn shard_index() -> usize {
     SHARD.with(|s| {
         let mut idx = s.get();
         if idx == usize::MAX {
@@ -92,15 +116,24 @@ fn shard_index() -> usize {
 /// Turns recording on or off, process-wide. Spans already open keep their
 /// guard and still record their end event, so traces stay balanced.
 pub fn set_enabled(on: bool) {
-    for shard in &ENABLED {
-        shard.0.store(on, Ordering::SeqCst);
-    }
+    ENABLED.set(on);
 }
 
 /// Whether recording is currently enabled (this thread's shard view).
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED[shard_index()].0.load(Ordering::Relaxed)
+    ENABLED.get()
+}
+
+/// Cumulative count of span events lost to ring overflow, process-wide.
+/// Unlike the per-drain [`ThreadEvents::dropped`] field this never resets,
+/// so the metrics exposition can report silent event loss as a counter.
+static TOTAL_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Span events overwritten by ring overflow since process start (monotonic;
+/// per-drain figures live in [`ThreadEvents::dropped`]).
+pub fn total_dropped_events() -> u64 {
+    TOTAL_DROPPED.load(Ordering::Relaxed)
 }
 
 /// Monotonic nanoseconds since the recorder's process-wide epoch (the first
@@ -170,6 +203,7 @@ impl RingBuf {
             self.buf[self.start] = ev;
             self.start = (self.start + 1) % self.buf.capacity();
             self.dropped += 1;
+            TOTAL_DROPPED.fetch_add(1, Ordering::Relaxed);
         }
     }
 

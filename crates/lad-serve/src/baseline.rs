@@ -177,5 +177,6 @@ pub fn serve_fixed_batches(
         acceptance_pct: Histogram::new(),
         spec_drafted: 0,
         spec_accepted: 0,
+        incidents: Vec::new(),
     }
 }

@@ -30,15 +30,66 @@
 //! recomputes: the folded prompt replays through the same backend, so
 //! eviction decisions (and the resulting stream) are reproduced exactly.
 
-use crate::{FinishReason, ReqState, Request, ServeConfig, ServeReport};
+use crate::{FinishReason, Incident, IncidentReason, ReqState, Request, ServeConfig, ServeReport};
 use lad_accel::paged::BlockPool;
 use lad_model::backend::AttentionKind;
 use lad_model::batch::{BatchSession, StepOutcome};
 use lad_model::spec::Drafter;
 use lad_model::transformer::{argmax, Model};
+use lad_obs::metrics::{self, Counter, Gauge, MetricHistogram};
+use lad_obs::timeline::{self, TimelineKind};
 use lad_obs::Histogram;
 use std::collections::VecDeque;
 use std::time::Instant;
+
+/// Registry handles the engine records into, resolved once at construction
+/// ([`metrics::counter`] & co. are lock + scan — not hot-path operations).
+/// All record calls are no-ops while metrics are disabled.
+#[derive(Debug)]
+struct EngineObs {
+    admissions: Counter,
+    preemptions: Counter,
+    retired: Counter,
+    incidents: Counter,
+    /// Committed (generated) tokens across all requests.
+    tokens: Counter,
+    active: Gauge,
+    queued: Gauge,
+    ttft_ns: MetricHistogram,
+    e2e_ns: MetricHistogram,
+}
+
+impl EngineObs {
+    fn new() -> EngineObs {
+        EngineObs {
+            admissions: metrics::counter("serve.admissions"),
+            preemptions: metrics::counter("serve.preemptions"),
+            retired: metrics::counter("serve.retired"),
+            incidents: metrics::counter("serve.incidents"),
+            tokens: metrics::counter("serve.tokens"),
+            active: metrics::gauge("serve.active"),
+            queued: metrics::gauge("serve.queued"),
+            ttft_ns: metrics::histogram("serve.ttft_ns"),
+            e2e_ns: metrics::histogram("serve.e2e_ns"),
+        }
+    }
+}
+
+/// The per-backend traffic counter a request's attention bytes flow into —
+/// one counter per [`AttentionKind`] variant, so an exposition splits KV
+/// bandwidth by backend class across every engine in the process.
+fn traffic_counter(kind: &AttentionKind) -> Counter {
+    metrics::counter(match kind {
+        AttentionKind::Exact => "serve.bytes_moved.exact",
+        AttentionKind::ExactF16 => "serve.bytes_moved.exact_f16",
+        AttentionKind::Lad(_) => "serve.bytes_moved.lad",
+        AttentionKind::QserveKv4 => "serve.bytes_moved.qserve_kv4",
+        AttentionKind::H2o { .. } => "serve.bytes_moved.h2o",
+        AttentionKind::StreamingWindow { .. } => "serve.bytes_moved.streaming_window",
+        AttentionKind::TopK { .. } => "serve.bytes_moved.topk",
+        AttentionKind::H2O { .. } => "serve.bytes_moved.h2o_budget",
+    })
+}
 
 /// One admitted, currently-decoding request.
 #[derive(Debug)]
@@ -61,6 +112,9 @@ struct Active {
     /// (reserved optimistically in [`Engine::reserve_decode_blocks`], the
     /// rejected tail returned via [`BlockPool::truncate`] after the walk).
     granted: usize,
+    /// Per-backend `serve.bytes_moved.*` counter this request's attention
+    /// traffic accumulates into (resolved once at admission).
+    traffic: Counter,
 }
 
 impl Active {
@@ -108,6 +162,8 @@ pub struct Engine<'m> {
     acceptance_pct: Histogram,
     spec_drafted: usize,
     spec_accepted: usize,
+    incidents: Vec<Incident>,
+    obs: EngineObs,
 }
 
 impl<'m> Engine<'m> {
@@ -143,6 +199,8 @@ impl<'m> Engine<'m> {
             acceptance_pct: Histogram::new(),
             spec_drafted: 0,
             spec_accepted: 0,
+            incidents: Vec::new(),
+            obs: EngineObs::new(),
         }
     }
 
@@ -204,11 +262,13 @@ impl<'m> Engine<'m> {
             acceptance_pct: std::mem::replace(&mut self.acceptance_pct, Histogram::new()),
             spec_drafted: std::mem::take(&mut self.spec_drafted),
             spec_accepted: std::mem::take(&mut self.spec_accepted),
+            incidents: std::mem::take(&mut self.incidents),
         }
     }
 
     /// Executes one global serving step.
     pub fn tick(&mut self) {
+        let _tick = lad_obs::span("serve.tick");
         let now = Instant::now();
         // Requests whose arrival step has come start their latency clock
         // now — queueing time counts toward TTFT.
@@ -220,10 +280,13 @@ impl<'m> Engine<'m> {
 
         self.reserve_decode_blocks();
         self.admit();
+        self.obs.active.set(self.active.len() as i64);
+        self.obs.queued.set(self.queue.len() as i64);
 
         if self.active.is_empty() {
             // The active set drained while later arrivals are still in the
             // future: the documented BatchSession idle no-op.
+            let _idle = lad_obs::span("serve.idle");
             let outcome = self.session.step(&[]);
             debug_assert_eq!(outcome, StepOutcome::Idle);
             self.idle_steps += 1;
@@ -241,6 +304,8 @@ impl<'m> Engine<'m> {
             self.run_substep(false);
         }
         self.reclaim_evicted();
+        self.obs.active.set(self.active.len() as i64);
+        self.obs.queued.set(self.queue.len() as i64);
         self.step += 1;
     }
 
@@ -253,9 +318,22 @@ impl<'m> Engine<'m> {
     /// irreversible). Exact, top-k and LAD heads never evict, so for those
     /// requests this is a no-op.
     fn reclaim_evicted(&mut self) {
+        let _span = lad_obs::span("serve.reclaim");
+        let step = self.step as u64;
         for a in &self.active {
+            let mut freed_blocks = 0u64;
             for pos in self.session.dead_positions(a.slot) {
-                self.pool.mark_dead(a.pool_id, pos);
+                if self.pool.mark_dead(a.pool_id, pos) {
+                    freed_blocks += 1;
+                }
+            }
+            if freed_blocks > 0 {
+                timeline::record(
+                    a.state.id,
+                    TimelineKind::EvictionReclaim,
+                    step,
+                    freed_blocks,
+                );
             }
         }
     }
@@ -269,6 +347,7 @@ impl<'m> Engine<'m> {
     /// this tick's draft budget to whatever was granted (never preempting
     /// anyone), so under pressure speculation degrades to plain decode.
     fn reserve_decode_blocks(&mut self) {
+        let _span = lad_obs::span("serve.reserve");
         let mut i = 0;
         while i < self.active.len() {
             if self.active[i].in_prefill() {
@@ -325,7 +404,33 @@ impl<'m> Engine<'m> {
         st.done.extend(generated);
         st.preemptions += 1;
         self.preemptions += 1;
+        self.obs.preemptions.inc(1);
+        timeline::record(
+            st.id,
+            TimelineKind::Preempt,
+            self.step as u64,
+            st.preemptions as u64,
+        );
+        // Preemption storm: trips exactly once, the first time the count
+        // crosses the configured ceiling.
+        if st.preemptions == self.cfg.incident_max_preemptions + 1 {
+            self.record_incident(st.id, IncidentReason::PreemptionStorm, st.preemptions);
+        }
         self.queue.push_front(st);
+    }
+
+    /// Flight recorder: snapshots the request's last-K timeline events and
+    /// the full metrics registry into an [`Incident`] on the report.
+    fn record_incident(&mut self, request: u64, reason: IncidentReason, preemptions: usize) {
+        self.obs.incidents.inc(1);
+        self.incidents.push(Incident {
+            request,
+            reason,
+            step: self.step,
+            preemptions,
+            events: timeline::tail_for(request, self.cfg.incident_last_k),
+            metrics: metrics::snapshot(),
+        });
     }
 
     /// Admits FIFO queue heads while a slot and their prompt blocks are
@@ -347,6 +452,13 @@ impl<'m> Engine<'m> {
             let kind = state.backend.as_ref().unwrap_or(&self.kind).clone();
             let slot = self.session.add_sample_with_kind(&kind);
             self.admissions += 1;
+            self.obs.admissions.inc(1);
+            timeline::record(
+                state.id,
+                TimelineKind::Admit,
+                self.step as u64,
+                state.prompt.len() as u64,
+            );
             // The drafter observes the incarnation's prompt up front. After
             // a preemption that prompt includes every token generated so
             // far, so the rebuilt table equals the uninterrupted one.
@@ -363,6 +475,7 @@ impl<'m> Engine<'m> {
                 generated: Vec::new(),
                 drafter,
                 granted: 0,
+                traffic: traffic_counter(&kind),
             });
         }
     }
@@ -380,22 +493,39 @@ impl<'m> Engine<'m> {
     /// token is the argmax of logits conditioned only on committed rows, so
     /// the stream is bit-identical to the request's plain decode.
     fn run_substep(&mut self, include_decode: bool) {
+        // The sub-step span covers run building, the cross-sample GEMMs and
+        // the sampling/retirement walk, so `serve.tick` time decomposes
+        // almost entirely into its direct children (the coverage invariant
+        // `examples/serve_trace.rs` asserts).
+        let any_decode = include_decode && self.active.iter().any(|a| !a.in_prefill());
+        let _outer = if any_decode {
+            lad_obs::span("serve.decode_step")
+        } else {
+            lad_obs::span("serve.prefill_chunk")
+        };
+        let step_u64 = self.step as u64;
         // (slot, run tokens, active index), sorted by slot as the session
         // requires strictly increasing sample ids.
         let mut parts: Vec<(usize, Vec<u32>, usize)> = Vec::new();
-        let mut any_decode = false;
         let mut any_spec = false;
         for (i, a) in self.active.iter().enumerate() {
             if a.in_prefill() {
                 parts.push((a.slot, vec![a.next_token()], i));
             } else if include_decode {
-                any_decode = true;
                 let pending = a.next_token();
                 let mut run = vec![pending];
                 if let (Some(drafter), true) = (&a.drafter, a.granted > 0) {
                     let _span = lad_obs::span("spec.draft");
                     let mut drafts = drafter.draft(a.granted);
                     drafts.truncate(a.granted);
+                    if !drafts.is_empty() {
+                        timeline::record(
+                            a.state.id,
+                            TimelineKind::SpecDraft,
+                            step_u64,
+                            drafts.len() as u64,
+                        );
+                    }
                     run.extend_from_slice(&drafts);
                 }
                 any_spec |= run.len() > 1;
@@ -408,13 +538,23 @@ impl<'m> Engine<'m> {
         parts.sort_unstable_by_key(|&(slot, _, _)| slot);
         let runs: Vec<(usize, &[u32])> = parts.iter().map(|(s, r, _)| (*s, r.as_slice())).collect();
         {
-            let _outer = if any_decode {
-                lad_obs::span("serve.decode_step")
-            } else {
-                lad_obs::span("serve.prefill_chunk")
-            };
             let _verify = any_spec.then(|| lad_obs::span("spec.verify"));
             self.session.step_runs(&runs);
+        }
+        // Per-backend KV traffic: every head of every stepped sample
+        // reports bytes_moved for this sub-step; fold each sample's total
+        // into its backend's counter (gated here to skip the stats walk
+        // entirely while metrics are off).
+        if metrics::metrics_enabled() {
+            for (slot, _, i) in &parts {
+                let bytes: usize = self
+                    .session
+                    .last_stats(*slot)
+                    .iter()
+                    .map(|s| s.bytes_moved)
+                    .sum();
+                self.active[*i].traffic.inc(bytes as u64);
+            }
         }
 
         let now = Instant::now();
@@ -426,15 +566,28 @@ impl<'m> Engine<'m> {
             base += run.len();
             let i = *i;
             let a = &mut self.active[i];
+            let was_prefill = a.in_prefill();
             a.consumed += run.len();
-            if a.in_prefill() {
-                continue;
+            if was_prefill {
+                // The run consumed prompt tokens (a crossing sample falls
+                // through and also decodes this sub-step).
+                timeline::record(
+                    a.state.id,
+                    TimelineKind::PrefillChunk,
+                    step_u64,
+                    run.len() as u64,
+                );
+                if a.in_prefill() {
+                    continue;
+                }
             }
             if a.state.spec.is_none() {
                 // Plain request: the single row yields its next token.
                 let next = argmax(self.session.logits(row_base));
                 a.state.record_token(now, &mut self.ttft, &mut self.itl);
                 a.generated.push(next);
+                timeline::record(a.state.id, TimelineKind::DecodeTick, step_u64, 1);
+                self.obs.tokens.inc(1);
                 if self.cfg.eos == Some(next) {
                     retired.push((i, FinishReason::Eos));
                 } else if a.generated.len() >= a.state.remaining {
@@ -485,6 +638,21 @@ impl<'m> Engine<'m> {
                         .record((100 * matched / drafts.len()) as u64);
                 }
             }
+            if !drafts.is_empty() {
+                timeline::record(
+                    a.state.id,
+                    TimelineKind::SpecVerify,
+                    step_u64,
+                    matched as u64,
+                );
+            }
+            timeline::record(
+                a.state.id,
+                TimelineKind::DecodeTick,
+                step_u64,
+                committed as u64,
+            );
+            self.obs.tokens.inc(committed as u64);
             if let Some(finish) = finish {
                 // Retirement discards the whole sample; no rollback needed.
                 retired.push((i, finish));
@@ -492,6 +660,12 @@ impl<'m> Engine<'m> {
             }
             if run.len() > 1 {
                 let _span = lad_obs::span("spec.rollback");
+                timeline::record(
+                    a.state.id,
+                    TimelineKind::SpecRollback,
+                    step_u64,
+                    (run.len() - committed) as u64,
+                );
                 self.session.rollback_sample(a.slot, committed);
             }
             // Return the rejected rows' blocks: the pool currently holds
@@ -514,8 +688,25 @@ impl<'m> Engine<'m> {
             let a = self.active.remove(i);
             self.session.remove_sample(a.slot);
             self.pool.release(a.pool_id);
-            self.outcomes
-                .push(a.state.into_outcome(a.generated, finish, now));
+            let total_tokens = a.state.done.len() + a.generated.len();
+            timeline::record(
+                a.state.id,
+                TimelineKind::Retire,
+                step_u64,
+                total_tokens as u64,
+            );
+            self.obs.retired.inc(1);
+            let outcome = a.state.into_outcome(a.generated, finish, now);
+            self.obs.ttft_ns.record(outcome.ttft.as_nanos() as u64);
+            self.obs.e2e_ns.record(outcome.e2e.as_nanos() as u64);
+            if !outcome.met_deadline {
+                self.record_incident(
+                    outcome.id,
+                    IncidentReason::DeadlineMiss,
+                    outcome.preemptions,
+                );
+            }
+            self.outcomes.push(outcome);
         }
     }
 }
@@ -574,6 +765,7 @@ mod tests {
             prefill_chunk: 3,
             eos: None,
             parallelism: 1,
+            ..ServeConfig::default()
         };
         let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(64));
         let mut engine = Engine::new(&model, &AttentionKind::Exact, pool, cfg);
@@ -613,6 +805,7 @@ mod tests {
             prefill_chunk: 1,
             eos: None,
             parallelism: 1,
+            ..ServeConfig::default()
         };
         // Three blocks total; two requests each peaking at two blocks, so
         // the pool must run dry and evict the youngest mid-decode.
@@ -703,6 +896,7 @@ mod tests {
             prefill_chunk: 1,
             eos: None,
             parallelism: 1,
+            ..ServeConfig::default()
         };
         let specs = [(0u64, 9usize, 12usize, 0usize), (1, 6, 7, 2), (2, 11, 9, 2)];
         let requests: Vec<Request> = specs
@@ -736,6 +930,7 @@ mod tests {
             prefill_chunk: 2,
             eos: None,
             parallelism: 1,
+            ..ServeConfig::default()
         };
         let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(64));
         let mut engine = Engine::new(&model, &AttentionKind::Exact, pool, cfg);
@@ -788,6 +983,7 @@ mod tests {
             prefill_chunk: 1,
             eos: None,
             parallelism: 1,
+            ..ServeConfig::default()
         };
         // Three blocks, two speculating requests that must each cross the
         // 16-token block boundary a few tokens into decode: whoever crosses
@@ -853,6 +1049,7 @@ mod tests {
             prefill_chunk: 2,
             eos: None,
             parallelism: 1,
+            ..ServeConfig::default()
         };
         let pool = BlockPool::new(&ModelConfig::tiny("serve", 2, 32, 2), budget(64));
         // Engine default is exact; the other three override per request, so
@@ -909,6 +1106,7 @@ mod tests {
             prefill_chunk: 1,
             eos: None,
             parallelism: 1,
+            ..ServeConfig::default()
         };
         let kind = AttentionKind::h2o_budget(10, 4);
         // Same three-block squeeze as the exact-attention preemption test:
@@ -949,6 +1147,7 @@ mod tests {
             prefill_chunk: 4,
             eos: None,
             parallelism: 1,
+            ..ServeConfig::default()
         };
         // Streaming-window requests keep only 4 sinks + the 8 newest
         // positions alive, so interior blocks go fully dead as decode rolls

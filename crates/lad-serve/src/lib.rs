@@ -135,6 +135,13 @@ pub struct ServeConfig {
     pub eos: Option<u32>,
     /// Fan-out width handed to the underlying [`lad_model::BatchSession`].
     pub parallelism: usize,
+    /// Flight-recorder trip wire: a request preempted **more** than this
+    /// many times raises a [`IncidentReason::PreemptionStorm`] incident (a
+    /// deadline miss always raises [`IncidentReason::DeadlineMiss`]).
+    pub incident_max_preemptions: usize,
+    /// Timeline events captured per incident: the last `K` events of the
+    /// offending request still resident in the global timeline ring.
+    pub incident_last_k: usize,
 }
 
 impl Default for ServeConfig {
@@ -144,8 +151,93 @@ impl Default for ServeConfig {
             prefill_chunk: 4,
             eos: None,
             parallelism: 1,
+            incident_max_preemptions: 4,
+            incident_last_k: 32,
         }
     }
+}
+
+/// Why the SLO flight recorder captured an [`Incident`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentReason {
+    /// The request retired after its end-to-end deadline.
+    DeadlineMiss,
+    /// The request was preempted more than
+    /// [`ServeConfig::incident_max_preemptions`] times.
+    PreemptionStorm,
+}
+
+impl IncidentReason {
+    /// Stable snake_case code used in the JSON export.
+    pub fn code(&self) -> &'static str {
+        match self {
+            IncidentReason::DeadlineMiss => "deadline_miss",
+            IncidentReason::PreemptionStorm => "preemption_storm",
+        }
+    }
+}
+
+/// One SLO flight-recorder capture: the moment a request missed its
+/// deadline or crossed the preemption-storm threshold, the engine snapshots
+/// the request's last-K timeline events plus a full metrics snapshot so the
+/// violation can be diagnosed offline without re-running the workload.
+///
+/// Captures are best-effort observability: when the timeline recorder is
+/// disabled `events` is empty, and when the metrics registry is disabled the
+/// snapshot holds only the builtin drop counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// Offending request id.
+    pub request: u64,
+    /// What tripped the recorder.
+    pub reason: IncidentReason,
+    /// Engine tick at capture time.
+    pub step: usize,
+    /// The request's preemption count at capture time.
+    pub preemptions: usize,
+    /// Last-K timeline events of the request (oldest first), as still
+    /// resident in the global ring at capture time.
+    pub events: Vec<lad_obs::timeline::TimelineEvent>,
+    /// Full metrics snapshot at capture time.
+    pub metrics: lad_obs::metrics::MetricsSnapshot,
+}
+
+/// Serialises incidents as a JSON document (`{"incidents": [...]}`), each
+/// with its reason code, timeline events and metrics snapshot — written
+/// alongside the Perfetto trace by `examples/serve_trace.rs`.
+pub fn incidents_json(incidents: &[Incident]) -> String {
+    let mut out = String::from("{\"incidents\":[");
+    for (i, inc) in incidents.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"request\":{},\"reason\":\"{}\",\"step\":{},\"preemptions\":{},\"events\":[",
+            inc.request,
+            inc.reason.code(),
+            inc.step,
+            inc.preemptions
+        ));
+        for (j, ev) in inc.events.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"request\":{},\"kind\":\"{}\",\"t_ns\":{},\"step\":{},\"value\":{}}}",
+                ev.request,
+                ev.kind.code(),
+                ev.t_ns,
+                ev.step,
+                ev.value
+            ));
+        }
+        out.push_str("],\"metrics\":");
+        let metrics = lad_obs::metrics::json_text(&inc.metrics);
+        out.push_str(metrics.trim_end());
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Why a request finished.
@@ -205,6 +297,10 @@ pub struct ServeReport {
     pub spec_drafted: usize,
     /// Draft tokens accepted across all speculative rounds.
     pub spec_accepted: usize,
+    /// SLO flight-recorder captures (deadline misses and preemption
+    /// storms), in capture order. Always empty from the fixed-batch
+    /// baseline, which has no recorder.
+    pub incidents: Vec<Incident>,
 }
 
 impl ServeReport {

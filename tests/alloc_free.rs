@@ -13,9 +13,15 @@
 //!    (ring buffers are allocated once per thread on the *first* enabled
 //!    record, which the warm-up step absorbs; events are `Copy` writes into
 //!    the fixed ring).
+//! 3. The metrics registry and the request timeline honour the same
+//!    contract: `Counter::inc`, `Gauge::set`, `MetricHistogram::record` and
+//!    `timeline::record` allocate nothing while disabled *and* nothing
+//!    while enabled (handles are resolved and the timeline ring warmed
+//!    outside the counted region — registration and the one-time ring
+//!    reservation are setup, not record-path, costs).
 //!
-//! One `#[test]` only: the recorder and the allocation counter are
-//! process-global, and a sibling test running concurrently could enable the
+//! One `#[test]` only: the recorders and the allocation counter are
+//! process-global, and a sibling test running concurrently could enable a
 //! recorder mid-measurement.
 
 use lad::core::decoder::LadConfig;
@@ -150,4 +156,66 @@ fn recorder_adds_zero_allocations() {
         drained.iter().any(|t| !t.events.is_empty()),
         "enabled decode recorded no events"
     );
+
+    // --- Claim 3: metric and timeline record paths are allocation-free in
+    // both states. Handles resolve once up front (registration locks and
+    // may grow the registry — a setup cost, like building a session).
+    let counter = lad::obs::metrics::counter("alloc.probe_counter");
+    let gauge = lad::obs::metrics::gauge("alloc.probe_gauge");
+    let hist = lad::obs::metrics::histogram("alloc.probe_hist");
+
+    lad::obs::metrics::set_metrics_enabled(false);
+    lad::obs::timeline::set_timeline_enabled(false);
+    let ((), off_allocs) = counted(|| {
+        for i in 0..16_384u64 {
+            counter.inc(1);
+            gauge.set(i as i64);
+            hist.record(i);
+            lad::obs::timeline::record(7, lad::obs::timeline::TimelineKind::DecodeTick, i, 1);
+        }
+    });
+    assert_eq!(
+        off_allocs, 0,
+        "disabled metric/timeline records allocated {off_allocs} times"
+    );
+
+    // Enabled: warm the timeline ring (its one-time lazy reservation) and
+    // then demand a clean record path.
+    lad::obs::metrics::set_metrics_enabled(true);
+    lad::obs::timeline::set_timeline_enabled(true);
+    lad::obs::timeline::record(7, lad::obs::timeline::TimelineKind::Admit, 0, 0);
+    let ((), on_metric_allocs) = counted(|| {
+        for i in 0..16_384u64 {
+            counter.inc(1);
+            gauge.set(i as i64);
+            hist.record(i);
+            lad::obs::timeline::record(7, lad::obs::timeline::TimelineKind::DecodeTick, i, 1);
+        }
+    });
+    lad::obs::metrics::set_metrics_enabled(false);
+    lad::obs::timeline::set_timeline_enabled(false);
+    let (events, _) = lad::obs::timeline::drain_timeline();
+    assert_eq!(
+        on_metric_allocs, 0,
+        "enabled metric/timeline records allocated {on_metric_allocs} times"
+    );
+    // Only the enabled loop's increments landed (the disabled loop is a
+    // no-op by claim 1 of the registry contract).
+    assert_eq!(counter.value(), 16_384, "counter lost increments");
+    assert!(!events.is_empty(), "enabled timeline recorded no events");
+
+    // --- Histogram quantiles honour the power-of-two error bound even
+    // through the registry handle: estimate in [true, 2*true). The counted
+    // loop recorded 0..16384 uniformly, so spot-check interior quantiles
+    // (the uniform stream's true q-quantile is ~q*16384).
+    let snap = hist.snapshot();
+    for q in [0.25f64, 0.5, 0.9, 0.99] {
+        let truth = (q * 16_384.0).ceil() as u64;
+        let est = snap.quantile(q);
+        assert!(
+            est >= truth.saturating_sub(1) && est < 2 * truth.max(1),
+            "q={q}: registry histogram estimate {est} outside [{truth}, {})",
+            2 * truth.max(1)
+        );
+    }
 }

@@ -83,6 +83,7 @@ impl ServeGrid {
             prefill_chunk: self.prefill_chunk,
             eos: None,
             parallelism: 1,
+            ..ServeConfig::default()
         }
     }
 
